@@ -1,0 +1,121 @@
+//! Name dictionaries: labels, relationship types and property keys.
+//!
+//! Dictionaries intern strings to dense `u64` ids. They are tiny (a schema
+//! has a handful of names), kept fully in memory, and persisted in the
+//! database's meta file on flush.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// A bidirectional name ↔ id dictionary.
+#[derive(Debug, Default)]
+pub struct Dict {
+    inner: RwLock<DictInner>,
+}
+
+#[derive(Debug, Default)]
+struct DictInner {
+    by_name: HashMap<String, u64>,
+    by_id: Vec<String>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&self, name: &str) -> u64 {
+        if let Some(&id) = self.inner.read().by_name.get(name) {
+            return id;
+        }
+        let mut w = self.inner.write();
+        if let Some(&id) = w.by_name.get(name) {
+            return id;
+        }
+        let id = w.by_id.len() as u64;
+        w.by_id.push(name.to_owned());
+        w.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Resolves an id to its name.
+    pub fn name_of(&self, id: u64) -> Option<String> {
+        self.inner.read().by_id.get(id as usize).cloned()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// True when no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All names in id order (for meta-file persistence).
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().by_id.clone()
+    }
+
+    /// Rebuilds a dictionary from names in id order (meta-file load).
+    pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> Self {
+        let d = Dict::new();
+        for n in names {
+            d.intern(&n);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let d = Dict::new();
+        let a = d.intern("user");
+        let b = d.intern("tweet");
+        assert_eq!(d.intern("user"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_ways() {
+        let d = Dict::new();
+        let id = d.intern("follows");
+        assert_eq!(d.get("follows"), Some(id));
+        assert_eq!(d.get("nope"), None);
+        assert_eq!(d.name_of(id), Some("follows".into()));
+        assert_eq!(d.name_of(99), None);
+    }
+
+    #[test]
+    fn persist_roundtrip() {
+        let d = Dict::new();
+        d.intern("user");
+        d.intern("tweet");
+        d.intern("hashtag");
+        let d2 = Dict::from_names(d.names());
+        assert_eq!(d2.get("tweet"), d.get("tweet"));
+        assert_eq!(d2.len(), 3);
+    }
+
+    #[test]
+    fn ids_are_dense_from_zero() {
+        let d = Dict::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("c"), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Dense-node relationship groups.
+//!
+//! The paper observes that after importing nodes, the system spends time
+//! "computing the dense nodes" before importing edges. The payoff of that
+//! work: for a node with, say, two million `follows` edges and a handful of
+//! `mentions` edges, a typed expansion should not walk the whole chain.
+//!
+//! Our batch importer physically orders every node's relationship chain by
+//! `(type, direction)` and, for nodes whose degree exceeds the dense
+//! threshold, records a **group entry**: the first edge of each
+//! `(type, direction)` run and the run length. A typed traversal on a dense
+//! node starts at the entry and stops after `count` edges.
+//!
+//! Transactional writes after import invalidate a node's groups (its chain
+//! head insertion breaks the ordering); traversal then falls back to a full
+//! chain scan with filtering.
+
+use std::collections::HashMap;
+
+use micrograph_common::{EdgeId, NodeId};
+use parking_lot::RwLock;
+
+/// Direction slot within a group key (outgoing = 0, incoming = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupDir {
+    /// The node is the source of the run's edges.
+    Out = 0,
+    /// The node is the target of the run's edges.
+    In = 1,
+}
+
+/// A run of same-typed, same-direction edges in a node's chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupEntry {
+    /// First edge of the run.
+    pub first: EdgeId,
+    /// Number of edges in the run.
+    pub count: u64,
+}
+
+/// The dense-node group directory.
+#[derive(Debug)]
+pub struct DenseGroups {
+    threshold: u32,
+    map: RwLock<HashMap<(NodeId, u32, GroupDir), GroupEntry>>,
+}
+
+impl DenseGroups {
+    /// Creates a directory with the given dense-degree threshold.
+    pub fn new(threshold: u32) -> Self {
+        DenseGroups { threshold, map: RwLock::new(HashMap::new()) }
+    }
+
+    /// The degree above which a node is considered dense.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Registers a group entry for `(node, rel_type, dir)`.
+    pub fn insert(&self, node: NodeId, rel_type: u32, dir: GroupDir, entry: GroupEntry) {
+        self.map.write().insert((node, rel_type, dir), entry);
+    }
+
+    /// Looks up the group entry for `(node, rel_type, dir)`.
+    pub fn get(&self, node: NodeId, rel_type: u32, dir: GroupDir) -> Option<GroupEntry> {
+        self.map.read().get(&(node, rel_type, dir)).copied()
+    }
+
+    /// Drops every group of `node` — called when a transactional write
+    /// prepends to the node's chain, breaking the import-time ordering.
+    pub fn invalidate(&self, node: NodeId) {
+        self.map.write().retain(|&(n, _, _), _| n != node);
+    }
+
+    /// Number of group entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dumps all entries for meta-file persistence.
+    pub fn entries(&self) -> Vec<(NodeId, u32, GroupDir, GroupEntry)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(&(n, t, d), &e)| (n, t, d, e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_invalidate() {
+        let g = DenseGroups::new(50);
+        assert_eq!(g.threshold(), 50);
+        g.insert(NodeId(1), 0, GroupDir::Out, GroupEntry { first: EdgeId(10), count: 100 });
+        g.insert(NodeId(1), 1, GroupDir::In, GroupEntry { first: EdgeId(5), count: 3 });
+        g.insert(NodeId(2), 0, GroupDir::Out, GroupEntry { first: EdgeId(7), count: 60 });
+        assert_eq!(
+            g.get(NodeId(1), 0, GroupDir::Out),
+            Some(GroupEntry { first: EdgeId(10), count: 100 })
+        );
+        assert_eq!(g.get(NodeId(1), 0, GroupDir::In), None);
+        g.invalidate(NodeId(1));
+        assert_eq!(g.get(NodeId(1), 0, GroupDir::Out), None);
+        assert_eq!(g.get(NodeId(1), 1, GroupDir::In), None);
+        assert_eq!(g.get(NodeId(2), 0, GroupDir::Out).unwrap().count, 60);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let g = DenseGroups::new(10);
+        g.insert(NodeId(3), 2, GroupDir::In, GroupEntry { first: EdgeId(1), count: 11 });
+        let entries = g.entries();
+        assert_eq!(entries.len(), 1);
+        let (n, t, d, e) = entries[0];
+        assert_eq!((n, t, d), (NodeId(3), 2, GroupDir::In));
+        assert_eq!(e.count, 11);
+    }
+}

@@ -1,0 +1,237 @@
+//! Label and property indexes.
+//!
+//! The paper's import creates "indexes on all unique node identifiers" after
+//! loading so that `user`, `tweet` and `hashtag` lookups are O(log n) seeks
+//! rather than store scans. The property index maps `(label, key, value)` to
+//! node ids through an ordered map, so it also answers the range predicate
+//! of Q1.1 (follower count greater than a threshold).
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use micrograph_common::{LabelId, NodeId, Value};
+use parking_lot::RwLock;
+
+/// Node-ids-by-label index (the "label scan store").
+#[derive(Debug, Default)]
+pub struct LabelIndex {
+    by_label: RwLock<Vec<Vec<NodeId>>>,
+    scans: AtomicU64,
+}
+
+impl LabelIndex {
+    /// Creates an empty label index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `node` under `label`.
+    pub fn add(&self, label: LabelId, node: NodeId) {
+        let mut w = self.by_label.write();
+        let idx = label.index();
+        if w.len() <= idx {
+            w.resize_with(idx + 1, Vec::new);
+        }
+        w[idx].push(node);
+    }
+
+    /// Removes `node` from `label` (linear; deletes are rare).
+    pub fn remove(&self, label: LabelId, node: NodeId) {
+        let mut w = self.by_label.write();
+        if let Some(v) = w.get_mut(label.index()) {
+            if let Some(pos) = v.iter().position(|&n| n == node) {
+                v.swap_remove(pos);
+            }
+        }
+    }
+
+    /// All nodes with `label`, in insertion order.
+    pub fn nodes(&self, label: LabelId) -> Vec<NodeId> {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.by_label
+            .read()
+            .get(label.index())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of nodes with `label`.
+    pub fn count(&self, label: LabelId) -> u64 {
+        self.by_label
+            .read()
+            .get(label.index())
+            .map_or(0, |v| v.len() as u64)
+    }
+
+    /// Number of label scans performed (profiling).
+    pub fn scan_count(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+}
+
+/// Key of a property index: which label/property pair it covers.
+pub type IndexKey = (u64, u64); // (label id, property key id)
+
+/// Ordered property indexes `(label, key, value) → nodes`.
+#[derive(Debug, Default)]
+pub struct PropIndex {
+    maps: RwLock<HashMap<IndexKey, BTreeMap<Value, Vec<NodeId>>>>,
+    seeks: AtomicU64,
+}
+
+impl PropIndex {
+    /// Creates an empty index manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an (initially empty) index on `(label, key)`.
+    /// Idempotent.
+    pub fn declare(&self, key: IndexKey) {
+        self.maps.write().entry(key).or_default();
+    }
+
+    /// True when `(label, key)` is indexed.
+    pub fn has(&self, key: IndexKey) -> bool {
+        self.maps.read().contains_key(&key)
+    }
+
+    /// All declared index keys.
+    pub fn declared(&self) -> Vec<IndexKey> {
+        self.maps.read().keys().copied().collect()
+    }
+
+    /// Adds an entry. No-op when the `(label, key)` pair is not indexed.
+    pub fn add(&self, key: IndexKey, value: &Value, node: NodeId) {
+        let mut w = self.maps.write();
+        if let Some(map) = w.get_mut(&key) {
+            map.entry(value.clone()).or_default().push(node);
+        }
+    }
+
+    /// Removes an entry (no-op when absent).
+    pub fn remove(&self, key: IndexKey, value: &Value, node: NodeId) {
+        let mut w = self.maps.write();
+        if let Some(map) = w.get_mut(&key) {
+            if let Some(v) = map.get_mut(value) {
+                if let Some(pos) = v.iter().position(|&n| n == node) {
+                    v.swap_remove(pos);
+                }
+                if v.is_empty() {
+                    map.remove(value);
+                }
+            }
+        }
+    }
+
+    /// Exact-match seek. Returns `None` when the pair is not indexed
+    /// (caller falls back to a label scan), `Some(nodes)` otherwise.
+    pub fn seek(&self, key: IndexKey, value: &Value) -> Option<Vec<NodeId>> {
+        let r = self.maps.read();
+        let map = r.get(&key)?;
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+        Some(map.get(value).cloned().unwrap_or_default())
+    }
+
+    /// Range seek over the ordered values.
+    pub fn range(
+        &self,
+        key: IndexKey,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Option<Vec<NodeId>> {
+        let r = self.maps.read();
+        let map = r.get(&key)?;
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        for (_, nodes) in map.range::<Value, _>((lo, hi)) {
+            out.extend_from_slice(nodes);
+        }
+        Some(out)
+    }
+
+    /// Number of index seeks performed (profiling).
+    pub fn seek_count(&self) -> u64 {
+        self.seeks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_index_add_and_scan() {
+        let idx = LabelIndex::new();
+        idx.add(LabelId(0), NodeId(1));
+        idx.add(LabelId(0), NodeId(2));
+        idx.add(LabelId(2), NodeId(3));
+        assert_eq!(idx.nodes(LabelId(0)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(idx.nodes(LabelId(1)), vec![]);
+        assert_eq!(idx.count(LabelId(2)), 1);
+        assert_eq!(idx.scan_count(), 2);
+    }
+
+    #[test]
+    fn label_index_remove() {
+        let idx = LabelIndex::new();
+        idx.add(LabelId(0), NodeId(1));
+        idx.add(LabelId(0), NodeId(2));
+        idx.remove(LabelId(0), NodeId(1));
+        assert_eq!(idx.nodes(LabelId(0)), vec![NodeId(2)]);
+        idx.remove(LabelId(5), NodeId(9)); // absent label: no-op
+    }
+
+    #[test]
+    fn prop_index_seek() {
+        let idx = PropIndex::new();
+        let key = (0u64, 0u64);
+        idx.declare(key);
+        idx.add(key, &Value::Int(531), NodeId(10));
+        idx.add(key, &Value::Int(532), NodeId(11));
+        assert_eq!(idx.seek(key, &Value::Int(531)), Some(vec![NodeId(10)]));
+        assert_eq!(idx.seek(key, &Value::Int(999)), Some(vec![]));
+        assert_eq!(idx.seek((1, 1), &Value::Int(531)), None, "unindexed pair");
+        assert!(idx.has(key));
+        assert!(!idx.has((9, 9)));
+    }
+
+    #[test]
+    fn prop_index_range() {
+        let idx = PropIndex::new();
+        let key = (0u64, 1u64);
+        idx.declare(key);
+        for i in 0..10i64 {
+            idx.add(key, &Value::Int(i * 10), NodeId(i as u64));
+        }
+        let got = idx
+            .range(key, Bound::Excluded(&Value::Int(30)), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(got.len(), 6); // 40..90
+        assert!(got.contains(&NodeId(4)));
+        assert!(!got.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn prop_index_remove_cleans_empty_buckets() {
+        let idx = PropIndex::new();
+        let key = (0u64, 0u64);
+        idx.declare(key);
+        idx.add(key, &Value::Str("x".into()), NodeId(1));
+        idx.remove(key, &Value::Str("x".into()), NodeId(1));
+        assert_eq!(idx.seek(key, &Value::Str("x".into())), Some(vec![]));
+    }
+
+    #[test]
+    fn duplicate_values_accumulate() {
+        let idx = PropIndex::new();
+        let key = (0u64, 2u64);
+        idx.declare(key);
+        idx.add(key, &Value::Int(7), NodeId(1));
+        idx.add(key, &Value::Int(7), NodeId(2));
+        let mut got = idx.seek(key, &Value::Int(7)).unwrap();
+        got.sort();
+        assert_eq!(got, vec![NodeId(1), NodeId(2)]);
+    }
+}

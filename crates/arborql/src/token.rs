@@ -1,0 +1,335 @@
+//! The ArborQL lexer.
+
+use crate::{QlError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser via [`Token::is_kw`]).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `\'` and `\\` escapes).
+    Str(String),
+    /// Parameter `$name`.
+    Param(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-` (pattern dash or minus)
+    Dash,
+    /// `->`
+    ArrowRight,
+    /// `<-`
+    ArrowLeft,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// True when this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b'{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            b':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token::DotDot);
+                    i += 2;
+                } else {
+                    out.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    out.push(Token::ArrowLeft);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::ArrowRight);
+                    i += 2;
+                } else {
+                    out.push(Token::Dash);
+                    i += 1;
+                }
+            }
+            b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(QlError::Syntax(format!("empty parameter name at byte {i}")));
+                }
+                out.push(Token::Param(input[start..j].to_owned()));
+                i = j;
+            }
+            b'\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(QlError::Syntax(format!(
+                                "unterminated string starting at byte {i}"
+                            )))
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(j + 1) {
+                                Some(b'\'') => s.push('\''),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                other => {
+                                    return Err(QlError::Syntax(format!(
+                                        "bad escape {other:?} in string"
+                                    )))
+                                }
+                            }
+                            j += 2;
+                        }
+                        Some(_) => {
+                            // Copy one UTF-8 character.
+                            let ch = input[j..].chars().next().expect("in bounds");
+                            s.push(ch);
+                            j += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // Float only when a single dot is followed by a digit
+                // (so `1..2` stays Int DotDot Int).
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let text = &input[start..j];
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        QlError::Syntax(format!("bad float literal {text:?}"))
+                    })?));
+                } else {
+                    let text = &input[start..j];
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        QlError::Syntax(format!("bad integer literal {text:?}"))
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                out.push(Token::Ident(input[start..j].to_owned()));
+                i = j;
+            }
+            other => {
+                return Err(QlError::Syntax(format!(
+                    "unexpected character {:?} at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let toks = lex("MATCH (u:user {uid: $id})-[:follows]->(f) RETURN f.uid").unwrap();
+        assert!(toks.contains(&Token::Param("id".into())));
+        assert!(toks.contains(&Token::ArrowRight));
+        assert!(toks.iter().any(|t| t.is_kw("match")));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn varlength_range_lexes_as_int_dotdot_int() {
+        let toks = lex("[:follows*2..3]").unwrap();
+        let expected = vec![
+            Token::LBracket,
+            Token::Colon,
+            Token::Ident("follows".into()),
+            Token::Star,
+            Token::Int(2),
+            Token::DotDot,
+            Token::Int(3),
+            Token::RBracket,
+            Token::Eof,
+        ];
+        assert_eq!(toks, expected);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a < b <= c > d >= e <> f = g").unwrap();
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Neq));
+        assert!(toks.contains(&Token::Eq));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r"'it\'s \\ fine'").unwrap();
+        assert_eq!(toks[0], Token::Str("it's \\ fine".into()));
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let toks = lex("'café ☕'").unwrap();
+        assert_eq!(toks[0], Token::Str("café ☕".into()));
+    }
+
+    #[test]
+    fn floats_and_ints() {
+        let toks = lex("1.5 42 0.25").unwrap();
+        assert_eq!(toks[0], Token::Float(1.5));
+        assert_eq!(toks[1], Token::Int(42));
+        assert_eq!(toks[2], Token::Float(0.25));
+    }
+
+    #[test]
+    fn arrows_and_dashes() {
+        let toks = lex("<-[:x]- -[:y]->").unwrap();
+        assert_eq!(toks[0], Token::ArrowLeft);
+        assert!(toks.contains(&Token::Dash));
+        assert!(toks.contains(&Token::ArrowRight));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("$ ").is_err());
+        assert!(lex("#").is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Parser robustness: arbitrary input must never panic — only `Err`.
+
+use arbor_ql::parser::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totally arbitrary strings: parse returns, never panics.
+    #[test]
+    fn arbitrary_strings_never_panic(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Query-shaped garbage: random token soup from the language's alphabet.
+    #[test]
+    fn token_soup_never_panics(words in prop::collection::vec(
+        prop_oneof![
+            Just("MATCH".to_string()), Just("WHERE".to_string()),
+            Just("RETURN".to_string()), Just("WITH".to_string()),
+            Just("ORDER".to_string()), Just("BY".to_string()),
+            Just("LIMIT".to_string()), Just("DISTINCT".to_string()),
+            Just("AND".to_string()), Just("NOT".to_string()),
+            Just("count(*)".to_string()), Just("shortestPath".to_string()),
+            Just("(".to_string()), Just(")".to_string()),
+            Just("[".to_string()), Just("]".to_string()),
+            Just("{".to_string()), Just("}".to_string()),
+            Just(":".to_string()), Just(",".to_string()),
+            Just("-".to_string()), Just("->".to_string()),
+            Just("<-".to_string()), Just("*".to_string()),
+            Just("..".to_string()), Just("=".to_string()),
+            Just("<>".to_string()), Just("$p".to_string()),
+            Just("a".to_string()), Just("user".to_string()),
+            Just("follows".to_string()), Just("a.uid".to_string()),
+            Just("42".to_string()), Just("'str'".to_string()),
+        ], 0..40)) {
+        let text = words.join(" ");
+        let _ = parse(&text);
+    }
+
+    /// Valid queries keep parsing after round-tripping their whitespace.
+    #[test]
+    fn whitespace_insensitive(extra in "[ \t\n]{0,5}") {
+        let q = format!(
+            "MATCH{extra} (a:user {{uid: 1}})-[:follows]->(b){extra} RETURN b.uid{extra} LIMIT 3"
+        );
+        prop_assert!(parse(&q).is_ok(), "{q:?}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests: declarative queries against imperative reference
+//! computations on random multigraphs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use arbor_ql::{QueryEngine, Value};
+use arbordb::db::{DbConfig, GraphDb};
+use arbordb::{Direction, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    users: usize,
+    follows: Vec<(usize, usize)>,
+    followers_attr: Vec<i64>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (2usize..14).prop_flat_map(|users| {
+        (
+            prop::collection::vec((0..users, 0..users), 0..50),
+            prop::collection::vec(0i64..100, users..=users),
+        )
+            .prop_map(move |(follows, followers_attr)| Spec { users, follows, followers_attr })
+    })
+}
+
+fn build(s: &Spec) -> (Arc<GraphDb>, Vec<NodeId>) {
+    let db = GraphDb::open_memory(DbConfig { page_cache_pages: 128, dense_node_threshold: 4 })
+        .unwrap();
+    let mut tx = db.begin_write().unwrap();
+    let nodes: Vec<NodeId> = (0..s.users)
+        .map(|i| {
+            tx.create_node(
+                "user",
+                &[
+                    ("uid", Value::Int(i as i64)),
+                    ("followers", Value::Int(s.followers_attr[i])),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    for &(a, b) in &s.follows {
+        tx.create_rel(nodes[a], nodes[b], "follows", &[]).unwrap();
+    }
+    tx.commit().unwrap();
+    db.create_index("user", "uid").unwrap();
+    (Arc::new(db), nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `MATCH (a {uid})-[:follows]->(f)` equals the core-API neighborhood.
+    #[test]
+    fn ql_adjacency_matches_api(s in spec()) {
+        let (db, nodes) = build(&s);
+        let ql = QueryEngine::new(db.clone());
+        let follows = db.rel_type_id("follows");
+        for (i, &n) in nodes.iter().enumerate() {
+            let r = ql
+                .query(
+                    "MATCH (a:user {uid: $uid})-[:follows]->(f) RETURN f.uid ORDER BY f.uid",
+                    &[("uid", Value::Int(i as i64))],
+                )
+                .unwrap();
+            let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+            let mut expect: Vec<i64> = db
+                .neighbors(n, follows, Direction::Outgoing)
+                .map(|x| db.node_prop(x.unwrap(), "uid").unwrap().unwrap().as_int().unwrap())
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "uid {}", i);
+        }
+    }
+
+    /// Selection with a range predicate equals a direct scan.
+    #[test]
+    fn ql_selection_matches_scan(s in spec(), th in 0i64..100) {
+        let (db, _nodes) = build(&s);
+        let ql = QueryEngine::new(db.clone());
+        let r = ql
+            .query(
+                "MATCH (u:user) WHERE u.followers > $th RETURN u.uid ORDER BY u.uid",
+                &[("th", Value::Int(th))],
+            )
+            .unwrap();
+        let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+        let mut expect: Vec<i64> = s
+            .followers_attr
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > th)
+            .map(|(i, _)| i as i64)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Grouped counting equals a reference count over edges, and the TopN
+    /// ordering invariant holds.
+    #[test]
+    fn ql_group_count_matches_reference(s in spec()) {
+        let (db, _nodes) = build(&s);
+        let ql = QueryEngine::new(db);
+        let r = ql
+            .query(
+                "MATCH (a:user)-[:follows]->(b:user) \
+                 RETURN b.uid, count(*) AS c ORDER BY c DESC, b.uid ASC LIMIT 5",
+                &[],
+            )
+            .unwrap();
+        let mut expect: HashMap<i64, i64> = HashMap::new();
+        for &(_, b) in &s.follows {
+            *expect.entry(b as i64).or_insert(0) += 1;
+        }
+        let mut pairs: Vec<(i64, i64)> = expect.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(5);
+        let got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got, pairs);
+    }
+
+    /// Variable-length paths count exactly the 2-paths of the graph.
+    #[test]
+    fn ql_varlength_counts_two_paths(s in spec(), start in 0usize..14) {
+        let start = start % s.users;
+        let (db, _nodes) = build(&s);
+        let ql = QueryEngine::new(db);
+        let r = ql
+            .query(
+                "MATCH (a:user {uid: $uid})-[:follows*2..2]->(r) RETURN count(*)",
+                &[("uid", Value::Int(start as i64))],
+            )
+            .unwrap();
+        let got = r.rows[0][0].as_int().unwrap();
+        // Reference: ordered pairs of distinct edges forming a 2-path.
+        let mut expect = 0i64;
+        for (e1, &(a, b)) in s.follows.iter().enumerate() {
+            if a != start {
+                continue;
+            }
+            for (e2, &(c, _)) in s.follows.iter().enumerate() {
+                if e1 != e2 && c == b {
+                    expect += 1;
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,49 @@
+//! Microbenchmarks for the compressed bitmap — the substrate every
+//! bitgraph navigation touches.
+
+use bitgraph::Bitmap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micrograph_common::rng::SplitMix64;
+
+fn dense(n: u64) -> Bitmap {
+    Bitmap::from_iter(0..n)
+}
+
+fn sparse(n: u64, seed: u64) -> Bitmap {
+    let mut rng = SplitMix64::new(seed);
+    Bitmap::from_iter((0..n).map(|_| rng.next_below(1 << 30)))
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_insert");
+    for &n in &[1_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+            b.iter(|| dense(n).len())
+        });
+        g.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, &n| {
+            b.iter(|| sparse(n, 1).len())
+        });
+    }
+    g.finish();
+
+    let a_dense = dense(100_000);
+    let b_dense = Bitmap::from_iter(50_000..150_000);
+    let a_sparse = sparse(10_000, 1);
+    let b_sparse = sparse(10_000, 2);
+
+    let mut g = c.benchmark_group("bitmap_ops");
+    g.bench_function("and_dense", |b| b.iter(|| a_dense.and(&b_dense).len()));
+    g.bench_function("or_dense", |b| b.iter(|| a_dense.or(&b_dense).len()));
+    g.bench_function("and_not_dense", |b| b.iter(|| a_dense.and_not(&b_dense).len()));
+    g.bench_function("and_sparse", |b| b.iter(|| a_sparse.and(&b_sparse).len()));
+    g.bench_function("iter_dense", |b| b.iter(|| a_dense.iter().sum::<u64>()));
+    g.bench_function("contains_hit", |b| b.iter(|| a_dense.contains(99_999)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_bitmap
+}
+criterion_main!(benches);

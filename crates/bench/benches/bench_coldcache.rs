@@ -1,0 +1,35 @@
+//! Ablation D4: cold-cache warm-up cost ("Neo4j takes a long time to warm
+//! up the caches for a new query ... as the degree of the source node
+//! increases, the time it takes to warm the cache dramatically increases").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micrograph_bench::{fixture, Scale};
+use micrograph_core::engine::MicroblogEngine;
+
+fn bench_coldcache(c: &mut Criterion) {
+    let f = fixture(Scale::from_env(Scale::Unit));
+    let ranked = f.users_by_out_degree();
+    let hi = ranked[0].0;
+    let lo = ranked[ranked.len() - 1].0;
+
+    let mut g = c.benchmark_group("q2_2_cold_vs_warm");
+    for (label, uid) in [("high_degree", hi), ("low_degree", lo)] {
+        g.bench_with_input(BenchmarkId::new("warm", label), &uid, |b, &uid| {
+            b.iter(|| f.arbor.followee_tweets(uid).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("cold", label), &uid, |b, &uid| {
+            b.iter(|| {
+                f.arbor.drop_caches().unwrap();
+                f.arbor.followee_tweets(uid).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coldcache
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Dataset generation throughput (Table 1 regeneration cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micrograph_datagen::{generate, GenConfig};
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagen");
+    g.sample_size(10);
+    for users in [500u64, 2_000, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &users| {
+            let cfg = GenConfig { users, ..GenConfig::small() };
+            b.iter(|| {
+                let d = generate(&cfg);
+                let s = d.stats();
+                assert_eq!(s.users, users);
+                s.total_edges()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_datagen
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Bulk ingestion benches (Figures 2 and 3 in microbenchmark form), plus
+//! the neighbor-materialization ablation (D5).
+
+use bitgraph::loader::{LoadConfig, LoadOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use micrograph_core::ingest::{ingest_arbor, ingest_bit};
+use micrograph_datagen::{generate, GenConfig};
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut cfg = GenConfig::unit();
+    cfg.users = 300;
+    let dir = std::env::temp_dir().join(format!("bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = generate(&cfg).write_csv(&dir).unwrap();
+
+    let mut g = c.benchmark_group("bulk_ingest_300u");
+    g.sample_size(10);
+    g.bench_function("arbordb_import", |b| {
+        b.iter(|| {
+            let (db, report) = ingest_arbor(
+                &files,
+                None,
+                arbordb::db::DbConfig::default(),
+                &arbordb::import::ImportOptions::default(),
+            )
+            .unwrap();
+            assert!(report.edges > 0);
+            drop(db);
+        })
+    });
+    g.bench_function("bitgraph_load", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let path = dir.join(format!("bench-{i}.gdb"));
+            let (graph, report) =
+                ingest_bit(&files, Some(&path), LoadConfig::default(), &LoadOptions::default())
+                    .unwrap();
+            assert!(report.edges > 0);
+            let _ = std::fs::remove_file(&path);
+            drop(graph);
+        })
+    });
+    g.bench_function("bitgraph_load_materialized", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let path = dir.join(format!("bench-mat-{i}.gdb"));
+            let (graph, _) = ingest_bit(
+                &files,
+                Some(&path),
+                LoadConfig { materialize: true, ..Default::default() },
+                &LoadOptions::default(),
+            )
+            .unwrap();
+            let _ = std::fs::remove_file(&path);
+            drop(graph);
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest
+}
+criterion_main!(benches);

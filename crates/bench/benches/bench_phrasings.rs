@@ -1,0 +1,29 @@
+//! Ablation D2: the three §4 phrasings of the recommendation query.
+//! Expected ordering: (b) ≤ (a) ≪ (c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micrograph_bench::{fixture, Fixture, Scale};
+use micrograph_core::adapters::RecommendationPhrasing;
+
+fn bench_phrasings(c: &mut Criterion) {
+    let f = fixture(Scale::from_env(Scale::Unit));
+    let uid = Fixture::spread(&f.users_by_out_degree(), 1)[0].0;
+    let mut g = c.benchmark_group("q4_phrasings");
+    for (label, phrasing) in [
+        ("a_varlength", RecommendationPhrasing::VarLength),
+        ("b_canonical", RecommendationPhrasing::Canonical),
+        ("c_undirected", RecommendationPhrasing::Undirected),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &phrasing, |b, &p| {
+            b.iter(|| f.arbor.recommend_phrasing(p, uid, 10).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_phrasings
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation D1: "a good speedup can be achieved by specifying parameters,
+//! because it allows caching the execution plans."
+
+use arbor_ql::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use micrograph_bench::{fixture, Scale};
+
+const QUERY: &str =
+    "MATCH (a:user {uid: $uid})-[:follows]->(x)-[:posts]->(t:tweet) RETURN t.tid";
+
+fn bench_plancache(c: &mut Criterion) {
+    let f = fixture(Scale::from_env(Scale::Unit));
+    let ql = f.arbor.ql();
+    let mut g = c.benchmark_group("plan_cache");
+    let mut uid = 0i64;
+    let users = f.dataset.users.len() as i64;
+
+    g.bench_function("parameterized_cached", |b| {
+        b.iter(|| {
+            uid = uid % users + 1;
+            ql.query(QUERY, &[("uid", Value::Int(uid))]).unwrap().rows.len()
+        })
+    });
+
+    g.bench_function("literal_uncached", |b| {
+        b.iter(|| {
+            uid = uid % users + 1;
+            ql.clear_cache(); // literals never repeat in real workloads
+            let text = QUERY.replace("$uid", &uid.to_string());
+            ql.query(&text, &[]).unwrap().rows.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_plancache
+}
+criterion_main!(benches);

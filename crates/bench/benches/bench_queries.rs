@@ -1,0 +1,76 @@
+//! Criterion benches for the starred Table 2 queries on both engines —
+//! the microbenchmark backing Figure 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micrograph_bench::{fixture, Fixture, Scale};
+use micrograph_core::engine::MicroblogEngine;
+
+fn subjects(f: &'static Fixture) -> Vec<i64> {
+    Fixture::spread(&f.users_by_mention_degree(), 3)
+        .into_iter()
+        .map(|(uid, _)| uid)
+        .collect()
+}
+
+fn bench_starred(c: &mut Criterion) {
+    let f = fixture(Scale::from_env(Scale::Unit));
+    let engines: [(&str, &dyn MicroblogEngine); 2] = [("arbordb", &f.arbor), ("bitgraph", &f.bit)];
+    let uids = subjects(f);
+    let top_uid = uids[0];
+
+    let mut g = c.benchmark_group("q2_3_followee_hashtags");
+    for (name, e) in engines {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, e| {
+            b.iter(|| e.followee_hashtags(top_uid).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("q3_1_co_mentions");
+    for (name, e) in engines {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, e| {
+            b.iter(|| e.co_mentioned_users(top_uid, 10).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("q4_1_recommendation");
+    for (name, e) in engines {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, e| {
+            b.iter(|| e.recommend_followees(top_uid, 10).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("q5_2_potential_influence");
+    for (name, e) in engines {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, e| {
+            b.iter(|| e.potential_influence(top_uid, 10).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("q6_1_shortest_path");
+    let users = f.dataset.users.len() as i64;
+    for (name, e) in engines {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, e| {
+            b.iter(|| e.shortest_path_len(1, users / 2, 4).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("q1_1_selection");
+    for (name, e) in engines {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, e| {
+            b.iter(|| e.users_with_followers_over(5).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_starred
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation D3: top-n overheads. The declarative engine's TopN pushdown
+//! against a full Sort+Limit, and the navigation engine's forced
+//! retrieve-everything-then-sort.
+
+use arbor_ql::plan::PlannerOptions;
+use arbor_ql::EngineOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+use micrograph_bench::{fixture, Fixture, Scale};
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ArborEngine;
+
+fn bench_topn(c: &mut Criterion) {
+    let f = fixture(Scale::from_env(Scale::Unit));
+    let uid = Fixture::spread(&f.users_by_mention_degree(), 1)[0].0;
+    let pushdown = ArborEngine::with_options(f.arbor.db_arc(), EngineOptions::standard());
+    let full_sort = ArborEngine::with_options(
+        f.arbor.db_arc(),
+        EngineOptions {
+            planner: PlannerOptions { topn_pushdown: false, predicate_pushdown: true },
+            plan_cache: true,
+        },
+    );
+
+    let mut g = c.benchmark_group("q3_1_topn");
+    g.bench_function("arbordb_topn_pushdown", |b| {
+        b.iter(|| pushdown.co_mentioned_users(uid, 10).unwrap())
+    });
+    g.bench_function("arbordb_sort_then_limit", |b| {
+        b.iter(|| full_sort.co_mentioned_users(uid, 10).unwrap())
+    });
+    g.bench_function("bitgraph_full_retrieve", |b| {
+        b.iter(|| f.bit.co_mentioned_users(uid, 10).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_topn
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! The future-work update workload (§5): event-application throughput on
+//! both engines. The transactional engine pays WAL + commit per event; the
+//! navigation engine updates in-memory structures and its extent log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micrograph_core::ingest::build_engines;
+use micrograph_datagen::{generate, GenConfig, StreamGen, StreamMix};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut cfg = GenConfig::unit();
+    cfg.users = 300;
+    let dataset = generate(&cfg);
+    let dir = std::env::temp_dir().join(format!("bench-updates-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = dataset.write_csv(&dir).unwrap();
+
+    let mut g = c.benchmark_group("update_stream_100_events");
+    g.sample_size(10);
+    g.bench_function("arbordb_transactional", |b| {
+        b.iter_with_setup(
+            || {
+                let (arbor, _bit, _) = build_engines(&files).unwrap();
+                let events =
+                    StreamGen::new(&dataset, &cfg, 5, StreamMix::default()).events(100);
+                (arbor, events)
+            },
+            |(arbor, events)| {
+                for e in &events {
+                    arbor.apply_event(e).unwrap();
+                }
+            },
+        )
+    });
+    g.bench_function("bitgraph_navigation", |b| {
+        b.iter_with_setup(
+            || {
+                let (_arbor, bit, _) = build_engines(&files).unwrap();
+                let events =
+                    StreamGen::new(&dataset, &cfg, 5, StreamMix::default()).events(100);
+                (bit, events)
+            },
+            |(mut bit, events)| {
+                for e in &events {
+                    bit.apply_event(e).unwrap();
+                }
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,518 @@
+//! Generators for every table and figure in the paper's evaluation.
+//!
+//! | artifact | generator |
+//! |---|---|
+//! | Table 1  | [`table1`] |
+//! | Table 2  | [`table2`] |
+//! | Fig 2    | [`fig2`] (arbordb import curves) |
+//! | Fig 3    | [`fig3`] (bitgraph load curves + follows marker) |
+//! | Fig 4a–h | [`fig4`] (Q3.1 / Q4.1 / Q5.2 / Q6.1 per engine) |
+//! | §4 items | [`ablations`] (D1–D6 in DESIGN.md) |
+//! | §5 FW1   | [`update_throughput`] (the future-work update workload) |
+
+use arbor_ql::EngineOptions;
+use arbor_ql::plan::PlannerOptions;
+use micrograph_common::rng::SplitMix64;
+use micrograph_common::stats::ProgressCurve;
+use micrograph_core::adapters::RecommendationPhrasing;
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ingest::ingest_bit;
+use micrograph_core::runner::{measure, measure_cold, MeasureConfig};
+use micrograph_core::workload::render_table2;
+use micrograph_core::{ArborEngine, Value};
+
+use crate::fixture::Fixture;
+use crate::report::{compare_line, Series};
+
+/// Lighter measurement protocol for figure sweeps (many subjects).
+pub fn figure_protocol() -> MeasureConfig {
+    MeasureConfig { min_warmup: 2, max_warmup: 6, stable_spread: 0.35, runs: 5 }
+}
+
+/// Regenerates Table 1 alongside the paper's reference counts.
+pub fn table1(f: &Fixture) -> String {
+    let s = f.dataset.stats();
+    let mut out = String::new();
+    out.push_str("Table 1: Characteristics of the data set (synthetic, paper-shape ratios)\n\n");
+    out.push_str(&s.render_table());
+    out.push('\n');
+    out.push_str("Paper reference (Li et al. crawl):\n");
+    out.push_str("  user 24,789,792   follows  284,000,284\n");
+    out.push_str("  tweet 24,000,023  posts     24,000,023\n");
+    out.push_str("  hashtag 616,109   mentions  11,100,547\n");
+    out.push_str("                    tags       7,137,992\n");
+    out.push_str(&format!(
+        "\nShape checks: follows fraction {:.2} (paper 0.87), mentions/tweet {:.2} (paper 0.46), tags/tweet {:.2} (paper 0.30)\n",
+        s.follows_fraction(),
+        s.mentions as f64 / s.tweets.max(1) as f64,
+        s.tags as f64 / s.tweets.max(1) as f64,
+    ));
+    out
+}
+
+/// Regenerates Table 2 (the query workload).
+pub fn table2() -> String {
+    format!("Table 2: Query workload\n\n{}", render_table2())
+}
+
+fn curve_series(title: &str, curve: &ProgressCurve) -> Series {
+    let mut s = Series::new(title, "records", "interval ms");
+    s.points = curve
+        .interval_times_ms()
+        .into_iter()
+        .map(|(r, t)| (r as f64, t))
+        .collect();
+    s.markers = curve.markers.iter().map(|(l, at)| (l.clone(), *at as f64)).collect();
+    s
+}
+
+/// Figure 2: arbordb import times for nodes (a) and edges (b).
+pub fn fig2(f: &Fixture) -> Vec<Series> {
+    let a = curve_series("Fig 2(a) arbordb node import", &f.reports.arbor.node_curve);
+    let b = curve_series("Fig 2(b) arbordb edge import", &f.reports.arbor.edge_curve);
+    vec![a, b]
+}
+
+/// Figure 3: bitgraph load times for nodes (a) and edges (b), with the
+/// end-of-follows marker (the paper's vertical line).
+pub fn fig3(f: &Fixture) -> Vec<Series> {
+    let a = curve_series("Fig 3(a) bitgraph node load", &f.reports.bit.node_curve);
+    let b = curve_series("Fig 3(b) bitgraph edge load", &f.reports.bit.edge_curve);
+    vec![a, b]
+}
+
+/// A Figure 4 panel id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// (a) Q3.1 on arbordb.
+    A,
+    /// (b) Q3.1 on bitgraph.
+    B,
+    /// (c) Q4.1 on arbordb.
+    C,
+    /// (d) Q4.1 on bitgraph.
+    D,
+    /// (e) Q5.2 on arbordb.
+    E,
+    /// (f) Q5.2 on bitgraph.
+    F,
+    /// (g) Q6.1 on arbordb.
+    G,
+    /// (h) Q6.1 on bitgraph.
+    H,
+}
+
+impl Panel {
+    /// All panels in paper order.
+    pub const ALL: [Panel; 8] =
+        [Panel::A, Panel::B, Panel::C, Panel::D, Panel::E, Panel::F, Panel::G, Panel::H];
+
+    /// Parses "a".."h".
+    pub fn parse(s: &str) -> Option<Panel> {
+        match s.to_ascii_lowercase().as_str() {
+            "a" => Some(Panel::A),
+            "b" => Some(Panel::B),
+            "c" => Some(Panel::C),
+            "d" => Some(Panel::D),
+            "e" => Some(Panel::E),
+            "f" => Some(Panel::F),
+            "g" => Some(Panel::G),
+            "h" => Some(Panel::H),
+            _ => None,
+        }
+    }
+}
+
+/// How many subjects each figure panel sweeps.
+const SUBJECTS: usize = 20;
+/// "No limit": the paper's Figure 4(a–d) x-axis is total rows returned.
+const UNLIMITED: usize = usize::MAX / 2;
+
+fn engine_of(f: &Fixture, arbor: bool) -> &dyn MicroblogEngine {
+    if arbor {
+        &f.arbor
+    } else {
+        &f.bit
+    }
+}
+
+/// Regenerates one Figure 4 panel.
+pub fn fig4(f: &Fixture, panel: Panel) -> Series {
+    match panel {
+        Panel::A => fig4_q31(f, true),
+        Panel::B => fig4_q31(f, false),
+        Panel::C => fig4_q41(f, true),
+        Panel::D => fig4_q41(f, false),
+        Panel::E => fig4_q52(f, true),
+        Panel::F => fig4_q52(f, false),
+        Panel::G => fig4_q61(f, true),
+        Panel::H => fig4_q61(f, false),
+    }
+}
+
+/// Q3.1 latency against rows returned (panels a/b).
+fn fig4_q31(f: &Fixture, arbor: bool) -> Series {
+    let engine = engine_of(f, arbor);
+    let name = if arbor { "arbordb" } else { "bitgraph" };
+    let subjects = Fixture::log_spread(&f.users_by_mention_degree(), SUBJECTS);
+    let mut s = Series::new(
+        format!("Fig 4({}) Q3.1 co-occurrence — {name}", if arbor { 'a' } else { 'b' }),
+        "rows returned",
+        "average time (ms)",
+    );
+    for (uid, _) in subjects {
+        let rows = engine.co_mentioned_users(uid, UNLIMITED).expect("q3.1").len() as f64;
+        let m = measure(&figure_protocol(), || {
+            engine.co_mentioned_users(uid, UNLIMITED).map(|_| ())
+        })
+        .expect("measure");
+        s.points.push((rows, m.avg_ms));
+    }
+    s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    s
+}
+
+/// Q4.1 latency against rows returned (panels c/d).
+fn fig4_q41(f: &Fixture, arbor: bool) -> Series {
+    let engine = engine_of(f, arbor);
+    let name = if arbor { "arbordb" } else { "bitgraph" };
+    let subjects = Fixture::log_spread(&f.users_by_out_degree(), SUBJECTS);
+    let mut s = Series::new(
+        format!("Fig 4({}) Q4.1 recommendation — {name}", if arbor { 'c' } else { 'd' }),
+        "rows returned",
+        "average time (ms)",
+    );
+    for (uid, _) in subjects {
+        let rows = engine.recommend_followees(uid, UNLIMITED).expect("q4.1").len() as f64;
+        let m = measure(&figure_protocol(), || {
+            engine.recommend_followees(uid, UNLIMITED).map(|_| ())
+        })
+        .expect("measure");
+        s.points.push((rows, m.avg_ms));
+    }
+    s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    s
+}
+
+/// Q5.2 latency against mention degree (panels e/f).
+fn fig4_q52(f: &Fixture, arbor: bool) -> Series {
+    let engine = engine_of(f, arbor);
+    let name = if arbor { "arbordb" } else { "bitgraph" };
+    let subjects = Fixture::log_spread(&f.users_by_mention_degree(), SUBJECTS);
+    let mut s = Series::new(
+        format!("Fig 4({}) Q5.2 potential influence — {name}", if arbor { 'e' } else { 'f' }),
+        "degree (mentions of user)",
+        "average time (ms)",
+    );
+    for (uid, degree) in subjects {
+        let m = measure(&figure_protocol(), || {
+            engine.potential_influence(uid, UNLIMITED).map(|_| ())
+        })
+        .expect("measure");
+        s.points.push((degree as f64, m.avg_ms));
+    }
+    s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    s
+}
+
+/// Q6.1 latency against path length (panels g/h): random user pairs
+/// bucketed by the length of the path found.
+fn fig4_q61(f: &Fixture, arbor: bool) -> Series {
+    let engine = engine_of(f, arbor);
+    let name = if arbor { "arbordb" } else { "bitgraph" };
+    let users = f.dataset.users.len() as u64;
+    let mut rng = SplitMix64::new(0x6_1);
+    let max_hops = 4u32;
+    // Collect pairs per observed path length until each bucket has a few.
+    let mut buckets: std::collections::BTreeMap<u32, Vec<(i64, i64)>> = Default::default();
+    let mut attempts = 0;
+    while attempts < 4000 && buckets.values().map(|v| v.len()).sum::<usize>() < 40 {
+        attempts += 1;
+        let a = rng.next_range(1, users + 1) as i64;
+        let b = rng.next_range(1, users + 1) as i64;
+        if a == b {
+            continue;
+        }
+        if let Some(len) = engine.shortest_path_len(a, b, max_hops).expect("q6.1") {
+            let bucket = buckets.entry(len).or_default();
+            if bucket.len() < 8 {
+                bucket.push((a, b));
+            }
+        }
+    }
+    let mut s = Series::new(
+        format!("Fig 4({}) Q6.1 shortest path — {name}", if arbor { 'g' } else { 'h' }),
+        "path length",
+        "average time (ms)",
+    );
+    for (len, pairs) in buckets {
+        let mut total = 0.0;
+        for &(a, b) in &pairs {
+            let m = measure(&figure_protocol(), || {
+                engine.shortest_path_len(a, b, max_hops).map(|_| ())
+            })
+            .expect("measure");
+            total += m.avg_ms;
+        }
+        s.points.push((len as f64, total / pairs.len() as f64));
+    }
+    s
+}
+
+/// The §4 ablations (DESIGN.md D1–D5) as a text report.
+pub fn ablations(f: &Fixture) -> String {
+    let mut out = String::new();
+    out.push_str("== Ablations (Section 4 discussion items) ==\n\n");
+    out.push_str(&d1_plan_cache(f));
+    out.push_str(&d2_phrasings(f));
+    out.push_str(&d3_topn_pushdown(f));
+    out.push_str(&d4_cold_cache(f));
+    out.push_str(&d5_materialization(f));
+    out.push_str(&d6_traversal_vs_navigation(f));
+    out
+}
+
+/// D6 — §4: bitgraph raw navigation vs traversal contexts ("raw navigation
+/// operations are slightly more efficient ... perhaps due to the overhead
+/// involved with the traversals").
+pub fn d6_traversal_vs_navigation(f: &Fixture) -> String {
+    let subjects = Fixture::log_spread(&f.users_by_out_degree(), 8);
+    let mut nav_total = 0.0;
+    let mut trav_total = 0.0;
+    for &(uid, _) in &subjects {
+        let nav = measure(&figure_protocol(), || f.bit.two_step_reach_nav(uid).map(|_| ()))
+            .expect("measure");
+        let trav = measure(&figure_protocol(), || {
+            f.bit.two_step_reach_traversal(uid).map(|_| ())
+        })
+        .expect("measure");
+        nav_total += nav.avg_ms;
+        trav_total += trav.avg_ms;
+    }
+    let n = subjects.len() as f64;
+    format!(
+        "D6 bitgraph 2-step reach: raw navigation {:.3} ms vs traversal context {:.3} ms ({:.2}x)\n",
+        nav_total / n,
+        trav_total / n,
+        (trav_total / n) / (nav_total / n).max(1e-9)
+    )
+}
+
+/// D1 — plan-cache speedup with parameters.
+pub fn d1_plan_cache(f: &Fixture) -> String {
+    // Low-degree subjects keep execution cheap, so compilation cost is the
+    // variable under test.
+    let ranked = f.users_by_out_degree();
+    let subjects: Vec<(i64, u64)> = ranked.iter().rev().take(10).copied().collect();
+    let q = "MATCH (a:user {uid: $uid})-[:follows]->(x)-[:posts]->(t:tweet) RETURN t.tid";
+    let ql = f.arbor.ql();
+    ql.clear_cache();
+    let run = |literal: bool| -> f64 {
+        let mut total = 0.0;
+        for _ in 0..20 {
+            for &(uid, _) in &subjects {
+                let t = micrograph_common::stats::Timer::start();
+                if literal {
+                    // A fresh literal text never repeats in a real workload:
+                    // every execution pays parse + plan.
+                    ql.clear_cache();
+                    let text = q.replace("$uid", &uid.to_string());
+                    ql.query(&text, &[]).expect("query");
+                } else {
+                    ql.query(q, &[("uid", Value::Int(uid))]).expect("query");
+                }
+                total += t.elapsed_ms();
+            }
+        }
+        total / (20.0 * subjects.len() as f64)
+    };
+    let parameterized = run(false);
+    let literal = run(true);
+    format!(
+        "D1 plan cache (Q2.2): parameterized {parameterized:.3} ms/query vs literal {literal:.3} ms/query ({:.2}x)\n",
+        literal / parameterized.max(1e-9)
+    )
+}
+
+/// D2 — the three recommendation phrasings.
+pub fn d2_phrasings(f: &Fixture) -> String {
+    let (uid, _) = f.users_by_out_degree()[0];
+    let mut out = String::new();
+    for (label, phrasing) in [
+        ("(a) [:follows*2..2]", RecommendationPhrasing::VarLength),
+        ("(b) explicit 2-step", RecommendationPhrasing::Canonical),
+        ("(c) undirected *2..2", RecommendationPhrasing::Undirected),
+    ] {
+        let m = measure(&figure_protocol(), || {
+            f.arbor.recommend_phrasing(phrasing, uid, 10).map(|_| ())
+        })
+        .expect("measure");
+        out.push_str(&format!(
+            "D2 phrasing {label:<22} {:.3} ms (uid {uid})\n",
+            m.avg_ms
+        ));
+    }
+    out
+}
+
+/// D3 — TopN pushdown on/off, plus the navigation engine's forced full
+/// retrieval.
+pub fn d3_topn_pushdown(f: &Fixture) -> String {
+    // Head users: the ordering/limiting overhead only matters when the
+    // aggregated candidate set is large.
+    let subjects: Vec<(i64, u64)> =
+        f.users_by_out_degree().into_iter().take(3).collect();
+    let with = ArborEngine::with_options(f.arbor.db_arc(), EngineOptions::standard());
+    let without = ArborEngine::with_options(
+        f.arbor.db_arc(),
+        EngineOptions {
+            planner: PlannerOptions { topn_pushdown: false, predicate_pushdown: true },
+            plan_cache: true,
+        },
+    );
+    let time = |e: &ArborEngine| -> f64 {
+        let mut total = 0.0;
+        for &(uid, _) in &subjects {
+            let m = measure(&figure_protocol(), || e.recommend_followees(uid, 10).map(|_| ()))
+                .expect("measure");
+            total += m.avg_ms;
+        }
+        total / subjects.len() as f64
+    };
+    let bit_time = {
+        let mut total = 0.0;
+        for &(uid, _) in &subjects {
+            let m = measure(&figure_protocol(), || f.bit.recommend_followees(uid, 10).map(|_| ()))
+                .expect("measure");
+            total += m.avg_ms;
+        }
+        total / subjects.len() as f64
+    };
+    format!(
+        "D3 top-n (Q4.1, n=10): TopN pushdown {:.3} ms vs Sort+Limit {:.3} ms; bitgraph full-retrieve+sort {:.3} ms\n",
+        time(&with),
+        time(&without),
+        bit_time
+    )
+}
+
+/// D4 — cold vs warm cache against source degree.
+pub fn d4_cold_cache(f: &Fixture) -> String {
+    let ranked = f.users_by_out_degree();
+    let lo = ranked[ranked.len() - 1];
+    let hi = ranked[0];
+    let mut out = String::new();
+    for (label, (uid, deg)) in [("low-degree", lo), ("high-degree", hi)] {
+        let warm = measure(&figure_protocol(), || f.arbor.followee_tweets(uid).map(|_| ()))
+            .expect("measure");
+        let cold = measure_cold(&f.arbor, 3, || f.arbor.followee_tweets(uid).map(|_| ()))
+            .expect("measure");
+        out.push_str(&format!(
+            "D4 cold cache (Q2.2, {label}, out-degree {deg}): cold {:.3} ms vs warm {:.3} ms ({:.1}x)\n",
+            cold.avg_ms,
+            warm.avg_ms,
+            cold.avg_ms / warm.avg_ms.max(1e-9)
+        ));
+    }
+    out
+}
+
+/// D5 — neighbor-materialization import blow-up at two scales.
+pub fn d5_materialization(f: &Fixture) -> String {
+    use bitgraph::loader::{LoadConfig, LoadOptions};
+    let base = LoadConfig::default();
+    let mut out = String::new();
+    let (_g1, off) = ingest_bit(
+        &f.files,
+        Some(&f.dir.join("d5-off.gdb")),
+        base.clone(),
+        &LoadOptions::default(),
+    )
+    .expect("load");
+    let (_g2, on) = ingest_bit(
+        &f.files,
+        Some(&f.dir.join("d5-on.gdb")),
+        LoadConfig { materialize: true, ..base },
+        &LoadOptions::default(),
+    )
+    .expect("load");
+    out.push_str(&format!(
+        "D5 materialization: off {:.0} ms / {} bytes; on {:.0} ms / {} bytes ({:.1}x bytes)\n",
+        off.total_ms,
+        off.disk_bytes,
+        on.total_ms,
+        on.disk_bytes,
+        on.disk_bytes as f64 / off.disk_bytes.max(1) as f64
+    ));
+    out
+}
+
+/// FW1 — the §5 future-work update workload: event-application throughput
+/// on both engines over a fresh copy of the fixture's dataset.
+pub fn update_throughput(f: &Fixture) -> String {
+    use micrograph_core::ingest::{build_engines, ingest_arbor};
+    use micrograph_datagen::{StreamGen, StreamMix};
+
+    const EVENTS: usize = 2_000;
+    let config = crate::fixture::Scale::Small.config();
+    // Events continue the fixture's dataset; engines are rebuilt so the
+    // fixture itself stays immutable for other experiments.
+    let mut events_gen = StreamGen::new(&f.dataset, &config, 7, StreamMix::default());
+    let events = events_gen.events(EVENTS);
+
+    let (db, _) = ingest_arbor(
+        &f.files,
+        Some(&f.dir.join("fw1-arbordb")),
+        arbordb::db::DbConfig::default(),
+        &arbordb::import::ImportOptions::default(),
+    )
+    .expect("ingest");
+    let arbor = ArborEngine::new(db);
+    let t = micrograph_common::stats::Timer::start();
+    for e in &events {
+        arbor.apply_event(e).expect("apply");
+    }
+    let arbor_ms = t.elapsed_ms();
+
+    let (_a2, mut bit, _) = build_engines(&f.files).expect("ingest");
+    let t = micrograph_common::stats::Timer::start();
+    for e in &events {
+        bit.apply_event(e).expect("apply");
+    }
+    let bit_ms = t.elapsed_ms();
+
+    format!(
+        "FW1 update workload ({EVENTS} events): arbordb {:.0} ev/s (WAL commit per event, disk) vs bitgraph {:.0} ev/s (in-memory + extent log)
+",
+        EVENTS as f64 / arbor_ms * 1000.0,
+        EVENTS as f64 / bit_ms * 1000.0,
+    )
+}
+
+/// Import/size summary (the §3.2 headline numbers).
+pub fn import_summary(f: &Fixture) -> String {
+    let mut out = String::new();
+    out.push_str("== Import summary (paper: Neo4j 45 min / 2.8 GB; Sparksee 72 min / 15.1 GB) ==\n");
+    out.push_str(&compare_line(
+        "bulk import wall time",
+        f.reports.arbor.total_ms,
+        f.reports.bit.total_ms,
+        "ms",
+    ));
+    out.push_str(&compare_line(
+        "disk bytes",
+        f.reports.arbor.disk_bytes as f64,
+        f.reports.bit.disk_bytes as f64,
+        "B",
+    ));
+    out.push_str(&format!(
+        "edge-curve jitter (flush jumps): arbordb {:.2} vs bitgraph {:.2} (higher = spikier)\n",
+        f.reports.arbor.edge_curve.jitter(),
+        f.reports.bit.edge_curve.jitter(),
+    ));
+    out.push_str(&format!(
+        "arbordb intermediate (dense nodes) {:.0} ms, index build {:.0} ms; bitgraph flush stalls {}\n",
+        f.reports.arbor.intermediate_ms, f.reports.arbor.index_build_ms, f.reports.bit.flush_stalls,
+    ));
+    out
+}

@@ -1,0 +1,11 @@
+//! Benchmark harness shared by the criterion benches and the `experiments`
+//! binary that regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod fixture;
+pub mod report;
+
+pub use fixture::{fixture, Fixture, Scale};

@@ -1,0 +1,300 @@
+//! Result rendering: aligned text series (the figure "plots") and CSV
+//! emission under `results/`.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One series of (x, y) points with axis labels — a figure panel.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Panel title, e.g. "Fig 4(a) Q3.1 arbordb".
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The points, x ascending.
+    pub points: Vec<(f64, f64)>,
+    /// Optional labelled vertical markers (Figure 3(b)'s "end of follows").
+    pub markers: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(title: impl Into<String>, x_label: &str, y_label: &str) -> Series {
+        Series {
+            title: title.into(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            points: Vec::new(),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Renders the series as an aligned text table plus a coarse ASCII
+    /// sparkline of y over x.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:>14}  {:>14}\n", self.x_label, self.y_label));
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{x:>14.2}  {y:>14.3}\n"));
+        }
+        for (label, at) in &self.markers {
+            out.push_str(&format!("  marker: {label} @ {at:.0}\n"));
+        }
+        if self.points.len() >= 2 {
+            out.push_str(&format!("  shape: {}\n", self.sparkline(40)));
+        }
+        out
+    }
+
+    /// A one-line sparkline of the y values.
+    pub fn sparkline(&self, width: usize) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.points.is_empty() {
+            return String::new();
+        }
+        let ys: Vec<f64> = self.points.iter().map(|&(_, y)| y).collect();
+        let (lo, hi) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| {
+            (l.min(y), h.max(y))
+        });
+        let span = (hi - lo).max(1e-12);
+        // Resample to `width` buckets.
+        let n = ys.len();
+        (0..width.min(n).max(1))
+            .map(|i| {
+                let idx = i * (n - 1) / width.min(n).max(1).max(1);
+                let t = (ys[idx.min(n - 1)] - lo) / span;
+                LEVELS[((t * 7.0).round() as usize).min(7)]
+            })
+            .collect()
+    }
+
+    /// Writes the series as a standalone SVG line chart.
+    pub fn write_svg(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.svg"));
+        std::fs::write(&path, self.to_svg(720, 420))?;
+        Ok(path)
+    }
+
+    /// Renders the series as an SVG document (no external dependencies).
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        let (w, h) = (width as f64, height as f64);
+        let (ml, mr, mt, mb) = (70.0, 20.0, 40.0, 55.0); // margins
+        let plot_w = w - ml - mr;
+        let plot_h = h - mt - mb;
+        let (x_lo, x_hi) = bounds(self.points.iter().map(|&(x, _)| x));
+        let (y_lo, y_hi) = bounds(self.points.iter().map(|&(_, y)| y));
+        let y_lo = y_lo.min(0.0);
+        let sx = |x: f64| ml + (x - x_lo) / (x_hi - x_lo).max(1e-12) * plot_w;
+        let sy = |y: f64| mt + plot_h - (y - y_lo) / (y_hi - y_lo).max(1e-12) * plot_h;
+
+        let mut s = String::new();
+        s.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+             viewBox=\"0 0 {width} {height}\" font-family=\"sans-serif\" font-size=\"12\">\n"
+        ));
+        s.push_str(&format!(
+            "<rect width=\"{width}\" height=\"{height}\" fill=\"white\"/>\n<text x=\"{}\" y=\"22\" \
+             text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+            w / 2.0,
+            xml_escape(&self.title)
+        ));
+        // Axes.
+        s.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"black\"/>\n\
+             <line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{0}\" stroke=\"black\"/>\n",
+            mt + plot_h,
+            ml + plot_w
+        ));
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let t = i as f64 / 4.0;
+            let xv = x_lo + t * (x_hi - x_lo);
+            let yv = y_lo + t * (y_hi - y_lo);
+            s.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+                sx(xv),
+                mt + plot_h + 18.0,
+                fmt_tick(xv)
+            ));
+            s.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+                ml - 6.0,
+                sy(yv) + 4.0,
+                fmt_tick(yv)
+            ));
+            s.push_str(&format!(
+                "<line x1=\"{ml}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\" stroke=\"#ddd\"/>\n",
+                sy(yv),
+                ml + plot_w
+            ));
+        }
+        // Axis labels.
+        s.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            ml + plot_w / 2.0,
+            h - 12.0,
+            xml_escape(&self.x_label)
+        ));
+        s.push_str(&format!(
+            "<text x=\"16\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {:.1})\">{}</text>\n",
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        ));
+        // Markers (vertical dashed lines).
+        for (label, at) in &self.markers {
+            if *at >= x_lo && *at <= x_hi {
+                s.push_str(&format!(
+                    "<line x1=\"{0:.1}\" y1=\"{mt}\" x2=\"{0:.1}\" y2=\"{1:.1}\" stroke=\"#c33\" \
+                     stroke-dasharray=\"4 3\"/>\n<text x=\"{0:.1}\" y=\"{2:.1}\" fill=\"#c33\" \
+                     text-anchor=\"middle\" font-size=\"10\">{3}</text>\n",
+                    sx(*at),
+                    mt + plot_h,
+                    mt - 4.0,
+                    xml_escape(label)
+                ));
+            }
+        }
+        // The data polyline + points.
+        if !self.points.is_empty() {
+            let pts: Vec<String> =
+                self.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            s.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"#1f77b4\" stroke-width=\"1.5\"/>\n",
+                pts.join(" ")
+            ));
+            for &(x, y) in &self.points {
+                s.push_str(&format!(
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"#1f77b4\"/>\n",
+                    sx(x),
+                    sy(y)
+                ));
+            }
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+
+    /// Writes the series as CSV (`x,y` with a header).
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{},{}", sanitize(&self.x_label), sanitize(&self.y_label))?;
+        for &(x, y) in &self.points {
+            writeln!(f, "{x},{y}")?;
+        }
+        Ok(path)
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace([',', '\n'], " ")
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let (lo, hi) = values.fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), v| {
+        (l.min(v), h.max(v))
+    });
+    if lo.is_finite() && hi.is_finite() {
+        if (hi - lo).abs() < 1e-12 {
+            (lo - 1.0, hi + 1.0)
+        } else {
+            (lo, hi)
+        }
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 100_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.abs() >= 100.0 || v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders a two-engine comparison line for summaries.
+pub fn compare_line(metric: &str, arbor: f64, bit: f64, unit: &str) -> String {
+    let ratio = if arbor > 0.0 { bit / arbor } else { f64::NAN };
+    format!("{metric:<44} arbordb {arbor:>12.2} {unit:<4} bitgraph {bit:>12.2} {unit:<4} (ratio {ratio:.2}x)\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_points_and_markers() {
+        let mut s = Series::new("Fig X", "rows", "ms");
+        s.points = vec![(1.0, 10.0), (2.0, 20.0)];
+        s.markers.push(("end of follows".into(), 1.5));
+        let r = s.render();
+        assert!(r.contains("Fig X"));
+        assert!(r.contains("rows"));
+        assert!(r.contains("10.000"));
+        assert!(r.contains("end of follows"));
+        assert!(r.contains("shape:"));
+    }
+
+    #[test]
+    fn sparkline_monotone() {
+        let mut s = Series::new("t", "x", "y");
+        s.points = (0..20).map(|i| (i as f64, i as f64)).collect();
+        let sp = s.sparkline(10);
+        assert!(!sp.is_empty());
+        let first = sp.chars().next().unwrap();
+        let last = sp.chars().last().unwrap();
+        assert!(first as u32 <= last as u32, "{sp}");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("series-csv-{}", std::process::id()));
+        let mut s = Series::new("t", "x,axis", "y");
+        s.points = vec![(1.0, 2.0)];
+        let p = s.write_csv(&dir, "test_series").unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("x axis,y"));
+        assert!(content.contains("1,2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn svg_renders_points_and_markers() {
+        let mut s = Series::new("Fig <T> & co", "records", "ms");
+        s.points = vec![(0.0, 1.0), (10.0, 5.0), (20.0, 3.0)];
+        s.markers.push(("end of follows".into(), 10.0));
+        let svg = s.to_svg(720, 420);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("stroke-dasharray"), "marker line missing");
+        assert!(svg.contains("Fig &lt;T&gt; &amp; co"), "title must be escaped");
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn svg_empty_series_is_valid() {
+        let s = Series::new("empty", "x", "y");
+        let svg = s.to_svg(300, 200);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+        assert!(!svg.contains("polyline"));
+    }
+
+    #[test]
+    fn compare_line_formats() {
+        let l = compare_line("import wall time", 100.0, 250.0, "ms");
+        assert!(l.contains("2.50x"));
+    }
+}

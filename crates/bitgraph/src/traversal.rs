@@ -1,0 +1,232 @@
+//! Native traversals: BFS/DFS contexts and `SinglePairShortestPathBFS`.
+//!
+//! The paper used "the native function SinglePairShortestPathBFS ... where
+//! maximum length of the shortest path was set to 3 hops" for Q6.1. The
+//! engine's primitive is a plain **unidirectional** BFS with a hop bound —
+//! by design the less sophisticated of the two engines' path primitives
+//! (Figure 4(g)/(h): "Neo4j seems to perform shortest path queries more
+//! efficiently").
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::{EdgesDirection, Graph, Oid};
+use crate::objects::Objects;
+use crate::Result;
+
+/// Breadth-first traversal from a start node over one edge type, up to a
+/// depth bound. Yields `(node, depth)` in BFS order (start at depth 0).
+pub struct TraversalBfs<'g> {
+    graph: &'g Graph,
+    etype: u32,
+    dir: EdgesDirection,
+    max_depth: u32,
+    queue: VecDeque<(Oid, u32)>,
+    seen: Objects,
+}
+
+impl<'g> TraversalBfs<'g> {
+    /// Creates a BFS traversal context.
+    pub fn new(graph: &'g Graph, start: Oid, etype: u32, dir: EdgesDirection, max_depth: u32) -> Self {
+        let mut seen = Objects::new();
+        seen.add(start);
+        TraversalBfs {
+            graph,
+            etype,
+            dir,
+            max_depth,
+            queue: VecDeque::from([(start, 0)]),
+            seen,
+        }
+    }
+}
+
+impl Iterator for TraversalBfs<'_> {
+    type Item = Result<(Oid, u32)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (node, depth) = self.queue.pop_front()?;
+        if depth < self.max_depth {
+            match self.graph.neighbors(node, self.etype, self.dir) {
+                Ok(nb) => {
+                    for n in nb.iter() {
+                        if self.seen.add(n) {
+                            self.queue.push_back((n, depth + 1));
+                        }
+                    }
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok((node, depth)))
+    }
+}
+
+/// Depth-first traversal (pre-order), same parameters as [`TraversalBfs`].
+pub struct TraversalDfs<'g> {
+    graph: &'g Graph,
+    etype: u32,
+    dir: EdgesDirection,
+    max_depth: u32,
+    stack: Vec<(Oid, u32)>,
+    seen: Objects,
+}
+
+impl<'g> TraversalDfs<'g> {
+    /// Creates a DFS traversal context.
+    pub fn new(graph: &'g Graph, start: Oid, etype: u32, dir: EdgesDirection, max_depth: u32) -> Self {
+        let mut seen = Objects::new();
+        seen.add(start);
+        TraversalDfs { graph, etype, dir, max_depth, stack: vec![(start, 0)], seen }
+    }
+}
+
+impl Iterator for TraversalDfs<'_> {
+    type Item = Result<(Oid, u32)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (node, depth) = self.stack.pop()?;
+        if depth < self.max_depth {
+            match self.graph.neighbors(node, self.etype, self.dir) {
+                Ok(nb) => {
+                    for n in nb.iter() {
+                        if self.seen.add(n) {
+                            self.stack.push((n, depth + 1));
+                        }
+                    }
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok((node, depth)))
+    }
+}
+
+/// Single-pair shortest path by unidirectional BFS, bounded by `max_hops`.
+/// Returns the node sequence `from..=to` or `None`.
+pub fn single_pair_shortest_path_bfs(
+    graph: &Graph,
+    from: Oid,
+    to: Oid,
+    etype: u32,
+    dir: EdgesDirection,
+    max_hops: u32,
+) -> Result<Option<Vec<Oid>>> {
+    if from == to {
+        return Ok(Some(vec![from]));
+    }
+    let mut parent: HashMap<Oid, Oid> = HashMap::new();
+    parent.insert(from, from);
+    let mut frontier = vec![from];
+    for _ in 0..max_hops {
+        let mut next = Vec::new();
+        for &n in &frontier {
+            for nb in graph.neighbors(n, etype, dir)?.iter() {
+                if parent.contains_key(&nb) {
+                    continue;
+                }
+                parent.insert(nb, n);
+                if nb == to {
+                    let mut path = vec![to];
+                    let mut at = to;
+                    while at != from {
+                        at = parent[&at];
+                        path.push(at);
+                    }
+                    path.reverse();
+                    return Ok(Some(path));
+                }
+                next.push(nb);
+            }
+        }
+        if next.is_empty() {
+            return Ok(None);
+        }
+        frontier = next;
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphConfig;
+
+    /// 0 -> 1 -> 2 -> 3 -> 4, plus 0 -> 2 and 4 -> 0.
+    fn chain() -> (Graph, Vec<Oid>, u32) {
+        let mut g = Graph::new(GraphConfig::default());
+        let user = g.new_node_type("user").unwrap();
+        let follows = g.new_edge_type("follows").unwrap();
+        let n: Vec<Oid> = (0..5).map(|_| g.add_node(user).unwrap()).collect();
+        for w in n.windows(2) {
+            g.add_edge(follows, w[0], w[1]).unwrap();
+        }
+        g.add_edge(follows, n[0], n[2]).unwrap();
+        g.add_edge(follows, n[4], n[0]).unwrap();
+        (g, n, follows)
+    }
+
+    #[test]
+    fn bfs_depth_order() {
+        let (g, n, f) = chain();
+        let visits: Vec<(Oid, u32)> = TraversalBfs::new(&g, n[0], f, EdgesDirection::Outgoing, 2)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(visits[0], (n[0], 0));
+        let depth1: Vec<Oid> =
+            visits.iter().filter(|v| v.1 == 1).map(|v| v.0).collect();
+        assert_eq!(depth1.len(), 2);
+        assert!(depth1.contains(&n[1]) && depth1.contains(&n[2]));
+        let depth2: Vec<Oid> =
+            visits.iter().filter(|v| v.1 == 2).map(|v| v.0).collect();
+        assert_eq!(depth2, vec![n[3]], "n2 already seen at depth 1");
+    }
+
+    #[test]
+    fn dfs_visits_same_set_as_bfs() {
+        let (g, n, f) = chain();
+        let mut bfs: Vec<Oid> = TraversalBfs::new(&g, n[0], f, EdgesDirection::Outgoing, 4)
+            .map(|r| r.unwrap().0)
+            .collect();
+        let mut dfs: Vec<Oid> = TraversalDfs::new(&g, n[0], f, EdgesDirection::Outgoing, 4)
+            .map(|r| r.unwrap().0)
+            .collect();
+        bfs.sort_unstable();
+        dfs.sort_unstable();
+        assert_eq!(bfs, dfs);
+    }
+
+    #[test]
+    fn shortest_path_takes_shortcut() {
+        let (g, n, f) = chain();
+        let p = single_pair_shortest_path_bfs(&g, n[0], n[3], f, EdgesDirection::Outgoing, 5)
+            .unwrap()
+            .unwrap();
+        assert_eq!(p, vec![n[0], n[2], n[3]]);
+    }
+
+    #[test]
+    fn shortest_path_hop_bound() {
+        let (g, n, f) = chain();
+        assert!(single_pair_shortest_path_bfs(&g, n[0], n[4], f, EdgesDirection::Outgoing, 2)
+            .unwrap()
+            .is_none());
+        assert!(single_pair_shortest_path_bfs(&g, n[0], n[4], f, EdgesDirection::Outgoing, 3)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn shortest_path_identity_and_unreachable() {
+        let (mut g, n, f) = chain();
+        assert_eq!(
+            single_pair_shortest_path_bfs(&g, n[1], n[1], f, EdgesDirection::Outgoing, 3)
+                .unwrap(),
+            Some(vec![n[1]])
+        );
+        let user = g.find_type("user").unwrap();
+        let lonely = g.add_node(user).unwrap();
+        assert!(single_pair_shortest_path_bfs(&g, n[0], lonely, f, EdgesDirection::Any, 10)
+            .unwrap()
+            .is_none());
+    }
+}

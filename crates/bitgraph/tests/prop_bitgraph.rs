@@ -1,0 +1,140 @@
+//! Property-based tests: the compressed bitmap against a `BTreeSet` model,
+//! and graph navigation against an adjacency-list model.
+
+use std::collections::BTreeSet;
+
+use bitgraph::graph::{DataType, EdgesDirection, Graph, GraphConfig};
+use bitgraph::Bitmap;
+use micrograph_common::Value;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum BmOp {
+    Insert(u64),
+    Remove(u64),
+    Optimize,
+}
+
+fn bm_ops() -> impl Strategy<Value = Vec<BmOp>> {
+    // Values concentrated in two chunks plus outliers, so container
+    // conversions actually happen.
+    let value = prop_oneof![
+        0u64..200_000,
+        Just(u64::MAX - 1),
+        (0u64..100).prop_map(|x| x + (1 << 40)),
+    ];
+    prop::collection::vec(
+        prop_oneof![
+            8 => value.clone().prop_map(BmOp::Insert),
+            4 => value.prop_map(BmOp::Remove),
+            1 => Just(BmOp::Optimize),
+        ],
+        0..2000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bitmap == BTreeSet under arbitrary insert/remove interleavings.
+    #[test]
+    fn bitmap_matches_btreeset(ops in bm_ops()) {
+        let mut bm = Bitmap::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for op in ops {
+            match op {
+                BmOp::Insert(x) => {
+                    prop_assert_eq!(bm.insert(x), model.insert(x));
+                }
+                BmOp::Remove(x) => {
+                    prop_assert_eq!(bm.remove(x), model.remove(&x));
+                }
+                BmOp::Optimize => bm.optimize(),
+            }
+        }
+        prop_assert_eq!(bm.len(), model.len() as u64);
+        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Set algebra agrees with the model.
+    #[test]
+    fn bitmap_algebra_matches_model(
+        a in prop::collection::btree_set(0u64..100_000, 0..500),
+        b in prop::collection::btree_set(0u64..100_000, 0..500),
+    ) {
+        let mut ba = Bitmap::from_iter(a.iter().copied());
+        let bb = Bitmap::from_iter(b.iter().copied());
+        ba.optimize(); // one side run-encoded: ops must be representation-blind
+        prop_assert_eq!(
+            ba.and(&bb).iter().collect::<Vec<_>>(),
+            a.intersection(&b).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            ba.or(&bb).iter().collect::<Vec<_>>(),
+            a.union(&b).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            ba.and_not(&bb).iter().collect::<Vec<_>>(),
+            a.difference(&b).copied().collect::<Vec<_>>()
+        );
+    }
+
+    /// Graph navigation agrees with an adjacency-list model, including
+    /// neighbors-dedup vs explode-multiplicity semantics.
+    #[test]
+    fn navigation_matches_model(
+        nodes in 2usize..15,
+        edges in prop::collection::vec((0usize..15, 0usize..15), 0..80),
+    ) {
+        let mut g = Graph::new(GraphConfig::default());
+        let user = g.new_node_type("user").unwrap();
+        let uid = g.new_attribute(user, "uid", DataType::Integer, true).unwrap();
+        let follows = g.new_edge_type("follows").unwrap();
+        let oids: Vec<u64> = (0..nodes)
+            .map(|i| {
+                let o = g.add_node(user).unwrap();
+                g.set_attr(o, uid, Value::Int(i as i64)).unwrap();
+                o
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(s, d)| (s % nodes, d % nodes)).collect();
+        for &(s, d) in &edges {
+            g.add_edge(follows, oids[s], oids[d]).unwrap();
+        }
+        for n in 0..nodes {
+            // explode counts edge multiplicity; neighbors collapses.
+            let out_edges = edges.iter().filter(|&&(s, _)| s == n).count() as u64;
+            prop_assert_eq!(
+                g.explode(oids[n], follows, EdgesDirection::Outgoing).unwrap().count(),
+                out_edges
+            );
+            prop_assert_eq!(
+                g.degree(oids[n], follows, EdgesDirection::Outgoing).unwrap(),
+                out_edges
+            );
+            let out_set: BTreeSet<u64> = edges
+                .iter()
+                .filter(|&&(s, _)| s == n)
+                .map(|&(_, d)| oids[d])
+                .collect();
+            let got: BTreeSet<u64> =
+                g.neighbors(oids[n], follows, EdgesDirection::Outgoing).unwrap().iter().collect();
+            prop_assert_eq!(got, out_set);
+
+            let any_set: BTreeSet<u64> = edges
+                .iter()
+                .filter_map(|&(s, d)| {
+                    if s == n { Some(oids[d]) } else if d == n { Some(oids[s]) } else { None }
+                })
+                .collect();
+            let got_any: BTreeSet<u64> =
+                g.neighbors(oids[n], follows, EdgesDirection::Any).unwrap().iter().collect();
+            prop_assert_eq!(got_any, any_set);
+        }
+        // find_object resolves every uid.
+        for (i, &o) in oids.iter().enumerate() {
+            prop_assert_eq!(g.find_object(uid, &Value::Int(i as i64)).unwrap(), Some(o));
+        }
+    }
+}

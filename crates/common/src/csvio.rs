@@ -1,0 +1,259 @@
+//! Minimal CSV reading and writing.
+//!
+//! Both bulk loaders consume "the same source files containing the nodes and
+//! edges" (paper §3.2). Rows are comma-separated; fields containing commas,
+//! quotes or newlines are double-quoted with `""` escaping (RFC 4180 subset).
+//! This is deliberately small: no headers-as-maps, no serde, no async.
+
+use std::io::{self, BufRead, Write};
+
+use crate::error::CommonError;
+
+/// Writes rows of string fields as CSV.
+#[derive(Debug)]
+pub struct CsvWriter<W: Write> {
+    out: W,
+    rows: u64,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        CsvWriter { out, rows: 0 }
+    }
+
+    /// Writes one row.
+    pub fn write_row<S: AsRef<str>>(&mut self, fields: &[S]) -> io::Result<()> {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                self.out.write_all(b",")?;
+            }
+            first = false;
+            write_field(&mut self.out, f.as_ref())?;
+        }
+        self.out.write_all(b"\n")?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows written.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+fn write_field<W: Write>(out: &mut W, field: &str) -> io::Result<()> {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.write_all(b"\"")?;
+        let mut rest = field;
+        while let Some(idx) = rest.find('"') {
+            out.write_all(&rest.as_bytes()[..idx])?;
+            out.write_all(b"\"\"")?;
+            rest = &rest[idx + 1..];
+        }
+        out.write_all(rest.as_bytes())?;
+        out.write_all(b"\"")
+    } else {
+        out.write_all(field.as_bytes())
+    }
+}
+
+/// Reads CSV rows from a buffered reader.
+#[derive(Debug)]
+pub struct CsvReader<R: BufRead> {
+    input: R,
+    line_buf: String,
+    line_no: u64,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(input: R) -> Self {
+        CsvReader { input, line_buf: String::new(), line_no: 0 }
+    }
+
+    /// Reads the next row into `fields` (cleared first). Returns `Ok(false)`
+    /// at end of input. Quoted fields may span physical lines.
+    pub fn read_row(&mut self, fields: &mut Vec<String>) -> Result<bool, CommonError> {
+        fields.clear();
+        self.line_buf.clear();
+        let n = self.input.read_line(&mut self.line_buf)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.line_no += 1;
+        // Keep reading physical lines while inside an unterminated quote.
+        while !quotes_balanced(&self.line_buf) {
+            let more = self.input.read_line(&mut self.line_buf)?;
+            if more == 0 {
+                return Err(CommonError::Malformed(format!(
+                    "line {}: unterminated quoted field",
+                    self.line_no
+                )));
+            }
+            self.line_no += 1;
+        }
+        parse_line(self.line_buf.trim_end_matches(['\n', '\r']), fields, self.line_no)?;
+        Ok(true)
+    }
+
+    /// 1-based number of the last physical line consumed.
+    pub fn line_no(&self) -> u64 {
+        self.line_no
+    }
+}
+
+fn quotes_balanced(s: &str) -> bool {
+    s.bytes().filter(|&b| b == b'"').count() % 2 == 0
+}
+
+fn parse_line(line: &str, fields: &mut Vec<String>, line_no: u64) -> Result<(), CommonError> {
+    let bytes = line.as_bytes();
+    let mut field = String::new();
+    let mut i = 0usize;
+    loop {
+        // Parse one field starting at i.
+        if i < bytes.len() && bytes[i] == b'"' {
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(CommonError::Malformed(format!(
+                        "line {line_no}: unterminated quote"
+                    )));
+                }
+                if bytes[i] == b'"' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        field.push('"');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    // advance one UTF-8 char
+                    let ch_len = utf8_len(bytes[i]);
+                    field.push_str(&line[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            field.push_str(&line[start..i]);
+        }
+        fields.push(std::mem::take(&mut field));
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] == b',' {
+            i += 1;
+            if i == bytes.len() {
+                fields.push(String::new());
+                break;
+            }
+        } else {
+            return Err(CommonError::Malformed(format!(
+                "line {line_no}: unexpected character after quoted field"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+/// Convenience: serialize rows to a `String`.
+pub fn rows_to_string<S: AsRef<str>>(rows: &[Vec<S>]) -> String {
+    let mut w = CsvWriter::new(Vec::new());
+    for row in rows {
+        w.write_row(row).expect("writing to Vec cannot fail");
+    }
+    String::from_utf8(w.into_inner().expect("flush to Vec cannot fail"))
+        .expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip(rows: &[Vec<&str>]) -> Vec<Vec<String>> {
+        let text = rows_to_string(rows);
+        let mut r = CsvReader::new(BufReader::new(text.as_bytes()));
+        let mut out = Vec::new();
+        let mut fields = Vec::new();
+        while r.read_row(&mut fields).unwrap() {
+            out.push(fields.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let rows = vec![vec!["1", "alice", "100"], vec!["2", "bob", "7"]];
+        assert_eq!(roundtrip(&rows), rows);
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let rows = vec![
+            vec!["1", "hello, world", "he said \"hi\""],
+            vec!["2", "line1\nline2", ""],
+        ];
+        assert_eq!(roundtrip(&rows), rows);
+    }
+
+    #[test]
+    fn trailing_empty_field() {
+        let mut r = CsvReader::new(BufReader::new("a,b,\n".as_bytes()));
+        let mut f = Vec::new();
+        assert!(r.read_row(&mut f).unwrap());
+        assert_eq!(f, vec!["a", "b", ""]);
+    }
+
+    #[test]
+    fn empty_input_returns_false() {
+        let mut r = CsvReader::new(BufReader::new("".as_bytes()));
+        let mut f = Vec::new();
+        assert!(!r.read_row(&mut f).unwrap());
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let mut r = CsvReader::new(BufReader::new("\"abc\n".as_bytes()));
+        let mut f = Vec::new();
+        assert!(r.read_row(&mut f).is_err());
+    }
+
+    #[test]
+    fn unicode_fields() {
+        let rows = vec![vec!["1", "café ☕, twice", "日本語"]];
+        assert_eq!(roundtrip(&rows), rows);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let mut r = CsvReader::new(BufReader::new("a,b\r\nc,d\r\n".as_bytes()));
+        let mut f = Vec::new();
+        assert!(r.read_row(&mut f).unwrap());
+        assert_eq!(f, vec!["a", "b"]);
+        assert!(r.read_row(&mut f).unwrap());
+        assert_eq!(f, vec!["c", "d"]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared error kinds.
+//!
+//! Each engine crate defines its own error enum; this module holds the
+//! cross-cutting kinds (I/O, corruption, schema misuse) those enums embed.
+
+use std::fmt;
+use std::io;
+
+/// Errors shared by the storage and engine crates.
+#[derive(Debug)]
+pub enum CommonError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A record or page failed validation (bad checksum, bad magic, short read).
+    Corruption(String),
+    /// A dictionary lookup failed (unknown label/type/attribute name).
+    UnknownName(String),
+    /// An identifier referenced a record that does not exist.
+    NotFound(String),
+    /// The operation is invalid in the current state (e.g. write outside a
+    /// transaction, incremental load into a populated store).
+    InvalidState(String),
+    /// Malformed input data (CSV rows, loader scripts, query text).
+    Malformed(String),
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::Io(e) => write!(f, "i/o error: {e}"),
+            CommonError::Corruption(m) => write!(f, "corruption: {m}"),
+            CommonError::UnknownName(m) => write!(f, "unknown name: {m}"),
+            CommonError::NotFound(m) => write!(f, "not found: {m}"),
+            CommonError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            CommonError::Malformed(m) => write!(f, "malformed input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommonError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CommonError {
+    fn from(e: io::Error) -> Self {
+        CommonError::Io(e)
+    }
+}
+
+/// Convenience alias used by utility modules in this crate.
+pub type Result<T> = std::result::Result<T, CommonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CommonError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = CommonError::Corruption("bad checksum".into());
+        assert!(c.to_string().contains("bad checksum"));
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Strongly typed identifiers.
+//!
+//! Every store in the workspace addresses records by dense `u64` identifiers.
+//! Newtypes keep node ids, edge ids, dictionary ids and page ids from being
+//! confused with one another at compile time (the classic newtype pattern).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Sentinel meaning "no record" (used for chain terminators).
+            pub const NONE: $name = $name(u64::MAX);
+
+            /// Returns the raw identifier.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// True when this id is the [`Self::NONE`] sentinel.
+            #[inline]
+            pub const fn is_none(self) -> bool {
+                self.0 == u64::MAX
+            }
+
+            /// True when this id refers to an actual record.
+            #[inline]
+            pub const fn is_some(self) -> bool {
+                !self.is_none()
+            }
+
+            /// Converts the id to `usize` for indexing in-memory vectors.
+            ///
+            /// # Panics
+            /// Panics if the id is the `NONE` sentinel.
+            #[inline]
+            pub fn index(self) -> usize {
+                assert!(self.is_some(), concat!(stringify!($name), "::NONE has no index"));
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.is_none() {
+                    write!(f, concat!(stringify!($name), "(NONE)"))
+                } else {
+                    write!(f, concat!(stringify!($name), "({})"), self.0)
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a graph node record.
+    NodeId
+);
+define_id!(
+    /// Identifier of a graph relationship (edge) record.
+    EdgeId
+);
+define_id!(
+    /// Identifier of a node label in the label dictionary (arbordb) or a
+    /// node/edge *type* in the type dictionary (bitgraph).
+    TypeId
+);
+define_id!(
+    /// Identifier of an attribute (property key) in an attribute dictionary.
+    AttrId
+);
+define_id!(
+    /// Identifier of a node label (arbordb label dictionary).
+    LabelId
+);
+define_id!(
+    /// Identifier of a fixed-size page inside a paged file.
+    PageId
+);
+
+/// Direction of an edge relative to a node, as used by adjacency and
+/// navigation operations in both engines.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Edges leaving the node (the node is the source / tail).
+    Outgoing,
+    /// Edges arriving at the node (the node is the target / head).
+    Incoming,
+    /// Both directions.
+    Both,
+}
+
+impl Direction {
+    /// The opposite direction; `Both` is its own reverse.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+            Direction::Both => Direction::Both,
+        }
+    }
+
+    /// True when this direction admits outgoing edges.
+    #[inline]
+    pub fn includes_outgoing(self) -> bool {
+        matches!(self, Direction::Outgoing | Direction::Both)
+    }
+
+    /// True when this direction admits incoming edges.
+    #[inline]
+    pub fn includes_incoming(self) -> bool {
+        matches!(self, Direction::Incoming | Direction::Both)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_sentinel_roundtrip() {
+        assert!(NodeId::NONE.is_none());
+        assert!(!NodeId::NONE.is_some());
+        assert!(NodeId(0).is_some());
+        assert_eq!(NodeId(7).raw(), 7);
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "NONE has no index")]
+    fn none_has_no_index() {
+        let _ = EdgeId::NONE.index();
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn debug_formats_sentinel() {
+        assert_eq!(format!("{:?}", PageId::NONE), "PageId(NONE)");
+        assert_eq!(format!("{:?}", PageId(3)), "PageId(3)");
+        assert_eq!(format!("{}", PageId(3)), "3");
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Outgoing.reverse(), Direction::Incoming);
+        assert_eq!(Direction::Incoming.reverse(), Direction::Outgoing);
+        assert_eq!(Direction::Both.reverse(), Direction::Both);
+        assert!(Direction::Both.includes_incoming() && Direction::Both.includes_outgoing());
+        assert!(!Direction::Outgoing.includes_incoming());
+    }
+
+    #[test]
+    fn from_u64() {
+        let n: NodeId = 42u64.into();
+        assert_eq!(n, NodeId(42));
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared building blocks for the `micrograph` workspace.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! reproduction of *Microblogging Queries on Graph Databases: An
+//! Introspection* (GRADES 2015):
+//!
+//! * [`ids`] — strongly typed identifiers for nodes, edges, types, pages.
+//! * [`value`] — the dynamically typed property [`value::Value`] with a
+//!   total order usable by indexes and sorts.
+//! * [`error`] — the shared [`error::CommonError`] kinds.
+//! * [`topn`] — a bounded top-n accumulator used by both query adapters.
+//! * [`stats`] — timers, online statistics and the progress samplers that
+//!   record the import curves of Figures 2 and 3.
+//! * [`rng`] — deterministic SplitMix64 RNG plus Zipf / power-law samplers
+//!   used by the synthetic dataset generator.
+//! * [`csvio`] — a minimal, escaping CSV reader/writer in the shape the
+//!   bulk loaders of both engines consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csvio;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod topn;
+pub mod value;
+
+pub use error::CommonError;
+pub use ids::{AttrId, EdgeId, LabelId, NodeId, PageId, TypeId};
+pub use value::Value;

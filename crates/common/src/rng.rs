@@ -1,0 +1,254 @@
+//! Deterministic random sampling.
+//!
+//! The dataset generator must be reproducible across runs and across both
+//! engine loaders, so all randomness flows through [`SplitMix64`] — a small,
+//! fast, well-distributed generator with a 64-bit seed — plus samplers for
+//! the skewed distributions of microblogging data: Zipf (hashtag popularity)
+//! and discrete power law (follower degree).
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` (Lemire's multiply-shift; `bound > 0`).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Forks an independent stream (for parallel generators with stable output).
+    pub fn fork(&mut self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `s`.
+///
+/// Uses a precomputed cumulative table with binary search: O(n) memory,
+/// O(log n) sampling — fine for the hashtag/word vocabularies we generate
+/// (≤ a few hundred thousand entries).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s` (s ≥ 0; s=0 is uniform).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (a Zipf sampler has ≥1 rank).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Discrete bounded power-law sampler: P(k) ∝ k^(-alpha) for k in [kmin, kmax].
+///
+/// Used for per-user follower-count targets (the heavy-tailed degree
+/// distribution that drives the paper's "explosion of nodes when 1-step
+/// followees have high out-degree" observation in Q4).
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    kmin: u64,
+    kmax: u64,
+    alpha: f64,
+}
+
+impl PowerLaw {
+    /// Creates a sampler on `[kmin, kmax]` with exponent `alpha > 1`.
+    ///
+    /// # Panics
+    /// Panics when `kmin == 0` or `kmax < kmin`.
+    pub fn new(kmin: u64, kmax: u64, alpha: f64) -> Self {
+        assert!(kmin > 0 && kmax >= kmin, "invalid power-law support");
+        PowerLaw { kmin, kmax, alpha }
+    }
+
+    /// Samples via inverse-CDF of the continuous power law, rounded down.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        let a = 1.0 - self.alpha;
+        let lo = (self.kmin as f64).powf(a);
+        let hi = ((self.kmax + 1) as f64).powf(a);
+        let x = (lo + u * (hi - lo)).powf(1.0 / a);
+        (x as u64).clamp(self.kmin, self.kmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.next_below(10) < 10);
+            let r = rng.next_range(5, 8);
+            assert!((5..8).contains(&r));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SplitMix64::new(99);
+        let mut head = 0u32;
+        const N: u32 = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 ranks at s=1 carries ~39% of the mass.
+        let frac = head as f64 / N as f64;
+        assert!(frac > 0.3 && frac < 0.5, "head fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = SplitMix64::new(5);
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 2.0, "uniform spread violated: {min}..{max}");
+    }
+
+    #[test]
+    fn power_law_bounds_and_skew() {
+        let p = PowerLaw::new(1, 10_000, 2.1);
+        let mut rng = SplitMix64::new(3);
+        let mut ones = 0u32;
+        const N: u32 = 10_000;
+        let mut max_seen = 0;
+        for _ in 0..N {
+            let k = p.sample(&mut rng);
+            assert!((1..=10_000).contains(&k));
+            if k == 1 {
+                ones += 1;
+            }
+            max_seen = max_seen.max(k);
+        }
+        // alpha=2.1 → majority of samples at k=1, but a heavy tail exists.
+        assert!(ones as f64 / N as f64 > 0.4);
+        assert!(max_seen > 100, "tail never sampled, max {max_seen}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SplitMix64::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf needs at least one rank")]
+    fn zipf_empty_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

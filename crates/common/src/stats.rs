@@ -1,0 +1,337 @@
+//! Timing and measurement utilities.
+//!
+//! The paper reports (a) *progress curves* for bulk import — elapsed time
+//! sampled every k records (Figures 2 and 3) — and (b) *warm-cache average
+//! latencies* over repeated query runs (Figure 4). [`ProgressSampler`] and
+//! [`OnlineStats`] implement exactly those two measurement protocols.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts a new timer.
+    pub fn start() -> Self {
+        Timer { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed milliseconds as `f64` (the unit of every figure in the paper).
+    pub fn elapsed_ms(&self) -> f64 {
+        duration_ms(self.start.elapsed())
+    }
+}
+
+/// Converts a duration to fractional milliseconds.
+pub fn duration_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+/// One sample of an import progress curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressPoint {
+    /// Number of records imported so far.
+    pub records: u64,
+    /// Elapsed wall time in milliseconds since the import began.
+    pub elapsed_ms: f64,
+}
+
+/// Records `(records, elapsed)` pairs every `interval` records, producing
+/// the series plotted in Figures 2 and 3.
+#[derive(Debug)]
+pub struct ProgressSampler {
+    interval: u64,
+    count: u64,
+    timer: Timer,
+    points: Vec<ProgressPoint>,
+    /// Optional labelled markers (e.g. "end of follows edges" — the vertical
+    /// line in Figure 3(b)).
+    markers: Vec<(String, u64)>,
+}
+
+impl ProgressSampler {
+    /// Creates a sampler emitting one point per `interval` records.
+    ///
+    /// # Panics
+    /// Panics when `interval == 0`.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        ProgressSampler {
+            interval,
+            count: 0,
+            timer: Timer::start(),
+            points: Vec::new(),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Records that `n` more records were imported.
+    pub fn add(&mut self, n: u64) {
+        let before = self.count / self.interval;
+        self.count += n;
+        let after = self.count / self.interval;
+        if after > before {
+            self.points.push(ProgressPoint {
+                records: self.count,
+                elapsed_ms: self.timer.elapsed_ms(),
+            });
+        }
+    }
+
+    /// Places a labelled marker at the current record count.
+    pub fn mark(&mut self, label: impl Into<String>) {
+        self.markers.push((label.into(), self.count));
+    }
+
+    /// Total records seen.
+    pub fn total(&self) -> u64 {
+        self.count
+    }
+
+    /// Finishes the curve, appending a final point for the tail.
+    pub fn finish(mut self) -> ProgressCurve {
+        if self.points.last().map(|p| p.records) != Some(self.count) && self.count > 0 {
+            self.points.push(ProgressPoint {
+                records: self.count,
+                elapsed_ms: self.timer.elapsed_ms(),
+            });
+        }
+        ProgressCurve {
+            points: self.points,
+            markers: self.markers,
+        }
+    }
+}
+
+/// A finished import progress curve.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressCurve {
+    /// The sampled `(records, elapsed)` points, records ascending.
+    pub points: Vec<ProgressPoint>,
+    /// Labelled record-count markers.
+    pub markers: Vec<(String, u64)>,
+}
+
+impl ProgressCurve {
+    /// Per-interval insertion times in ms (the derivative the figures show):
+    /// time spent importing each successive batch of records.
+    pub fn interval_times_ms(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(self.points.len());
+        let mut prev = ProgressPoint { records: 0, elapsed_ms: 0.0 };
+        for p in &self.points {
+            out.push((p.records, p.elapsed_ms - prev.elapsed_ms));
+            prev = *p;
+        }
+        out
+    }
+
+    /// Total elapsed milliseconds (last point).
+    pub fn total_ms(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.elapsed_ms)
+    }
+
+    /// Coefficient of variation of per-interval times — the "smoothness"
+    /// metric we use to compare Figure 2 (smooth) with Figure 3 (jumpy).
+    pub fn jitter(&self) -> f64 {
+        let times: Vec<f64> = self.interval_times_ms().iter().map(|&(_, t)| t).collect();
+        if times.len() < 2 {
+            return 0.0;
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / times.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Online mean / stddev / min / max (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population standard deviation (0 with <2 observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 { 0.0 } else { (self.m2 / self.n as f64).sqrt() }
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 { f64::NAN } else { self.min }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 { f64::NAN } else { self.max }
+    }
+
+    /// Relative spread `stddev/mean`; used by the measurement protocol to
+    /// decide that warm-up has "stabilized" (paper Section 3.3).
+    pub fn rel_spread(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 { 0.0 } else { self.stddev() / m }
+    }
+}
+
+/// Percentile of a sample (nearest-rank; `p` in `[0,100]`).
+///
+/// Returns `NaN` on an empty slice. The input need not be sorted.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+    let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize;
+    v[rank.min(v.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_emits_on_interval() {
+        let mut s = ProgressSampler::new(10);
+        for _ in 0..25 {
+            s.add(1);
+        }
+        let curve = s.finish();
+        let recs: Vec<u64> = curve.points.iter().map(|p| p.records).collect();
+        assert_eq!(recs, vec![10, 20, 25]);
+        assert!(curve.total_ms() >= 0.0);
+    }
+
+    #[test]
+    fn sampler_handles_bulk_adds() {
+        let mut s = ProgressSampler::new(10);
+        s.add(35);
+        let curve = s.finish();
+        // One point at 35 (crossed 10,20,30 in one add → single sample), plus tail is same point.
+        assert_eq!(curve.points.last().unwrap().records, 35);
+    }
+
+    #[test]
+    fn markers_record_position() {
+        let mut s = ProgressSampler::new(5);
+        s.add(7);
+        s.mark("end of follows");
+        s.add(3);
+        let curve = s.finish();
+        assert_eq!(curve.markers, vec![("end of follows".to_string(), 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = ProgressSampler::new(0);
+    }
+
+    #[test]
+    fn interval_times_are_differences() {
+        let curve = ProgressCurve {
+            points: vec![
+                ProgressPoint { records: 10, elapsed_ms: 5.0 },
+                ProgressPoint { records: 20, elapsed_ms: 12.0 },
+            ],
+            markers: vec![],
+        };
+        assert_eq!(curve.interval_times_ms(), vec![(10, 5.0), (20, 7.0)]);
+    }
+
+    #[test]
+    fn jitter_flat_curve_is_zero() {
+        let curve = ProgressCurve {
+            points: (1..=5)
+                .map(|i| ProgressPoint { records: i * 10, elapsed_ms: i as f64 * 2.0 })
+                .collect(),
+            markers: vec![],
+        };
+        assert!(curve.jitter() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_spiky_curve_is_positive() {
+        let curve = ProgressCurve {
+            points: vec![
+                ProgressPoint { records: 10, elapsed_ms: 1.0 },
+                ProgressPoint { records: 20, elapsed_ms: 2.0 },
+                ProgressPoint { records: 30, elapsed_ms: 30.0 },
+                ProgressPoint { records: 40, elapsed_ms: 31.0 },
+            ],
+            markers: vec![],
+        };
+        assert!(curve.jitter() > 1.0);
+    }
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.stddev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.rel_spread() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+}

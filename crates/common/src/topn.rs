@@ -1,0 +1,162 @@
+//! Bounded top-n accumulation.
+//!
+//! Every "Top-n" query in the paper's workload (Q3, Q4, Q5) groups, counts
+//! and keeps the n heaviest groups. The declarative engine pushes `LIMIT`
+//! into its sort operator using this structure; the bitgraph adapter uses it
+//! client-side after retrieving the full result set (the paper's point about
+//! Sparksee lacking a LIMIT).
+
+use std::collections::BinaryHeap;
+
+/// An entry in a [`TopN`] accumulator: a count paired with a key.
+///
+/// Ordering is by `count` descending, then by `key` ascending, which makes
+/// top-n results deterministic across engines (ties broken by smallest key).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counted<K> {
+    /// Number of occurrences (the sort weight).
+    pub count: u64,
+    /// Group key (e.g. a user id).
+    pub key: K,
+}
+
+impl<K: Ord> PartialOrd for Counted<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for Counted<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Higher count wins; on ties the *smaller* key wins.
+        self.count
+            .cmp(&other.count)
+            .then_with(|| other.key.cmp(&self.key))
+    }
+}
+
+/// A bounded accumulator that retains the `n` largest [`Counted`] entries.
+///
+/// Insertion is `O(log n)`; memory is `O(n)` regardless of how many entries
+/// are offered. `into_sorted_vec` returns entries best-first.
+#[derive(Debug)]
+pub struct TopN<K: Ord> {
+    limit: usize,
+    // Min-heap of the current best `limit` entries (Reverse on Counted).
+    heap: BinaryHeap<std::cmp::Reverse<Counted<K>>>,
+}
+
+impl<K: Ord> TopN<K> {
+    /// Creates an accumulator keeping at most `limit` entries.
+    pub fn new(limit: usize) -> Self {
+        TopN {
+            limit,
+            heap: BinaryHeap::with_capacity(limit.saturating_add(1).min(1024)),
+        }
+    }
+
+    /// Offers one `(key, count)` pair.
+    pub fn offer(&mut self, key: K, count: u64) {
+        if self.limit == 0 {
+            return;
+        }
+        let entry = Counted { count, key };
+        if self.heap.len() < self.limit {
+            self.heap.push(std::cmp::Reverse(entry));
+        } else if let Some(worst) = self.heap.peek() {
+            if entry > worst.0 {
+                self.heap.pop();
+                self.heap.push(std::cmp::Reverse(entry));
+            }
+        }
+    }
+
+    /// Number of retained entries (≤ limit).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the accumulator, returning entries ordered best-first
+    /// (highest count, ties by ascending key).
+    pub fn into_sorted_vec(self) -> Vec<Counted<K>> {
+        let mut v: Vec<Counted<K>> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+/// Sorts a full `(key, count)` list the way [`TopN`] would and truncates to
+/// `limit`. This is the reference implementation used by property tests and
+/// by the bitgraph adapter's "retrieve everything then filter" path.
+pub fn full_sort_top_n<K: Ord>(mut items: Vec<Counted<K>>, limit: usize) -> Vec<Counted<K>> {
+    items.sort_by(|a, b| b.cmp(a));
+    items.truncate(limit);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counted(pairs: &[(u64, u64)]) -> Vec<Counted<u64>> {
+        pairs.iter().map(|&(k, c)| Counted { key: k, count: c }).collect()
+    }
+
+    #[test]
+    fn keeps_heaviest() {
+        let mut t = TopN::new(2);
+        t.offer(1u64, 5);
+        t.offer(2, 9);
+        t.offer(3, 1);
+        t.offer(4, 7);
+        let out = t.into_sorted_vec();
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].key, out[0].count), (2, 9));
+        assert_eq!((out[1].key, out[1].count), (4, 7));
+    }
+
+    #[test]
+    fn ties_break_by_smaller_key() {
+        let mut t = TopN::new(2);
+        t.offer(9u64, 4);
+        t.offer(3, 4);
+        t.offer(5, 4);
+        let out = t.into_sorted_vec();
+        assert_eq!(out[0].key, 3);
+        assert_eq!(out[1].key, 5);
+    }
+
+    #[test]
+    fn zero_limit_is_empty() {
+        let mut t = TopN::new(0);
+        t.offer(1u64, 100);
+        assert!(t.is_empty());
+        assert_eq!(t.into_sorted_vec(), vec![]);
+    }
+
+    #[test]
+    fn fewer_offers_than_limit() {
+        let mut t = TopN::new(10);
+        t.offer(1u64, 1);
+        t.offer(2, 2);
+        assert_eq!(t.len(), 2);
+        let out = t.into_sorted_vec();
+        assert_eq!(out[0].key, 2);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i, (i * 37) % 23)).collect();
+        let mut t = TopN::new(7);
+        for &(k, c) in &pairs {
+            t.offer(k, c);
+        }
+        let expect = full_sort_top_n(counted(&pairs.iter().map(|&(k, c)| (k, c)).collect::<Vec<_>>()), 7);
+        assert_eq!(t.into_sorted_vec(), expect);
+    }
+}

@@ -1,0 +1,263 @@
+//! Dynamically typed property values.
+//!
+//! Both engines store key/value properties on nodes and edges (the paper's
+//! requirement (2): "associate key-value pairs to a node or edge"). `Value`
+//! is the common currency: record stores serialize it, indexes order by it,
+//! the query language computes over it.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically typed property value.
+///
+/// `Value` has a *total* order (NaN sorts above every other double and equal
+/// to itself; values of different types order by a fixed type rank), so it
+/// can be used as a B-tree index key and in `ORDER BY`.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Absence of a value. Sorts first.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer (ids, counts, timestamps in seconds).
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// UTF-8 string (tweet text, screen names, hashtags).
+    Str(String),
+}
+
+impl Value {
+    /// Rank used to order values of different types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Double(_) => 2, // numeric types compare with each other
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is numeric.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Double(d) => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64` if it is numeric.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a bool if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style truthiness used by `WHERE`: only `Bool(true)` passes.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => total_f64_cmp(*a, *b),
+            (Int(a), Double(b)) => total_f64_cmp(*a as f64, *b),
+            (Double(a), Int(b)) => total_f64_cmp(*a, *b as f64),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+/// Total order on doubles: `-inf < ... < inf < NaN`.
+fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN doubles always compare"),
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Double that compare equal must hash equal; hash the
+            // integral part when the double is integral.
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Double(d) => {
+                if d.fract() == 0.0 && d.is_finite() && *d >= i64::MIN as f64 && *d <= i64::MAX as f64 {
+                    2u8.hash(state);
+                    (*d as i64).hash(state);
+                } else {
+                    3u8.hash(state);
+                    d.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Int(i64::MIN));
+        assert!(Value::Int(i64::MAX) < Value::Str(String::new()));
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(3), Value::Double(3.0));
+        assert!(Value::Int(3) < Value::Double(3.5));
+        assert!(Value::Double(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn nan_total_order() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Double(f64::INFINITY) < nan);
+        assert!(nan > Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Double(3.0)));
+        assert_eq!(hash_of(&Value::Str("a".into())), hash_of(&Value::from("a")));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Double(5.9).as_int(), Some(5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Int(1).is_truthy());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+    }
+}

@@ -1,0 +1,455 @@
+//! The bitgraph adapter: Table 2 through `neighbors`/`explode` navigation.
+//!
+//! Everything the language did for the other engine happens client-side
+//! here, exactly as §3.3 describes for Sparksee: "a map structure is used
+//! for maintaining the required counts. These counts are then sorted to
+//! obtain the final result. Its API does not provide the functionality to
+//! limit the returned results." Multi-predicate selection is likewise
+//! client-side set algebra over `Objects`.
+
+use std::collections::HashMap;
+
+use bitgraph::graph::{Condition, EdgesDirection, Graph, Oid};
+use bitgraph::traversal::single_pair_shortest_path_bfs;
+use micrograph_common::topn::TopN;
+use micrograph_common::Value;
+
+use crate::engine::{MicroblogEngine, Ranked};
+use crate::schema;
+use crate::{CoreError, Result};
+
+/// Resolved schema handles.
+#[derive(Debug, Clone, Copy)]
+struct Handles {
+    follows: u32,
+    posts: u32,
+    mentions: u32,
+    tags: u32,
+    retweets: Option<u32>,
+    uid: u32,
+    tid: u32,
+    tag: u32,
+    followers: u32,
+}
+
+/// The navigation adapter over a loaded [`Graph`].
+pub struct BitEngine {
+    g: Graph,
+    h: Handles,
+}
+
+impl BitEngine {
+    /// Wraps a graph loaded with the standard schema (see
+    /// [`crate::ingest`]). Fails when a required type or attribute is
+    /// missing.
+    pub fn new(g: Graph) -> Result<BitEngine> {
+        let ty = |name: &str| {
+            g.find_type(name)
+                .ok_or_else(|| CoreError::Bit(format!("schema type {name:?} missing")))
+        };
+        let attr = |owner: u32, name: &str| {
+            g.find_attribute(owner, name)
+                .ok_or_else(|| CoreError::Bit(format!("attribute {name:?} missing")))
+        };
+        let user = ty(schema::USER)?;
+        let tweet = ty(schema::TWEET)?;
+        let hashtag = ty(schema::HASHTAG)?;
+        let h = Handles {
+            follows: ty(schema::FOLLOWS)?,
+            posts: ty(schema::POSTS)?,
+            mentions: ty(schema::MENTIONS)?,
+            tags: ty(schema::TAGS)?,
+            retweets: g.find_type(schema::RETWEETS),
+            uid: attr(user, schema::UID)?,
+            tid: attr(tweet, schema::TID)?,
+            tag: attr(hashtag, schema::TAG)?,
+            followers: attr(user, schema::FOLLOWERS)?,
+        };
+        Ok(BitEngine { g, h })
+    }
+
+    /// The underlying graph (for examples and benches).
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn user_oid(&self, uid: i64) -> Result<Option<Oid>> {
+        Ok(self.g.find_object(self.h.uid, &Value::Int(uid))?)
+    }
+
+    fn tweet_oid(&self, tid: i64) -> Result<Option<Oid>> {
+        Ok(self.g.find_object(self.h.tid, &Value::Int(tid))?)
+    }
+
+    fn tag_oid(&self, tag: &str) -> Result<Option<Oid>> {
+        Ok(self.g.find_object(self.h.tag, &Value::Str(tag.to_owned()))?)
+    }
+
+    fn uid_of(&self, oid: Oid) -> Result<i64> {
+        self.g
+            .get_attr(oid, self.h.uid)?
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| CoreError::Bit(format!("object {oid} has no uid")))
+    }
+
+    fn tid_of(&self, oid: Oid) -> Result<i64> {
+        self.g
+            .get_attr(oid, self.h.tid)?
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| CoreError::Bit(format!("object {oid} has no tid")))
+    }
+
+    fn tag_of(&self, oid: Oid) -> Result<String> {
+        self.g
+            .get_attr(oid, self.h.tag)?
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .ok_or_else(|| CoreError::Bit(format!("object {oid} has no tag")))
+    }
+
+    fn top_uids(&self, counts: HashMap<Oid, u64>, n: usize) -> Result<Vec<Ranked<i64>>> {
+        // "These counts are then sorted to obtain the final result" — the
+        // whole map is ranked client-side.
+        let mut top = TopN::new(n);
+        for (oid, count) in counts {
+            top.offer(self.uid_of(oid)?, count);
+        }
+        Ok(top.into_sorted_vec().into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
+    }
+}
+
+impl MicroblogEngine for BitEngine {
+    fn name(&self) -> &'static str {
+        "bitgraph"
+    }
+
+    fn users_with_followers_over(&self, threshold: i64) -> Result<Vec<i64>> {
+        // Single-predicate select; the result set is mapped and sorted here.
+        let sel = self.g.select(self.h.followers, Condition::GreaterThan, &Value::Int(threshold))?;
+        let mut out = Vec::with_capacity(sel.count() as usize);
+        for oid in sel.iter() {
+            out.push(self.uid_of(oid)?);
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn followees(&self, uid: i64) -> Result<Vec<i64>> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let nb = self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
+        let mut out = Vec::with_capacity(nb.count() as usize);
+        for oid in nb.iter() {
+            out.push(self.uid_of(oid)?);
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn followee_tweets(&self, uid: i64) -> Result<Vec<i64>> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let mut out = Vec::new();
+        for f in self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?.iter() {
+            for t in self.g.neighbors(f, self.h.posts, EdgesDirection::Outgoing)?.iter() {
+                out.push(self.tid_of(t)?);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn followee_hashtags(&self, uid: i64) -> Result<Vec<String>> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let mut tags = std::collections::BTreeSet::new();
+        for f in self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?.iter() {
+            for t in self.g.neighbors(f, self.h.posts, EdgesDirection::Outgoing)?.iter() {
+                for h in self.g.neighbors(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
+                    tags.insert(self.tag_of(h)?);
+                }
+            }
+        }
+        Ok(tags.into_iter().collect())
+    }
+
+    fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        // Step 1: the tweets T mentioning A — per *edge*, so a tweet that
+        // mentions A twice contributes twice (multigraph semantics).
+        // Step 2: other users mentioned in T, counted per edge.
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for e1 in self.g.explode(a, self.h.mentions, EdgesDirection::Ingoing)?.iter() {
+            let t = self.g.peer(e1, a)?;
+            for e2 in self.g.explode(t, self.h.mentions, EdgesDirection::Outgoing)?.iter() {
+                let b = self.g.peer(e2, t)?;
+                if b != a {
+                    *counts.entry(b).or_insert(0) += 1;
+                }
+            }
+        }
+        self.top_uids(counts, n)
+    }
+
+    fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
+        let Some(g0) = self.tag_oid(tag)? else { return Ok(Vec::new()) };
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for e1 in self.g.explode(g0, self.h.tags, EdgesDirection::Ingoing)?.iter() {
+            let t = self.g.peer(e1, g0)?;
+            for e2 in self.g.explode(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
+                let h2 = self.g.peer(e2, t)?;
+                if h2 != g0 {
+                    *counts.entry(h2).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut top = TopN::new(n);
+        for (oid, count) in counts {
+            top.offer(self.tag_of(oid)?, count);
+        }
+        Ok(top.into_sorted_vec().into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
+    }
+
+    fn recommend_followees(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        // "A separate neighbours call has to be executed for each 1-step
+        // followee of A, which makes the execution of this query expensive."
+        let followed = self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for f in followed.iter() {
+            for r in self.g.neighbors(f, self.h.follows, EdgesDirection::Outgoing)?.iter() {
+                if r != a && !followed.contains(r) {
+                    *counts.entry(r).or_insert(0) += 1;
+                }
+            }
+        }
+        self.top_uids(counts, n)
+    }
+
+    fn recommend_followers(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let followed = self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for f in followed.iter() {
+            for r in self.g.neighbors(f, self.h.follows, EdgesDirection::Ingoing)?.iter() {
+                if r != a && !followed.contains(r) {
+                    *counts.entry(r).or_insert(0) += 1;
+                }
+            }
+        }
+        self.top_uids(counts, n)
+    }
+
+    fn current_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        self.influence(uid, n, true)
+    }
+
+    fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        self.influence(uid, n, false)
+    }
+
+    fn shortest_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
+        let (Some(oa), Some(ob)) = (self.user_oid(a)?, self.user_oid(b)?) else {
+            return Ok(None);
+        };
+        Ok(single_pair_shortest_path_bfs(
+            &self.g,
+            oa,
+            ob,
+            self.h.follows,
+            EdgesDirection::Any,
+            max_hops,
+        )?
+        .map(|p| p.len() as u32 - 1))
+    }
+
+    fn tweets_with_hashtag(&self, tag: &str) -> Result<Vec<i64>> {
+        let Some(h) = self.tag_oid(tag)? else { return Ok(Vec::new()) };
+        let mut out = Vec::new();
+        for t in self.g.neighbors(h, self.h.tags, EdgesDirection::Ingoing)?.iter() {
+            out.push(self.tid_of(t)?);
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn retweet_count(&self, tid: i64) -> Result<u64> {
+        let Some(retweets) = self.h.retweets else { return Ok(0) };
+        let Some(t) = self.tweet_oid(tid)? else { return Ok(0) };
+        Ok(self.g.degree(t, retweets, EdgesDirection::Ingoing)?)
+    }
+
+    fn poster_of(&self, tid: i64) -> Result<i64> {
+        let t = self
+            .tweet_oid(tid)?
+            .ok_or_else(|| CoreError::NotFound(format!("tweet {tid}")))?;
+        let posters = self.g.neighbors(t, self.h.posts, EdgesDirection::Ingoing)?;
+        let p = posters
+            .iter()
+            .next()
+            .ok_or_else(|| CoreError::NotFound(format!("poster of tweet {tid}")))?;
+        self.uid_of(p)
+    }
+
+    fn reset_stats(&self) {
+        self.g.reset_stats();
+    }
+
+    fn ops_count(&self) -> u64 {
+        let s = self.g.stats();
+        s.neighbors_calls
+            + s.explode_calls
+            + s.find_object_calls
+            + s.select_indexed
+            + s.select_scans
+            + s.values_read
+    }
+
+    fn drop_caches(&self) -> Result<()> {
+        // The engine serves queries from its in-memory structures; there is
+        // no page cache to drop.
+        Ok(())
+    }
+}
+
+impl BitEngine {
+    /// Applies one streaming update (the paper's future-work update
+    /// workload) through the navigation engine's write API.
+    pub fn apply_event(&mut self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
+        use micrograph_datagen::UpdateEvent;
+        let user_ty = self.g.find_type(schema::USER).expect("schema loaded");
+        let tweet_ty = self.g.find_type(schema::TWEET).expect("schema loaded");
+        let name_attr = self
+            .g
+            .find_attribute(user_ty, schema::NAME)
+            .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
+        let verified_attr = self
+            .g
+            .find_attribute(user_ty, schema::VERIFIED)
+            .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
+        let text_attr = self
+            .g
+            .find_attribute(tweet_ty, schema::TEXT)
+            .ok_or_else(|| CoreError::Bit("text attribute missing".into()))?;
+        match event {
+            UpdateEvent::NewUser { uid, name } => {
+                let o = self.g.add_node(user_ty)?;
+                self.g.set_attr(o, self.h.uid, Value::Int(*uid as i64))?;
+                self.g.set_attr(o, name_attr, Value::Str(name.clone()))?;
+                self.g.set_attr(o, self.h.followers, Value::Int(0))?;
+                self.g.set_attr(o, verified_attr, Value::Int(0))?;
+            }
+            UpdateEvent::NewFollow { follower, followee } => {
+                let a = self
+                    .user_oid(*follower as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
+                let b = self
+                    .user_oid(*followee as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
+                self.g.add_edge(self.h.follows, a, b)?;
+                let count = self
+                    .g
+                    .get_attr(b, self.h.followers)?
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                self.g.set_attr(b, self.h.followers, Value::Int(count + 1))?;
+            }
+            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
+                let poster = self
+                    .user_oid(*uid as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+                let t = self.g.add_node(tweet_ty)?;
+                self.g.set_attr(t, self.h.tid, Value::Int(*tid as i64))?;
+                self.g.set_attr(t, text_attr, Value::Str(text.clone()))?;
+                self.g.add_edge(self.h.posts, poster, t)?;
+                for m in mentions {
+                    let target = self
+                        .user_oid(*m as i64)?
+                        .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?;
+                    self.g.add_edge(self.h.mentions, t, target)?;
+                }
+                for tag in tags {
+                    let h = self
+                        .tag_oid(tag)?
+                        .ok_or_else(|| CoreError::NotFound(format!("hashtag {tag}")))?;
+                    self.g.add_edge(self.h.tags, t, h)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Q2.1 expressed through the engine's traversal context instead of
+    /// raw navigation — the paper's §4 comparison: "using the raw
+    /// navigation operations (neighbors and explode) are slightly more
+    /// efficient than expressing the query as a series of traversal
+    /// operations ... perhaps due to the overhead involved with the
+    /// traversals."
+    pub fn followees_via_traversal(&self, uid: i64) -> Result<Vec<i64>> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let mut out = Vec::new();
+        for v in bitgraph::traversal::TraversalBfs::new(
+            &self.g,
+            a,
+            self.h.follows,
+            EdgesDirection::Outgoing,
+            1,
+        ) {
+            let (node, depth) = v?;
+            if depth == 1 {
+                out.push(self.uid_of(node)?);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Count of the *distinct* 2-step follows neighborhood via raw
+    /// navigation (nested `neighbors` calls + set union).
+    pub fn two_step_reach_nav(&self, uid: i64) -> Result<u64> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(0) };
+        let first = self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
+        let mut reach = first.clone();
+        for f in first.iter() {
+            reach = reach.union(&self.g.neighbors(f, self.h.follows, EdgesDirection::Outgoing)?);
+        }
+        reach.remove(a);
+        Ok(reach.count())
+    }
+
+    /// The same 2-step reach through the traversal context.
+    pub fn two_step_reach_traversal(&self, uid: i64) -> Result<u64> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(0) };
+        let mut n = 0u64;
+        for v in bitgraph::traversal::TraversalBfs::new(
+            &self.g,
+            a,
+            self.h.follows,
+            EdgesDirection::Outgoing,
+            2,
+        ) {
+            let (_, depth) = v?;
+            if depth >= 1 {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    fn influence(&self, uid: i64, n: usize, follows_a: bool) -> Result<Vec<Ranked<i64>>> {
+        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        // "Finding the users who mentioned A, and removing (or retaining)
+        // the users who are already following A."
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for e in self.g.explode(a, self.h.mentions, EdgesDirection::Ingoing)?.iter() {
+            let t = self.g.peer(e, a)?;
+            for p in self.g.neighbors(t, self.h.posts, EdgesDirection::Ingoing)?.iter() {
+                if p == a {
+                    continue;
+                }
+                let is_follower =
+                    self.g.are_adjacent(p, a, self.h.follows, EdgesDirection::Outgoing)?;
+                if is_follower == follows_a {
+                    *counts.entry(p).or_insert(0) += 1;
+                }
+            }
+        }
+        self.top_uids(counts, n)
+    }
+}

@@ -1,0 +1,17 @@
+//! The two engine adapters.
+//!
+//! [`ArborEngine`] speaks the declarative route the paper used with its
+//! first system (ArborQL text with parameters, plan cache warm); it also
+//! exposes the imperative traversal-framework variants and the three §4
+//! recommendation phrasings for the ablation benches.
+//!
+//! [`BitEngine`] speaks the imperative route of the second system:
+//! `find_object` → `neighbors`/`explode` navigation, hash-map counting, and
+//! client-side sorting/limiting ("the entire result set must be retrieved
+//! and filtered programmatically to display only the top-n rows").
+
+pub mod arbor;
+pub mod bit;
+
+pub use arbor::{ArborEngine, RecommendationPhrasing};
+pub use bit::BitEngine;

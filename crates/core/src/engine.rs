@@ -1,0 +1,179 @@
+//! The engine-agnostic query interface: every query of Table 2.
+//!
+//! Semantics are pinned down here once so both adapters implement the same
+//! contract (the cross-engine equivalence property tests depend on it):
+//!
+//! * Identifiers are *external* ids (`uid`, `tid`, tag strings) — never
+//!   engine-internal node ids.
+//! * Plain lists come back sorted ascending; top-n lists come back sorted
+//!   by count descending with ties broken by ascending key, truncated to n.
+//! * Co-occurrence/influence counts follow **edge multiplicity** (a tweet
+//!   mentioning the same user twice counts twice) — the multigraph
+//!   semantics a declarative pattern match produces naturally.
+//! * Q5 "influence": following the paper's §3.3 prose, *current* influence
+//!   counts mentioners who already follow A; *potential* counts mentioners
+//!   who do not. (Table 2's wording says "followees"; we follow the prose
+//!   and document the choice — see DESIGN.md.)
+//! * Q6 shortest paths treat `follows` as undirected (the paper bounds the
+//!   search at 3 hops on Sparksee; the bound is a parameter here).
+
+use std::fmt;
+
+/// A ranked result entry: an external key with its count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ranked<K> {
+    /// External key (uid, tid or tag).
+    pub key: K,
+    /// Occurrence count.
+    pub count: u64,
+}
+
+impl<K> Ranked<K> {
+    /// Convenience constructor.
+    pub fn new(key: K, count: u64) -> Self {
+        Ranked { key, count }
+    }
+}
+
+/// Errors from the workload layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The referenced user/tweet/hashtag does not exist.
+    NotFound(String),
+    /// Error from the arbordb engine or its query layer.
+    Arbor(String),
+    /// Error from the bitgraph engine.
+    Bit(String),
+    /// Ingest/dataset error.
+    Ingest(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotFound(m) => write!(f, "not found: {m}"),
+            CoreError::Arbor(m) => write!(f, "arbordb: {m}"),
+            CoreError::Bit(m) => write!(f, "bitgraph: {m}"),
+            CoreError::Ingest(m) => write!(f, "ingest: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<arbor_ql::QlError> for CoreError {
+    fn from(e: arbor_ql::QlError) -> Self {
+        CoreError::Arbor(e.to_string())
+    }
+}
+
+impl From<arbordb::ArborError> for CoreError {
+    fn from(e: arbordb::ArborError) -> Self {
+        CoreError::Arbor(e.to_string())
+    }
+}
+
+impl From<bitgraph::BitError> for CoreError {
+    fn from(e: bitgraph::BitError) -> Self {
+        CoreError::Bit(e.to_string())
+    }
+}
+
+use crate::Result;
+
+/// The microblogging query workload (Table 2) over any graph engine.
+pub trait MicroblogEngine {
+    /// Engine name for reports ("arbordb" / "bitgraph").
+    fn name(&self) -> &'static str;
+
+    // ---- Q1: selection ------------------------------------------------------
+
+    /// Q1.1 — uids of users whose follower count exceeds `threshold`
+    /// (ascending).
+    fn users_with_followers_over(&self, threshold: i64) -> Result<Vec<i64>>;
+
+    // ---- Q2: adjacency ------------------------------------------------------
+
+    /// Q2.1 — uids of A's followees (1-step, ascending).
+    fn followees(&self, uid: i64) -> Result<Vec<i64>>;
+
+    /// Q2.2 — tids of tweets posted by A's followees (2-step, ascending).
+    fn followee_tweets(&self, uid: i64) -> Result<Vec<i64>>;
+
+    /// Q2.3 — distinct hashtags used by A's followees (3-step, ascending).
+    fn followee_hashtags(&self, uid: i64) -> Result<Vec<String>>;
+
+    // ---- Q3: co-occurrence --------------------------------------------------
+
+    /// Q3.1 — top-n users most mentioned together with A.
+    fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>>;
+
+    /// Q3.2 — top-n hashtags most co-occurring with `tag`.
+    fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>>;
+
+    // ---- Q4: recommendation -------------------------------------------------
+
+    /// Q4.1 — top-n 2-step followees of A that A does not follow, ranked by
+    /// how many of A's followees follow them.
+    fn recommend_followees(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>>;
+
+    /// Q4.2 — top-n followers of A's followees that A does not follow.
+    fn recommend_followers(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>>;
+
+    // ---- Q5: influence ------------------------------------------------------
+
+    /// Q5.1 — top-n users who mention A and already follow A (current
+    /// influence).
+    fn current_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>>;
+
+    /// Q5.2 — top-n users who mention A but do not follow A (potential
+    /// influence).
+    fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>>;
+
+    // ---- Q6: shortest path --------------------------------------------------
+
+    /// Q6.1 — length (hops) of the shortest undirected `follows` path from
+    /// A to B within `max_hops`, or `None`.
+    fn shortest_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>>;
+
+    // ---- composite-query building blocks (§3.3) -----------------------------
+
+    /// Tids of tweets tagged with `tag` (ascending).
+    fn tweets_with_hashtag(&self, tag: &str) -> Result<Vec<i64>>;
+
+    /// Number of retweets a tweet received (0 when retweets are absent).
+    fn retweet_count(&self, tid: i64) -> Result<u64>;
+
+    /// Uid of the user who posted `tid`.
+    fn poster_of(&self, tid: i64) -> Result<i64>;
+
+    // ---- instrumentation ----------------------------------------------------
+
+    /// Resets the engine's operation counters.
+    fn reset_stats(&self);
+
+    /// Engine operations since the last reset (db hits / navigation calls).
+    fn ops_count(&self) -> u64;
+
+    /// Drops caches so the next query runs cold (no-op for engines that
+    /// serve entirely from memory).
+    fn drop_caches(&self) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(CoreError::NotFound("user 5".into()).to_string().contains("user 5"));
+        assert!(CoreError::Arbor("x".into()).to_string().contains("arbordb"));
+    }
+
+    #[test]
+    fn ranked_constructor() {
+        let r = Ranked::new(5i64, 10);
+        assert_eq!(r.key, 5);
+        assert_eq!(r.count, 10);
+    }
+}

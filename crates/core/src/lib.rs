@@ -1,0 +1,43 @@
+//! `micrograph-core` — the microblogging query workload of
+//! *Microblogging Queries on Graph Databases: An Introspection* (GRADES
+//! 2015), runnable on two graph-engine architectures.
+//!
+//! This crate is the paper's primary contribution, reproduced as a library:
+//!
+//! * [`schema`] — the Figure 1 data model (`user`/`tweet`/`hashtag` nodes;
+//!   `follows`/`posts`/`retweets`/`mentions`/`tags` edges).
+//! * [`engine`] — [`engine::MicroblogEngine`]: one trait with every query
+//!   of Table 2 (selection, k-step adjacency, co-occurrence,
+//!   recommendation, influence, shortest path), implemented by
+//! * [`adapters`] — [`adapters::ArborEngine`] (declarative ArborQL over the
+//!   record-store engine, plus traversal-API variants and the three §4
+//!   recommendation phrasings) and [`adapters::BitEngine`]
+//!   (`neighbors`/`explode` navigation with client-side counting/top-n over
+//!   the bitmap engine). A load-bearing invariant, enforced by property
+//!   tests: **both adapters return identical results** for every query.
+//! * [`workload`] — the Table 2 catalog: ids, categories, descriptions,
+//!   parameter sampling.
+//! * [`runner`] — the paper's measurement protocol: warm up until latency
+//!   stabilizes, then average over N runs; plus cold-cache measurement.
+//! * [`ingest`] — drives both bulk loaders over the same CSV sources
+//!   (§3.2), capturing the Figure 2/3 progress curves.
+//! * [`compose`] — the §3.3 derived query (topic experts via co-occurring
+//!   hashtags, retweets and path lengths).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod compose;
+pub mod engine;
+pub mod ingest;
+pub mod runner;
+pub mod schema;
+pub mod workload;
+
+pub use adapters::{ArborEngine, BitEngine};
+pub use engine::{CoreError, MicroblogEngine, Ranked};
+pub use micrograph_common::Value;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,193 @@
+//! The measurement protocol of §3.3.
+//!
+//! "We start executing a query and once the cache is warmed-up and the
+//! execution time is stabilized, we report the average execution time over
+//! 10 subsequent runs." [`measure`] implements exactly that: repeat until
+//! the relative spread of a warm-up window falls under a bound (or the
+//! warm-up budget runs out), then time `runs` executions.
+//!
+//! [`measure_cold`] is the §4 cold-cache variant: caches are dropped before
+//! every run, reproducing "the time taken for the first run is significant
+//! even for queries exploring a small neighborhood".
+
+use micrograph_common::stats::{OnlineStats, Timer};
+
+use crate::engine::MicroblogEngine;
+use crate::Result;
+
+/// Protocol configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureConfig {
+    /// Minimum warm-up executions.
+    pub min_warmup: u32,
+    /// Warm-up budget (gives up waiting for stability after this many).
+    pub max_warmup: u32,
+    /// Stability bound: relative spread (stddev/mean) of the last
+    /// `min_warmup` warm-up runs.
+    pub stable_spread: f64,
+    /// Measured executions ("average over 10 subsequent runs").
+    pub runs: u32,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig { min_warmup: 3, max_warmup: 15, stable_spread: 0.25, runs: 10 }
+    }
+}
+
+/// One measurement result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Mean of the measured runs (ms) — the y-axis of Figure 4.
+    pub avg_ms: f64,
+    /// Standard deviation of the measured runs (ms).
+    pub stddev_ms: f64,
+    /// Fastest measured run (ms).
+    pub min_ms: f64,
+    /// Slowest measured run (ms).
+    pub max_ms: f64,
+    /// The very first (cold-ish) execution (ms) — §4's warm-up cost.
+    pub first_ms: f64,
+    /// Warm-up executions performed.
+    pub warmup_runs: u32,
+    /// Measured executions.
+    pub runs: u32,
+}
+
+/// Runs `f` under the warm-measure protocol.
+pub fn measure<F: FnMut() -> Result<()>>(config: &MeasureConfig, mut f: F) -> Result<Measurement> {
+    let mut first_ms = 0.0;
+    let mut warmup = 0u32;
+    let mut window: Vec<f64> = Vec::new();
+    loop {
+        let t = Timer::start();
+        f()?;
+        let ms = t.elapsed_ms();
+        if warmup == 0 {
+            first_ms = ms;
+        }
+        warmup += 1;
+        window.push(ms);
+        if window.len() > config.min_warmup as usize {
+            window.remove(0);
+        }
+        if warmup >= config.min_warmup {
+            let mut s = OnlineStats::new();
+            for &x in &window {
+                s.add(x);
+            }
+            if s.rel_spread() <= config.stable_spread || warmup >= config.max_warmup {
+                break;
+            }
+        }
+    }
+    let mut stats = OnlineStats::new();
+    for _ in 0..config.runs {
+        let t = Timer::start();
+        f()?;
+        stats.add(t.elapsed_ms());
+    }
+    Ok(Measurement {
+        avg_ms: stats.mean(),
+        stddev_ms: stats.stddev(),
+        min_ms: stats.min(),
+        max_ms: stats.max(),
+        first_ms,
+        warmup_runs: warmup,
+        runs: config.runs,
+    })
+}
+
+/// Cold-cache measurement: drops the engine's caches before every run.
+pub fn measure_cold<F: FnMut() -> Result<()>>(
+    engine: &dyn MicroblogEngine,
+    runs: u32,
+    mut f: F,
+) -> Result<Measurement> {
+    let mut stats = OnlineStats::new();
+    let mut first_ms = 0.0;
+    for i in 0..runs {
+        engine.drop_caches()?;
+        let t = Timer::start();
+        f()?;
+        let ms = t.elapsed_ms();
+        if i == 0 {
+            first_ms = ms;
+        }
+        stats.add(ms);
+    }
+    Ok(Measurement {
+        avg_ms: stats.mean(),
+        stddev_ms: stats.stddev(),
+        min_ms: stats.min(),
+        max_ms: stats.max(),
+        first_ms,
+        warmup_runs: 0,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_runs_requested_count() {
+        let mut calls = 0u32;
+        let m = measure(&MeasureConfig { min_warmup: 2, max_warmup: 4, stable_spread: 10.0, runs: 5 }, || {
+            calls += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(m.runs, 5);
+        assert_eq!(m.warmup_runs, 2, "stable immediately with a huge bound");
+        assert_eq!(calls, 7);
+        assert!(m.avg_ms >= 0.0);
+        assert!(m.min_ms <= m.max_ms);
+    }
+
+    #[test]
+    fn warmup_capped_at_budget() {
+        // A workload with wild variance never stabilizes under a tight
+        // bound; the budget must cap it.
+        let mut i = 0u64;
+        let m = measure(
+            &MeasureConfig { min_warmup: 3, max_warmup: 6, stable_spread: 0.000001, runs: 2 },
+            || {
+                i += 1;
+                if i.is_multiple_of(2) {
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(m.warmup_runs, 6);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = measure(&MeasureConfig::default(), || {
+            Err(crate::CoreError::NotFound("boom".into()))
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn first_run_recorded() {
+        let mut first = true;
+        let m = measure(
+            &MeasureConfig { min_warmup: 2, max_warmup: 3, stable_spread: 10.0, runs: 2 },
+            || {
+                if first {
+                    first = false;
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(m.first_ms >= 2.0, "first (cold) run slower: {}", m.first_ms);
+        assert!(m.avg_ms < m.first_ms);
+    }
+}

@@ -1,0 +1,55 @@
+//! The Figure 1 schema: names shared by both engine adapters and the
+//! ingest pipelines.
+
+/// Node label: users.
+pub const USER: &str = "user";
+/// Node label: tweets.
+pub const TWEET: &str = "tweet";
+/// Node label: hashtags.
+pub const HASHTAG: &str = "hashtag";
+
+/// Edge type: user → user.
+pub const FOLLOWS: &str = "follows";
+/// Edge type: user → tweet.
+pub const POSTS: &str = "posts";
+/// Edge type: tweet → tweet (a retweet pointing at its original).
+pub const RETWEETS: &str = "retweets";
+/// Edge type: tweet → user.
+pub const MENTIONS: &str = "mentions";
+/// Edge type: tweet → hashtag.
+pub const TAGS: &str = "tags";
+
+/// Property: user external id.
+pub const UID: &str = "uid";
+/// Property: user screen name.
+pub const NAME: &str = "name";
+/// Property: user follower count.
+pub const FOLLOWERS: &str = "followers";
+/// Property: user verified flag (0/1).
+pub const VERIFIED: &str = "verified";
+/// Property: tweet external id.
+pub const TID: &str = "tid";
+/// Property: tweet text.
+pub const TEXT: &str = "text";
+/// Property: hashtag name (doubles as its unique id).
+pub const TAG: &str = "tag";
+
+/// All node labels in import order.
+pub const NODE_LABELS: [&str; 3] = [USER, TWEET, HASHTAG];
+/// All edge types in import order (`follows` first — 80%+ of the edges,
+/// the Figure 3(b) marker).
+pub const EDGE_TYPES: [&str; 5] = [FOLLOWS, POSTS, MENTIONS, TAGS, RETWEETS];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let mut all: Vec<&str> = NODE_LABELS.iter().chain(EDGE_TYPES.iter()).copied().collect();
+        all.sort_unstable();
+        let n = all.len();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

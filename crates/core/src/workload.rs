@@ -1,0 +1,229 @@
+//! The Table 2 query workload catalog.
+
+use micrograph_common::rng::SplitMix64;
+
+use crate::engine::MicroblogEngine;
+use crate::Result;
+
+/// The eleven queries of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(non_camel_case_types)]
+pub enum QueryId {
+    /// Select: users with follower count over a threshold.
+    Q1_1,
+    /// Adjacency (1-step): followees of A.
+    Q2_1,
+    /// Adjacency (2-step): tweets posted by followees of A.
+    Q2_2,
+    /// Adjacency (3-step): hashtags used by followees of A. (*)
+    Q2_3,
+    /// Co-occurrence: top-n users most mentioned with A. (*)
+    Q3_1,
+    /// Co-occurrence: top-n hashtags co-occurring with H.
+    Q3_2,
+    /// Recommendation: top-n followees of A's followees A doesn't follow. (*)
+    Q4_1,
+    /// Recommendation: top-n followers of A's followees A doesn't follow.
+    Q4_2,
+    /// Influence (current): top-n mentioners of A who follow A. (*)
+    Q5_1,
+    /// Influence (potential): top-n mentioners of A who don't follow A. (*)
+    Q5_2,
+    /// Shortest path between two users over follows edges. (*)
+    Q6_1,
+}
+
+impl QueryId {
+    /// Every query, Table 2 order.
+    pub const ALL: [QueryId; 11] = [
+        QueryId::Q1_1,
+        QueryId::Q2_1,
+        QueryId::Q2_2,
+        QueryId::Q2_3,
+        QueryId::Q3_1,
+        QueryId::Q3_2,
+        QueryId::Q4_1,
+        QueryId::Q4_2,
+        QueryId::Q5_1,
+        QueryId::Q5_2,
+        QueryId::Q6_1,
+    ];
+
+    /// Display id ("Q3.1").
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryId::Q1_1 => "Q1.1",
+            QueryId::Q2_1 => "Q2.1",
+            QueryId::Q2_2 => "Q2.2",
+            QueryId::Q2_3 => "Q2.3",
+            QueryId::Q3_1 => "Q3.1",
+            QueryId::Q3_2 => "Q3.2",
+            QueryId::Q4_1 => "Q4.1",
+            QueryId::Q4_2 => "Q4.2",
+            QueryId::Q5_1 => "Q5.1",
+            QueryId::Q5_2 => "Q5.2",
+            QueryId::Q6_1 => "Q6.1",
+        }
+    }
+
+    /// Table 2 category column.
+    pub fn category(self) -> &'static str {
+        match self {
+            QueryId::Q1_1 => "Select",
+            QueryId::Q2_1 => "Adjacency (1-step)",
+            QueryId::Q2_2 => "Adjacency (2-step)",
+            QueryId::Q2_3 => "Adjacency (3-step)",
+            QueryId::Q3_1 | QueryId::Q3_2 => "Co-occurrence",
+            QueryId::Q4_1 | QueryId::Q4_2 => "Recommendation",
+            QueryId::Q5_1 => "Influence (current)",
+            QueryId::Q5_2 => "Influence (potential)",
+            QueryId::Q6_1 => "Shortest Path",
+        }
+    }
+
+    /// Table 2 example column.
+    pub fn description(self) -> &'static str {
+        match self {
+            QueryId::Q1_1 => "All users with a follower count greater than a user-defined threshold",
+            QueryId::Q2_1 => "All the followees of a given user A",
+            QueryId::Q2_2 => "All the tweets posted by followees of A",
+            QueryId::Q2_3 => "All the hashtags used by followees of A",
+            QueryId::Q3_1 => "Top-n users most mentioned with user A",
+            QueryId::Q3_2 => "Top-n most co-occurring hashtags with hashtag H",
+            QueryId::Q4_1 => "Top-n followees of A's followees who A is not following yet",
+            QueryId::Q4_2 => "Top-n followers of A's followees who A is not following yet",
+            QueryId::Q5_1 => "Top-n users who have mentioned A who are followers of A",
+            QueryId::Q5_2 => "Top-n users who have mentioned A but are not direct followers of A",
+            QueryId::Q6_1 => "Shortest path between two users where they are connected by follows edges",
+        }
+    }
+
+    /// Whether the paper discusses this query's performance in detail
+    /// (the (*) rows of Table 2).
+    pub fn starred(self) -> bool {
+        matches!(
+            self,
+            QueryId::Q2_3 | QueryId::Q3_1 | QueryId::Q4_1 | QueryId::Q5_1 | QueryId::Q5_2 | QueryId::Q6_1
+        )
+    }
+}
+
+/// Parameters for one workload execution.
+#[derive(Debug, Clone)]
+pub struct QueryParams {
+    /// The subject user A.
+    pub uid: i64,
+    /// The second user B (shortest path).
+    pub uid_b: i64,
+    /// The subject hashtag H.
+    pub tag: String,
+    /// The Q1 follower threshold.
+    pub threshold: i64,
+    /// Top-n limit.
+    pub n: usize,
+    /// Shortest-path hop bound (the paper used 3 on the navigation engine).
+    pub max_hops: u32,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        QueryParams { uid: 1, uid_b: 2, tag: "tag1".into(), threshold: 100, n: 10, max_hops: 4 }
+    }
+}
+
+impl QueryParams {
+    /// Samples parameters uniformly over `1..=users` (deterministic in the
+    /// rng state). The tag is drawn from the head of the Zipf vocabulary so
+    /// it is likely to occur.
+    pub fn sample(rng: &mut SplitMix64, users: u64, vocab: u64) -> QueryParams {
+        let uid = rng.next_range(1, users + 1) as i64;
+        let mut uid_b = rng.next_range(1, users + 1) as i64;
+        if uid_b == uid {
+            uid_b = if uid == users as i64 { 1 } else { uid + 1 };
+        }
+        QueryParams {
+            uid,
+            uid_b,
+            tag: format!("tag{}", rng.next_range(1, vocab.clamp(2, 16) + 1)),
+            threshold: rng.next_range(1, 64) as i64,
+            n: 10,
+            max_hops: 4,
+        }
+    }
+}
+
+/// Runs one query on an engine, returning the number of result rows —
+/// the x-axis of Figure 4(a–d).
+pub fn run_query(
+    engine: &dyn MicroblogEngine,
+    id: QueryId,
+    params: &QueryParams,
+) -> Result<u64> {
+    Ok(match id {
+        QueryId::Q1_1 => engine.users_with_followers_over(params.threshold)?.len() as u64,
+        QueryId::Q2_1 => engine.followees(params.uid)?.len() as u64,
+        QueryId::Q2_2 => engine.followee_tweets(params.uid)?.len() as u64,
+        QueryId::Q2_3 => engine.followee_hashtags(params.uid)?.len() as u64,
+        QueryId::Q3_1 => engine.co_mentioned_users(params.uid, params.n)?.len() as u64,
+        QueryId::Q3_2 => engine.co_occurring_hashtags(&params.tag, params.n)?.len() as u64,
+        QueryId::Q4_1 => engine.recommend_followees(params.uid, params.n)?.len() as u64,
+        QueryId::Q4_2 => engine.recommend_followers(params.uid, params.n)?.len() as u64,
+        QueryId::Q5_1 => engine.current_influence(params.uid, params.n)?.len() as u64,
+        QueryId::Q5_2 => engine.potential_influence(params.uid, params.n)?.len() as u64,
+        QueryId::Q6_1 => engine
+            .shortest_path_len(params.uid, params.uid_b, params.max_hops)?
+            .map_or(0, |_| 1),
+    })
+}
+
+/// Renders Table 2.
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<6} {:<22} {}\n", "Query", "Category", "Example"));
+    for q in QueryId::ALL {
+        let star = if q.starred() { " (*)" } else { "" };
+        out.push_str(&format!(
+            "{:<6} {:<22} {}{}\n",
+            q.label(),
+            q.category(),
+            q.description(),
+            star
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete() {
+        assert_eq!(QueryId::ALL.len(), 11);
+        let t = render_table2();
+        for q in QueryId::ALL {
+            assert!(t.contains(q.label()), "{} missing from table", q.label());
+        }
+        assert_eq!(t.matches("(*)").count(), 6, "six starred queries");
+    }
+
+    #[test]
+    fn params_sampling_in_range() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            let p = QueryParams::sample(&mut rng, 50, 16);
+            assert!((1..=50).contains(&p.uid));
+            assert!((1..=50).contains(&p.uid_b));
+            assert_ne!(p.uid, p.uid_b);
+            assert!(p.tag.starts_with("tag"));
+        }
+    }
+
+    #[test]
+    fn categories_match_paper() {
+        assert_eq!(QueryId::Q1_1.category(), "Select");
+        assert_eq!(QueryId::Q6_1.category(), "Shortest Path");
+        assert!(QueryId::Q3_1.starred());
+        assert!(!QueryId::Q3_2.starred());
+    }
+}

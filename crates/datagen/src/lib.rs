@@ -1,0 +1,125 @@
+//! Synthetic Twitter-shaped dataset generation.
+//!
+//! The paper evaluates on the crawl of Li et al. (KDD 2012): 284M `follows`
+//! edges over 24M users, tweets for a 140k-user subset, with `mentions` and
+//! `tags` edges reconstructed from tweet text, and **no `retweets`** edges
+//! ("this data set does not have exact information on retweets"). That
+//! crawl is not redistributable, so this crate generates a synthetic
+//! dataset preserving the properties the paper's observations depend on:
+//!
+//! * a **heavy-tailed follower graph** (preferential attachment) — behind
+//!   the Q4 "explosion of nodes when 1-step followees have high out-degree"
+//!   and the cold-cache blow-up on high-degree sources;
+//! * tweets concentrated on a **poster subset** ("140,000 users who have at
+//!   least 100 followees"), with text payloads larger than other nodes
+//!   (the Figure 3(a) payload regions);
+//! * **Zipf hashtags** and **locality-biased mentions** (mentions mostly
+//!   target the poster's followees — giving Q3/Q5 their co-occurrence and
+//!   influence structure);
+//! * Table 1's **edge-type mix** (follows ≈ 80% of edges — the vertical
+//!   marker in Figure 3(b)) at any scale via [`GenConfig::paper_shape`];
+//! * optional retweets (`with_retweets`) for the §3.3 composite query that
+//!   the paper could not run.
+//!
+//! Everything is deterministic in [`GenConfig::seed`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod gen;
+pub mod stream;
+pub mod text;
+
+pub use dataset::{CsvFiles, Dataset, DatasetStats, Tweet, User};
+pub use gen::generate;
+pub use stream::{StreamGen, StreamMix, UpdateEvent};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed — equal configs generate byte-identical datasets.
+    pub seed: u64,
+    /// Number of user nodes.
+    pub users: u64,
+    /// Mean follows out-degree (paper: 284M/24.8M ≈ 11.5).
+    pub avg_followees: f64,
+    /// Power-law exponent of the out-degree distribution (2.0–2.5 typical).
+    pub degree_exponent: f64,
+    /// Fraction of users who post tweets (paper: 140k/24.8M ≈ 0.56%).
+    pub poster_fraction: f64,
+    /// Tweets per poster (paper's Table 1 implies ≈170 retained).
+    pub tweets_per_poster: u32,
+    /// Hashtag vocabulary size (paper: 616k ≈ 2.5% of users).
+    pub hashtag_vocab: u64,
+    /// Zipf exponent of hashtag popularity.
+    pub hashtag_zipf: f64,
+    /// Mean mentions per tweet (paper: 11.1M/24M ≈ 0.46).
+    pub mentions_per_tweet: f64,
+    /// Probability a mention targets one of the poster's followees
+    /// (locality; the rest go to globally popular users).
+    pub mention_locality: f64,
+    /// Mean tags per tweet (paper: 7.1M/24M ≈ 0.30).
+    pub tags_per_tweet: f64,
+    /// Generate retweet edges (the paper's dataset lacked them; the §3.3
+    /// composite query needs them).
+    pub with_retweets: bool,
+    /// Fraction of tweets that are retweets of an earlier tweet.
+    pub retweet_fraction: f64,
+}
+
+impl GenConfig {
+    /// Tiny preset for unit tests (~50 users).
+    pub fn unit() -> GenConfig {
+        GenConfig { users: 50, ..GenConfig::base(7) }
+    }
+
+    /// Small preset for integration tests (~2 000 users).
+    pub fn small() -> GenConfig {
+        GenConfig { users: 2_000, ..GenConfig::base(42) }
+    }
+
+    /// Medium preset for benchmarks (~20 000 users, ~300k edges).
+    pub fn medium() -> GenConfig {
+        GenConfig { users: 20_000, ..GenConfig::base(42) }
+    }
+
+    /// Preset matching the paper's Table 1 *ratios* at `1/divisor` scale.
+    /// `paper_shape(500)` ≈ 50k users / 570k follows / 48k tweets.
+    pub fn paper_shape(divisor: u64) -> GenConfig {
+        assert!(divisor > 0);
+        GenConfig { users: 24_789_792 / divisor, ..GenConfig::base(2015) }
+    }
+
+    fn base(seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            users: 1_000,
+            avg_followees: 11.5,
+            degree_exponent: 2.2,
+            poster_fraction: 0.04,
+            tweets_per_poster: 24,
+            hashtag_vocab: 0, // derived: 2.5% of users, min 16
+            hashtag_zipf: 1.1,
+            mentions_per_tweet: 0.46,
+            mention_locality: 0.7,
+            tags_per_tweet: 0.30,
+            with_retweets: false,
+            retweet_fraction: 0.15,
+        }
+    }
+
+    /// The effective hashtag vocabulary (defaults to 2.5% of users, ≥ 16).
+    pub fn effective_vocab(&self) -> u64 {
+        if self.hashtag_vocab > 0 {
+            self.hashtag_vocab
+        } else {
+            (self.users / 40).max(16)
+        }
+    }
+
+    /// The number of posting users.
+    pub fn poster_count(&self) -> u64 {
+        ((self.users as f64 * self.poster_fraction) as u64).clamp(1, self.users)
+    }
+}

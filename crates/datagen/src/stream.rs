@@ -1,0 +1,297 @@
+//! Streaming updates — the paper's future work, implemented.
+//!
+//! "As future work, we would like to investigate how the graph could be
+//! generated on-the-fly with new incoming users, tweets and follow
+//! relationships. … With this setting, it would be possible to test for the
+//! ability of systems to handle update workloads as well." (§5)
+//!
+//! [`StreamGen`] continues a generated [`Dataset`]'s statistical process as
+//! an **event stream**: new users arrive, follow edges attach
+//! preferentially to well-followed users, posters tweet with mentions and
+//! hashtags. Events are deterministic in the seed and self-consistent (a
+//! follow only references users that exist at that point in the stream).
+
+use std::collections::HashSet;
+
+use micrograph_common::rng::{SplitMix64, Zipf};
+
+use crate::dataset::Dataset;
+use crate::text::TextGen;
+use crate::GenConfig;
+
+/// One incremental update.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateEvent {
+    /// A new user signs up.
+    NewUser {
+        /// Fresh uid (continues the dataset's sequence).
+        uid: u64,
+        /// Screen name.
+        name: String,
+    },
+    /// An existing user follows another.
+    NewFollow {
+        /// The follower.
+        follower: u64,
+        /// The followee.
+        followee: u64,
+    },
+    /// A user posts a tweet.
+    NewTweet {
+        /// Fresh tid.
+        tid: u64,
+        /// The poster.
+        uid: u64,
+        /// Body text.
+        text: String,
+        /// Mentioned uids.
+        mentions: Vec<u64>,
+        /// Hashtag names.
+        tags: Vec<String>,
+    },
+}
+
+/// Relative frequencies of the event kinds.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamMix {
+    /// Weight of new-user events.
+    pub users: u32,
+    /// Weight of new-follow events.
+    pub follows: u32,
+    /// Weight of new-tweet events.
+    pub tweets: u32,
+}
+
+impl Default for StreamMix {
+    fn default() -> Self {
+        // Follows dominate, like the stock dataset's edge mix.
+        StreamMix { users: 5, follows: 75, tweets: 20 }
+    }
+}
+
+/// A deterministic update-event generator continuing a base dataset.
+pub struct StreamGen {
+    rng: SplitMix64,
+    mix: StreamMix,
+    textgen: TextGen,
+    hashtags: Vec<String>,
+    tag_zipf: Zipf,
+    /// In-degree-weighted urn over uids for preferential attachment.
+    urn: Vec<u64>,
+    /// Existing follow pairs (base + streamed): follows are unique edges.
+    follows: HashSet<(u64, u64)>,
+    next_uid: u64,
+    next_tid: u64,
+    user_count: u64,
+    mentions_per_tweet: f64,
+    tags_per_tweet: f64,
+}
+
+impl StreamGen {
+    /// Creates a stream continuing `base` (generated with `config`).
+    pub fn new(base: &Dataset, config: &GenConfig, seed: u64, mix: StreamMix) -> StreamGen {
+        let mut urn: Vec<u64> = base.users.iter().map(|u| u.uid).collect();
+        for &(_, followee) in &base.follows {
+            urn.push(followee);
+        }
+        let follows: HashSet<(u64, u64)> = base.follows.iter().copied().collect();
+        StreamGen {
+            rng: SplitMix64::new(seed),
+            mix,
+            textgen: TextGen::new(),
+            hashtags: base.hashtags.clone(),
+            tag_zipf: Zipf::new(base.hashtags.len().max(1), config.hashtag_zipf),
+            urn,
+            follows,
+            next_uid: base.users.len() as u64 + 1,
+            next_tid: base.tweets.len() as u64 + 1,
+            user_count: base.users.len() as u64,
+            mentions_per_tweet: config.mentions_per_tweet,
+            tags_per_tweet: config.tags_per_tweet,
+        }
+    }
+
+    fn pick_user(&mut self) -> u64 {
+        if self.rng.chance(0.9) && !self.urn.is_empty() {
+            self.urn[self.rng.next_below(self.urn.len() as u64) as usize]
+        } else {
+            self.rng.next_range(1, self.user_count + 1)
+        }
+    }
+
+    /// Produces the next event.
+    pub fn next_event(&mut self) -> UpdateEvent {
+        let total = (self.mix.users + self.mix.follows + self.mix.tweets) as u64;
+        let roll = self.rng.next_below(total) as u32;
+        if roll < self.mix.users {
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            self.user_count += 1;
+            self.urn.push(uid);
+            UpdateEvent::NewUser { uid, name: format!("user{uid}") }
+        } else if roll < self.mix.users + self.mix.follows {
+            // Follows are unique (a user follows another at most once):
+            // retry on duplicates, falling back to a linear probe so the
+            // generator cannot stall on saturated small graphs.
+            let mut follower = self.pick_user();
+            let mut followee = self.pick_user();
+            let mut attempts = 0;
+            while (followee == follower || self.follows.contains(&(follower, followee)))
+                && attempts < 32
+            {
+                follower = self.pick_user();
+                followee = self.pick_user();
+                attempts += 1;
+            }
+            if followee == follower || self.follows.contains(&(follower, followee)) {
+                let mut found = None;
+                'probe: for a in 1..=self.user_count {
+                    for b in 1..=self.user_count {
+                        if a != b && !self.follows.contains(&(a, b)) {
+                            found = Some((a, b));
+                            break 'probe;
+                        }
+                    }
+                }
+                match found {
+                    Some((a, b)) => {
+                        follower = a;
+                        followee = b;
+                    }
+                    None => {
+                        // Fully saturated graph: emit a user instead.
+                        let uid = self.next_uid;
+                        self.next_uid += 1;
+                        self.user_count += 1;
+                        self.urn.push(uid);
+                        return UpdateEvent::NewUser { uid, name: format!("user{uid}") };
+                    }
+                }
+            }
+            self.follows.insert((follower, followee));
+            self.urn.push(followee);
+            UpdateEvent::NewFollow { follower, followee }
+        } else {
+            let tid = self.next_tid;
+            self.next_tid += 1;
+            let uid = self.pick_user();
+            let mut mentions = Vec::new();
+            while self.rng.next_f64()
+                < self.mentions_per_tweet / (1.0 + self.mentions_per_tweet)
+                && mentions.len() < 5
+            {
+                let m = self.pick_user();
+                if m != uid {
+                    mentions.push(m);
+                }
+            }
+            let mut tags = Vec::new();
+            while self.rng.next_f64() < self.tags_per_tweet / (1.0 + self.tags_per_tweet)
+                && tags.len() < 3
+                && !self.hashtags.is_empty()
+            {
+                let t = self.hashtags[self.tag_zipf.sample(&mut self.rng)].clone();
+                if !tags.contains(&t) {
+                    tags.push(t);
+                }
+            }
+            let mention_names: Vec<String> =
+                mentions.iter().map(|m| format!("user{m}")).collect();
+            let text = self.textgen.tweet(&mut self.rng, &mention_names, &tags);
+            UpdateEvent::NewTweet { tid, uid, text, mentions, tags }
+        }
+    }
+
+    /// Produces `n` events.
+    pub fn events(&mut self, n: usize) -> Vec<UpdateEvent> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    fn base() -> (Dataset, GenConfig) {
+        let c = GenConfig::unit();
+        (generate(&c), c)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (d, c) = base();
+        let a = StreamGen::new(&d, &c, 9, StreamMix::default()).events(200);
+        let b = StreamGen::new(&d, &c, 9, StreamMix::default()).events(200);
+        assert_eq!(a, b);
+        let c2 = StreamGen::new(&d, &c, 10, StreamMix::default()).events(200);
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn events_are_self_consistent(/* follows only reference existing users */) {
+        let (d, c) = base();
+        let mut known: std::collections::HashSet<u64> =
+            d.users.iter().map(|u| u.uid).collect();
+        let mut next_tid = d.tweets.len() as u64 + 1;
+        let mut gen = StreamGen::new(&d, &c, 3, StreamMix::default());
+        for e in gen.events(500) {
+            match e {
+                UpdateEvent::NewUser { uid, .. } => {
+                    assert!(known.insert(uid), "uid {uid} reused");
+                }
+                UpdateEvent::NewFollow { follower, followee } => {
+                    assert!(known.contains(&follower), "unknown follower {follower}");
+                    assert!(known.contains(&followee), "unknown followee {followee}");
+                    assert_ne!(follower, followee, "self-follow");
+                }
+                UpdateEvent::NewTweet { tid, uid, mentions, tags, text } => {
+                    assert_eq!(tid, next_tid, "tids are sequential");
+                    next_tid += 1;
+                    assert!(known.contains(&uid));
+                    for m in &mentions {
+                        assert!(known.contains(m), "unknown mention {m}");
+                        assert_ne!(*m, uid, "self-mention");
+                    }
+                    for t in &tags {
+                        assert!(d.hashtags.contains(t), "unknown hashtag {t}");
+                    }
+                    assert!(!text.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_controls_frequencies() {
+        let (d, c) = base();
+        let mut gen =
+            StreamGen::new(&d, &c, 4, StreamMix { users: 0, follows: 100, tweets: 0 });
+        assert!(gen
+            .events(100)
+            .iter()
+            .all(|e| matches!(e, UpdateEvent::NewFollow { .. })));
+        let mut gen = StreamGen::new(&d, &c, 4, StreamMix::default());
+        let events = gen.events(2000);
+        let follows = events.iter().filter(|e| matches!(e, UpdateEvent::NewFollow { .. })).count();
+        assert!(follows > 1200 && follows < 1800, "follows {follows} of 2000");
+    }
+
+    #[test]
+    fn preferential_attachment_in_stream() {
+        // Needs enough users that the urn's preference is visible.
+        let c = GenConfig::small();
+        let d = generate(&c);
+        let mut gen =
+            StreamGen::new(&d, &c, 7, StreamMix { users: 0, follows: 100, tweets: 0 });
+        let mut indeg = std::collections::HashMap::new();
+        for e in gen.events(3000) {
+            if let UpdateEvent::NewFollow { followee, .. } = e {
+                *indeg.entry(followee).or_insert(0u32) += 1;
+            }
+        }
+        let max = indeg.values().max().copied().unwrap_or(0);
+        let mean = 3000.0 / indeg.len() as f64;
+        assert!(max as f64 > mean * 3.0, "stream should keep the heavy tail: max {max}, mean {mean}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Tweet text synthesis.
+//!
+//! Tweets are the dataset's dominant payload ("the payload of the tweet
+//! nodes is larger as compared to the other node types" — the slow region
+//! of Figure 3(a)), so text must be realistically sized (tens of bytes to
+//! ~280) and cheap to generate. Words come from a small embedded vocabulary
+//! sampled with a Zipf distribution; mentions and hashtags are spliced in as
+//! `@user` / `#tag` tokens like real tweet bodies.
+
+use micrograph_common::rng::{SplitMix64, Zipf};
+
+/// The embedded word vocabulary (frequency rank order).
+const WORDS: &[&str] = &[
+    "the", "to", "a", "and", "is", "in", "it", "you", "of", "for", "on", "my", "that", "at",
+    "with", "me", "do", "have", "just", "this", "be", "so", "are", "not", "was", "but", "out",
+    "up", "what", "now", "new", "from", "your", "like", "good", "no", "get", "all", "about",
+    "day", "more", "love", "today", "one", "time", "great", "how", "can", "some", "really",
+    "see", "know", "back", "when", "going", "think", "people", "still", "had", "want", "need",
+    "never", "right", "why", "look", "first", "feel", "year", "make", "best", "graph", "data",
+    "query", "social", "network", "follow", "tweet", "post", "stream", "trend", "topic",
+    "breaking", "live", "watch", "check", "read", "share", "thanks", "happy", "night", "work",
+    "home", "game", "music", "world", "news", "free", "win", "big", "real", "next",
+];
+
+/// A deterministic tweet-text generator.
+#[derive(Debug, Clone)]
+pub struct TextGen {
+    zipf: Zipf,
+}
+
+impl Default for TextGen {
+    fn default() -> Self {
+        TextGen::new()
+    }
+}
+
+impl TextGen {
+    /// Creates a generator over the embedded vocabulary.
+    pub fn new() -> TextGen {
+        TextGen { zipf: Zipf::new(WORDS.len(), 1.0) }
+    }
+
+    /// Produces one tweet body of 4–24 words, splicing in the given
+    /// `@mention` handles and `#hashtag` names at random positions.
+    pub fn tweet(
+        &self,
+        rng: &mut SplitMix64,
+        mentions: &[String],
+        hashtags: &[String],
+    ) -> String {
+        let n_words = 4 + rng.next_below(21) as usize;
+        let mut tokens: Vec<String> = (0..n_words)
+            .map(|_| WORDS[self.zipf.sample(rng)].to_owned())
+            .collect();
+        for m in mentions {
+            let at = rng.next_below(tokens.len() as u64 + 1) as usize;
+            tokens.insert(at, format!("@{m}"));
+        }
+        for h in hashtags {
+            let at = rng.next_below(tokens.len() as u64 + 1) as usize;
+            tokens.insert(at, format!("#{h}"));
+        }
+        let mut text = tokens.join(" ");
+        text.truncate(280);
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let g = TextGen::new();
+        let mut r1 = SplitMix64::new(5);
+        let mut r2 = SplitMix64::new(5);
+        assert_eq!(g.tweet(&mut r1, &[], &[]), g.tweet(&mut r2, &[], &[]));
+    }
+
+    #[test]
+    fn splices_mentions_and_tags() {
+        let g = TextGen::new();
+        let mut rng = SplitMix64::new(9);
+        let t = g.tweet(&mut rng, &["alice".into()], &["rust".into(), "db".into()]);
+        assert!(t.contains("@alice"), "{t}");
+        assert!(t.contains("#rust") && t.contains("#db"), "{t}");
+        assert!(t.len() <= 280);
+    }
+
+    #[test]
+    fn realistic_length_distribution() {
+        let g = TextGen::new();
+        let mut rng = SplitMix64::new(1);
+        let lens: Vec<usize> = (0..200).map(|_| g.tweet(&mut rng, &[], &[]).len()).collect();
+        let avg = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(avg > 20.0 && avg < 200.0, "avg tweet length {avg}");
+        assert!(lens.iter().all(|&l| l <= 280));
+    }
+}

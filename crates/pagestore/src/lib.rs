@@ -1,0 +1,29 @@
+//! Paged storage substrate for the `arbordb` engine.
+//!
+//! The Neo4j-analog engine in this workspace keeps its record stores in
+//! fixed-size pages managed by a buffer pool, with a write-ahead log for
+//! transactional durability — the architecture whose cache behaviour the
+//! paper's Section 4 ("Problems with the cold cache") introspects.
+//!
+//! * [`page`] — the 8 KiB page, raw access and a slotted layout.
+//! * [`backend`] — where pages live: an on-disk file or an in-memory vector.
+//! * [`buffer`] — the buffer pool: pinning, clock eviction, hit/miss stats.
+//! * [`wal`] — append-only write-ahead log with crash recovery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod buffer;
+pub mod page;
+pub mod wal;
+
+pub use backend::{DiskBackend, MemBackend, StorageBackend};
+pub use buffer::{BufferPool, PoolConfig, PoolStats};
+pub use page::{Page, PAGE_SIZE};
+pub use wal::{Wal, WalRecord};
+
+/// Errors produced by the storage substrate.
+pub type StoreError = micrograph_common::CommonError;
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

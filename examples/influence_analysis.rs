@@ -1,0 +1,55 @@
+//! Influence analysis (the paper's Q5 scenario): "for targeting promotions
+//! a retail store might be interested in the community of users whom they
+//! can influence" — current influencers already follow the account,
+//! potential ones mention it without following.
+//!
+//! ```sh
+//! cargo run --release --example influence_analysis
+//! ```
+
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ingest::build_engines;
+use micrograph_datagen::{generate, GenConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = GenConfig::small();
+    config.users = 1_200;
+    config.mentions_per_tweet = 1.0;
+    let dataset = generate(&config);
+    let dir = std::env::temp_dir().join("micrograph-influence");
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = dataset.write_csv(&dir)?;
+    let (arbor, bit, _) = build_engines(&files)?;
+
+    // The most-mentioned account plays the "retail store".
+    let mut mention_count = std::collections::HashMap::new();
+    for &(_, u) in &dataset.mentions {
+        *mention_count.entry(u as i64).or_insert(0u32) += 1;
+    }
+    let (&store, &mentions) =
+        mention_count.iter().max_by_key(|(_, &c)| c).expect("mentions exist");
+    println!("Account under analysis: user {store} ({mentions} mentions)\n");
+
+    for engine in [&arbor as &dyn MicroblogEngine, &bit as &dyn MicroblogEngine] {
+        engine.reset_stats();
+        let current = engine.current_influence(store, 5)?;
+        let potential = engine.potential_influence(store, 5)?;
+        println!("== {} ({} engine ops) ==", engine.name(), engine.ops_count());
+        println!("Q5.1 current influence — mentioners who already follow:");
+        for r in &current {
+            println!("   user {:>6} mentioned them {} times", r.key, r.count);
+        }
+        println!("Q5.2 potential influence — mentioners to convert into followers:");
+        for r in &potential {
+            println!("   user {:>6} mentioned them {} times", r.key, r.count);
+        }
+        println!();
+    }
+
+    // Who gets mentioned together with the store (Q3.1)?
+    println!("Q3.1 co-mentioned accounts (arbordb):");
+    for r in arbor.co_mentioned_users(store, 5)? {
+        println!("   user {:>6} co-mentioned {} times", r.key, r.count);
+    }
+    Ok(())
+}

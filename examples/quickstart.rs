@@ -1,0 +1,66 @@
+//! Quickstart: generate a small Twitter-shaped dataset, load it into both
+//! graph engines, and run a few Table 2 queries on each.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ingest::build_engines;
+use micrograph_datagen::{generate, GenConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A deterministic synthetic dataset (see `micrograph-datagen`).
+    let mut config = GenConfig::small();
+    config.users = 1_000;
+    let dataset = generate(&config);
+    println!("Generated dataset:\n{}", dataset.stats().render_table());
+
+    // 2. Emit the CSV sources and bulk-load them into BOTH engines —
+    //    "the same source files ... were used with both databases".
+    let dir = std::env::temp_dir().join("micrograph-quickstart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = dataset.write_csv(&dir)?;
+    let (arbor, bit, reports) = build_engines(&files)?;
+    println!(
+        "Imported {} nodes / {} edges — arbordb {:.0} ms, bitgraph {:.0} ms\n",
+        reports.arbor.nodes, reports.arbor.edges, reports.arbor.total_ms, reports.bit.total_ms
+    );
+
+    // 3. Run the same queries on both engines.
+    let uid = 1;
+    for engine in [&arbor as &dyn MicroblogEngine, &bit as &dyn MicroblogEngine] {
+        println!("== {} ==", engine.name());
+        let followees = engine.followees(uid)?;
+        println!("Q2.1 followees of user {uid}: {} users", followees.len());
+        let hashtags = engine.followee_hashtags(uid)?;
+        println!(
+            "Q2.3 hashtags used by their posts: {:?}",
+            &hashtags[..hashtags.len().min(5)]
+        );
+        let recs = engine.recommend_followees(uid, 5)?;
+        println!("Q4.1 top-5 follow recommendations:");
+        for r in &recs {
+            println!("   user {} (followed by {} of your followees)", r.key, r.count);
+        }
+        let popular = engine.users_with_followers_over(20)?;
+        println!("Q1.1 users with >20 followers: {}", popular.len());
+        match engine.shortest_path_len(1, 500, 5)? {
+            Some(len) => println!("Q6.1 degrees of separation 1 → 500: {len}"),
+            None => println!("Q6.1 users 1 and 500 are more than 5 hops apart"),
+        }
+        println!();
+    }
+
+    // 4. The declarative engine also exposes its language directly.
+    let result = arbor.ql().query(
+        "MATCH (u:user) WHERE u.followers > $th RETURN u.uid, u.followers \
+         ORDER BY u.followers DESC LIMIT 3",
+        &[("th", micrograph_core::Value::Int(10))],
+    )?;
+    println!("ArborQL top-3 by followers (db hits: {}):", result.stats.db_hits);
+    for row in &result.rows {
+        println!("   uid {} — {} followers", row[0], row[1]);
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The §3.3 composite query end-to-end, with the retweets the paper lacked.
+
+use micrograph_core::compose::topic_experts;
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ingest::build_engines;
+use micrograph_datagen::{generate, GenConfig};
+
+struct Guard(std::path::PathBuf);
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn engines() -> (micrograph_core::ArborEngine, micrograph_core::BitEngine, Guard) {
+    let mut cfg = GenConfig::unit();
+    cfg.users = 180;
+    cfg.poster_fraction = 0.3;
+    cfg.tweets_per_poster = 6;
+    cfg.tags_per_tweet = 1.0;
+    cfg.with_retweets = true;
+    cfg.retweet_fraction = 0.4;
+    let dir = std::env::temp_dir().join(format!("composite-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = generate(&cfg).write_csv(&dir).unwrap();
+    let (a, b, _) = build_engines(&files).unwrap();
+    (a, b, Guard(dir))
+}
+
+#[test]
+fn experts_agree_across_engines() {
+    let (a, b, _g) = engines();
+    for uid in [1i64, 10, 40] {
+        for tag in ["tag1", "tag2", "tag3"] {
+            let ea = topic_experts(&a, uid, tag, 5, 4).unwrap();
+            let eb = topic_experts(&b, uid, tag, 5, 4).unwrap();
+            assert_eq!(ea, eb, "uid {uid} tag {tag}");
+        }
+    }
+}
+
+#[test]
+fn experts_exclude_the_asker_and_rank_by_distance() {
+    let (a, _b, _g) = engines();
+    let experts = topic_experts(&a, 1, "tag1", 8, 4).unwrap();
+    assert!(!experts.is_empty());
+    assert!(experts.iter().all(|e| e.uid != 1), "asker must not be recommended");
+    for w in experts.windows(2) {
+        let ka = w[0].path_len.unwrap_or(u32::MAX);
+        let kb = w[1].path_len.unwrap_or(u32::MAX);
+        assert!(ka < kb || (ka == kb && w[0].retweet_count >= w[1].retweet_count));
+    }
+}
+
+#[test]
+fn retweet_counts_are_consistent() {
+    let (a, b, _g) = engines();
+    let mut any = 0u64;
+    for tid in 1..=100i64 {
+        let ra = a.retweet_count(tid).unwrap();
+        let rb = b.retweet_count(tid).unwrap();
+        assert_eq!(ra, rb, "tid {tid}");
+        any += ra;
+    }
+    assert!(any > 0, "dataset must contain retweets");
+}
+
+#[test]
+fn unknown_tag_yields_no_experts() {
+    let (a, b, _g) = engines();
+    assert!(topic_experts(&a, 1, "nope", 5, 3).unwrap().is_empty());
+    assert!(topic_experts(&b, 1, "nope", 5, 3).unwrap().is_empty());
+}

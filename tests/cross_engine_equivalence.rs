@@ -1,0 +1,227 @@
+//! The load-bearing invariant of the reproduction: **both engine
+//! architectures answer every Table 2 query identically** on the same
+//! dataset. The paper compares the two systems' performance; that is only
+//! meaningful because the answers agree.
+
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ingest::build_engines;
+use micrograph_core::{ArborEngine, BitEngine};
+use micrograph_datagen::{generate, GenConfig};
+
+/// Removes the temp dir on drop.
+struct Guard(std::path::PathBuf);
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn engines(seed: u64, users: u64) -> (ArborEngine, BitEngine, Guard) {
+    let mut cfg = GenConfig::unit();
+    cfg.seed = seed;
+    cfg.users = users;
+    cfg.poster_fraction = 0.3;
+    cfg.tweets_per_poster = 6;
+    cfg.mentions_per_tweet = 1.2;
+    cfg.tags_per_tweet = 0.8;
+    let dir = std::env::temp_dir().join(format!(
+        "xengine-{seed}-{users}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = generate(&cfg).write_csv(&dir).unwrap();
+    let (a, b, _) = build_engines(&files).unwrap();
+    (a, b, Guard(dir))
+}
+
+#[test]
+fn q1_selection_agrees() {
+    let (a, b, _g) = engines(11, 150);
+    for th in [0, 1, 3, 10, 100] {
+        assert_eq!(
+            a.users_with_followers_over(th).unwrap(),
+            b.users_with_followers_over(th).unwrap(),
+            "threshold {th}"
+        );
+    }
+}
+
+#[test]
+fn q2_adjacency_agrees() {
+    let (a, b, _g) = engines(12, 150);
+    for uid in 1..=30 {
+        assert_eq!(a.followees(uid).unwrap(), b.followees(uid).unwrap(), "Q2.1 uid {uid}");
+        assert_eq!(
+            a.followee_tweets(uid).unwrap(),
+            b.followee_tweets(uid).unwrap(),
+            "Q2.2 uid {uid}"
+        );
+        assert_eq!(
+            a.followee_hashtags(uid).unwrap(),
+            b.followee_hashtags(uid).unwrap(),
+            "Q2.3 uid {uid}"
+        );
+    }
+}
+
+#[test]
+fn q3_cooccurrence_agrees() {
+    let (a, b, _g) = engines(13, 150);
+    for uid in 1..=40 {
+        assert_eq!(
+            a.co_mentioned_users(uid, 10).unwrap(),
+            b.co_mentioned_users(uid, 10).unwrap(),
+            "Q3.1 uid {uid}"
+        );
+    }
+    for t in 1..=8 {
+        let tag = format!("tag{t}");
+        assert_eq!(
+            a.co_occurring_hashtags(&tag, 10).unwrap(),
+            b.co_occurring_hashtags(&tag, 10).unwrap(),
+            "Q3.2 {tag}"
+        );
+    }
+}
+
+#[test]
+fn q4_recommendation_agrees() {
+    let (a, b, _g) = engines(14, 150);
+    for uid in 1..=30 {
+        assert_eq!(
+            a.recommend_followees(uid, 10).unwrap(),
+            b.recommend_followees(uid, 10).unwrap(),
+            "Q4.1 uid {uid}"
+        );
+        assert_eq!(
+            a.recommend_followers(uid, 10).unwrap(),
+            b.recommend_followers(uid, 10).unwrap(),
+            "Q4.2 uid {uid}"
+        );
+    }
+}
+
+#[test]
+fn q4_phrasings_agree_with_canonical() {
+    use micrograph_core::adapters::RecommendationPhrasing;
+    let (a, b, _g) = engines(15, 120);
+    for uid in 1..=25 {
+        let canonical = a
+            .recommend_phrasing(RecommendationPhrasing::Canonical, uid, 10)
+            .unwrap();
+        let varlength = a
+            .recommend_phrasing(RecommendationPhrasing::VarLength, uid, 10)
+            .unwrap();
+        assert_eq!(canonical, varlength, "phrasings (a)/(b) uid {uid}");
+        // And the traversal-API variant.
+        let api = a.recommend_followees_via_api(uid, 10).unwrap();
+        assert_eq!(canonical, api, "core-API variant uid {uid}");
+        // And the navigation engine.
+        assert_eq!(canonical, b.recommend_followees(uid, 10).unwrap());
+    }
+}
+
+#[test]
+fn q5_influence_agrees() {
+    let (a, b, _g) = engines(16, 150);
+    for uid in 1..=40 {
+        assert_eq!(
+            a.current_influence(uid, 10).unwrap(),
+            b.current_influence(uid, 10).unwrap(),
+            "Q5.1 uid {uid}"
+        );
+        assert_eq!(
+            a.potential_influence(uid, 10).unwrap(),
+            b.potential_influence(uid, 10).unwrap(),
+            "Q5.2 uid {uid}"
+        );
+    }
+}
+
+#[test]
+fn q5_partitions_mentioners() {
+    // Current and potential influence never share a user.
+    let (a, _b, _g) = engines(17, 120);
+    for uid in 1..=20 {
+        let cur = a.current_influence(uid, 1000).unwrap();
+        let pot = a.potential_influence(uid, 1000).unwrap();
+        let cur_keys: std::collections::HashSet<i64> = cur.iter().map(|r| r.key).collect();
+        for p in &pot {
+            assert!(!cur_keys.contains(&p.key), "uid {uid}: {} in both partitions", p.key);
+        }
+    }
+}
+
+#[test]
+fn q6_shortest_paths_agree() {
+    let (a, b, _g) = engines(18, 120);
+    for (ua, ub) in [(1, 2), (3, 50), (10, 90), (5, 5), (7, 119), (100, 2)] {
+        for max in [1, 2, 3, 4, 6] {
+            assert_eq!(
+                a.shortest_path_len(ua, ub, max).unwrap(),
+                b.shortest_path_len(ua, ub, max).unwrap(),
+                "Q6.1 {ua}->{ub} max {max}"
+            );
+        }
+    }
+}
+
+#[test]
+fn api_variant_matches_language() {
+    let (a, _b, _g) = engines(19, 100);
+    for uid in 1..=20 {
+        assert_eq!(
+            a.followees(uid).unwrap(),
+            a.followees_via_api(uid).unwrap(),
+            "uid {uid}"
+        );
+    }
+}
+
+#[test]
+fn missing_entities_are_empty_everywhere() {
+    let (a, b, _g) = engines(20, 60);
+    assert!(a.followees(99999).unwrap().is_empty());
+    assert!(b.followees(99999).unwrap().is_empty());
+    assert!(a.co_mentioned_users(99999, 5).unwrap().is_empty());
+    assert!(b.co_mentioned_users(99999, 5).unwrap().is_empty());
+    assert!(a.co_occurring_hashtags("no-such-tag", 5).unwrap().is_empty());
+    assert!(b.co_occurring_hashtags("no-such-tag", 5).unwrap().is_empty());
+    assert_eq!(a.shortest_path_len(1, 99999, 3).unwrap(), None);
+    assert_eq!(b.shortest_path_len(1, 99999, 3).unwrap(), None);
+}
+
+#[test]
+fn several_seeds_full_sweep() {
+    use micrograph_common::rng::SplitMix64;
+    use micrograph_core::workload::{run_query, QueryId, QueryParams};
+    for seed in [31, 32, 33] {
+        let (a, b, _g) = engines(seed, 100);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..5 {
+            let params = QueryParams::sample(&mut rng, 100, 8);
+            for q in QueryId::ALL {
+                let ra = run_query(&a, q, &params).unwrap();
+                let rb = run_query(&b, q, &params).unwrap();
+                assert_eq!(ra, rb, "{} seed {seed} params {params:?}", q.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn bitgraph_traversal_variants_match_navigation() {
+    let (_a, b, _g) = engines(40, 100);
+    for uid in 1..=25 {
+        assert_eq!(
+            b.followees(uid).unwrap(),
+            b.followees_via_traversal(uid).unwrap(),
+            "Q2.1 traversal vs navigation, uid {uid}"
+        );
+        assert_eq!(
+            b.two_step_reach_nav(uid).unwrap(),
+            b.two_step_reach_traversal(uid).unwrap(),
+            "2-step reach, uid {uid}"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end: generate → CSV → bulk import into both engines → verify
+//! query answers against ground truth computed directly from the dataset.
+
+use std::collections::{HashMap, HashSet};
+
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ingest::build_engines;
+use micrograph_datagen::{generate, Dataset, GenConfig};
+
+struct Guard(std::path::PathBuf);
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn setup() -> (Dataset, micrograph_core::ArborEngine, micrograph_core::BitEngine, Guard) {
+    let mut cfg = GenConfig::unit();
+    cfg.users = 200;
+    cfg.poster_fraction = 0.25;
+    cfg.tweets_per_poster = 5;
+    cfg.mentions_per_tweet = 1.0;
+    cfg.tags_per_tweet = 0.7;
+    let dataset = generate(&cfg);
+    let dir = std::env::temp_dir().join(format!("e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = dataset.write_csv(&dir).unwrap();
+    let (a, b, reports) = build_engines(&files).unwrap();
+    let s = dataset.stats();
+    assert_eq!(reports.arbor.nodes, s.total_nodes());
+    assert_eq!(reports.arbor.edges, s.total_edges());
+    assert_eq!(reports.bit.nodes, s.total_nodes());
+    assert_eq!(reports.bit.edges, s.total_edges());
+    (dataset, a, b, Guard(dir))
+}
+
+#[test]
+fn q1_matches_ground_truth() {
+    let (ds, a, b, _g) = setup();
+    for th in [0i64, 2, 5, 20] {
+        let mut expect: Vec<i64> = ds
+            .users
+            .iter()
+            .filter(|u| (u.followers as i64) > th)
+            .map(|u| u.uid as i64)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(a.users_with_followers_over(th).unwrap(), expect, "arbor th {th}");
+        assert_eq!(b.users_with_followers_over(th).unwrap(), expect, "bit th {th}");
+    }
+}
+
+#[test]
+fn q2_matches_ground_truth() {
+    let (ds, a, b, _g) = setup();
+    let mut followees: HashMap<i64, Vec<i64>> = HashMap::new();
+    for &(s, d) in &ds.follows {
+        followees.entry(s as i64).or_default().push(d as i64);
+    }
+    let mut tweets_by_user: HashMap<i64, Vec<i64>> = HashMap::new();
+    for t in &ds.tweets {
+        tweets_by_user.entry(t.uid as i64).or_default().push(t.tid as i64);
+    }
+    for uid in [1i64, 7, 42, 120, 199] {
+        let mut expect_f = followees.get(&uid).cloned().unwrap_or_default();
+        expect_f.sort_unstable();
+        assert_eq!(a.followees(uid).unwrap(), expect_f, "Q2.1 arbor uid {uid}");
+        assert_eq!(b.followees(uid).unwrap(), expect_f, "Q2.1 bit uid {uid}");
+
+        let mut expect_t: Vec<i64> = expect_f
+            .iter()
+            .flat_map(|f| tweets_by_user.get(f).cloned().unwrap_or_default())
+            .collect();
+        expect_t.sort_unstable();
+        assert_eq!(a.followee_tweets(uid).unwrap(), expect_t, "Q2.2 arbor uid {uid}");
+        assert_eq!(b.followee_tweets(uid).unwrap(), expect_t, "Q2.2 bit uid {uid}");
+    }
+}
+
+#[test]
+fn q3_counts_match_ground_truth() {
+    let (ds, a, b, _g) = setup();
+    let mut mentions_by_tweet: HashMap<i64, Vec<i64>> = HashMap::new();
+    for &(t, u) in &ds.mentions {
+        mentions_by_tweet.entry(t as i64).or_default().push(u as i64);
+    }
+    for uid in [1i64, 3, 10, 50] {
+        let mut counts: HashMap<i64, u64> = HashMap::new();
+        for mentioned in mentions_by_tweet.values() {
+            let times_a = mentioned.iter().filter(|&&m| m == uid).count() as u64;
+            if times_a == 0 {
+                continue;
+            }
+            for &m in mentioned {
+                if m != uid {
+                    *counts.entry(m).or_insert(0) += times_a;
+                }
+            }
+        }
+        let got = a.co_mentioned_users(uid, 1000).unwrap();
+        let got_map: HashMap<i64, u64> = got.iter().map(|r| (r.key, r.count)).collect();
+        assert_eq!(got_map, counts, "Q3.1 arbor uid {uid}");
+        let got_b = b.co_mentioned_users(uid, 1000).unwrap();
+        assert_eq!(got, got_b, "Q3.1 bit uid {uid}");
+    }
+}
+
+#[test]
+fn q4_counts_match_ground_truth() {
+    let (ds, a, _b, _g) = setup();
+    let mut followees: HashMap<i64, HashSet<i64>> = HashMap::new();
+    for &(s, d) in &ds.follows {
+        followees.entry(s as i64).or_default().insert(d as i64);
+    }
+    for uid in [1i64, 20, 77] {
+        let empty = HashSet::new();
+        let mine = followees.get(&uid).unwrap_or(&empty);
+        let mut counts: HashMap<i64, u64> = HashMap::new();
+        for f in mine {
+            for r in followees.get(f).unwrap_or(&empty) {
+                if *r != uid && !mine.contains(r) {
+                    *counts.entry(*r).or_insert(0) += 1;
+                }
+            }
+        }
+        let got = a.recommend_followees(uid, 100_000).unwrap();
+        let got_map: HashMap<i64, u64> = got.iter().map(|r| (r.key, r.count)).collect();
+        assert_eq!(got_map, counts, "Q4.1 uid {uid}");
+    }
+}
+
+#[test]
+fn q6_matches_reference_bfs() {
+    let (ds, a, b, _g) = setup();
+    let mut adj: HashMap<i64, Vec<i64>> = HashMap::new();
+    for &(s, d) in &ds.follows {
+        adj.entry(s as i64).or_default().push(d as i64);
+        adj.entry(d as i64).or_default().push(s as i64);
+    }
+    let bfs = |from: i64, to: i64, max: u32| -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist: HashMap<i64, u32> = HashMap::new();
+        dist.insert(from, 0);
+        let mut q = std::collections::VecDeque::from([from]);
+        while let Some(n) = q.pop_front() {
+            let d = dist[&n];
+            if d >= max {
+                continue;
+            }
+            for &m in adj.get(&n).into_iter().flatten() {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(m) {
+                    e.insert(d + 1);
+                    if m == to {
+                        return Some(d + 1);
+                    }
+                    q.push_back(m);
+                }
+            }
+        }
+        None
+    };
+    for (ua, ub) in [(1i64, 2i64), (1, 150), (33, 66), (10, 199), (5, 5)] {
+        for max in [2u32, 3, 5] {
+            let expect = bfs(ua, ub, max);
+            assert_eq!(a.shortest_path_len(ua, ub, max).unwrap(), expect, "arbor {ua}->{ub} max {max}");
+            assert_eq!(b.shortest_path_len(ua, ub, max).unwrap(), expect, "bit {ua}->{ub} max {max}");
+        }
+    }
+}
+
+#[test]
+fn top_n_truncation_and_ordering() {
+    let (_ds, a, b, _g) = setup();
+    for uid in 1..=10i64 {
+        for n in [1usize, 3, 10] {
+            for got in [a.recommend_followees(uid, n).unwrap(), b.recommend_followees(uid, n).unwrap()] {
+                assert!(got.len() <= n);
+                for w in got.windows(2) {
+                    assert!(
+                        w[0].count > w[1].count || (w[0].count == w[1].count && w[0].key < w[1].key),
+                        "ordering violated: {w:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_stats_move() {
+    let (_ds, a, b, _g) = setup();
+    a.reset_stats();
+    b.reset_stats();
+    let _ = a.followees(1).unwrap();
+    let _ = b.followees(1).unwrap();
+    assert!(a.ops_count() > 0, "arbor db hits");
+    assert!(b.ops_count() > 0, "bit navigation ops");
+    a.reset_stats();
+    assert_eq!(a.ops_count(), 0);
+}

@@ -1,0 +1,87 @@
+//! Plan-cache behaviour (§4): parameterized queries hit the cache, literal
+//! rephrasings do not, and caching never changes answers.
+
+use std::sync::Arc;
+
+use arbor_ql::{EngineOptions, QueryEngine, Value};
+use arbordb::db::{DbConfig, GraphDb};
+
+fn small_db() -> Arc<GraphDb> {
+    let db = GraphDb::open_memory(DbConfig::default()).unwrap();
+    let mut tx = db.begin_write().unwrap();
+    let users: Vec<_> = (1..=30i64)
+        .map(|i| tx.create_node("user", &[("uid", Value::Int(i))]).unwrap())
+        .collect();
+    for i in 0..30usize {
+        for j in 1..=3usize {
+            tx.create_rel(users[i], users[(i + j) % 30], "follows", &[]).unwrap();
+        }
+    }
+    tx.commit().unwrap();
+    db.create_index("user", "uid").unwrap();
+    Arc::new(db)
+}
+
+const PARAMETERIZED: &str = "MATCH (a:user {uid: $uid})-[:follows]->(f) RETURN f.uid ORDER BY f.uid";
+
+#[test]
+fn parameterized_queries_reuse_one_plan() {
+    let db = small_db();
+    let ql = QueryEngine::new(db);
+    for i in 1..=20 {
+        ql.query(PARAMETERIZED, &[("uid", Value::Int(i))]).unwrap();
+    }
+    let (hits, misses) = ql.cache_stats();
+    assert_eq!(misses, 1);
+    assert_eq!(hits, 19);
+}
+
+#[test]
+fn literals_miss_every_time() {
+    let db = small_db();
+    let ql = QueryEngine::new(db);
+    for i in 1..=10 {
+        let text = format!("MATCH (a:user {{uid: {i}}})-[:follows]->(f) RETURN f.uid");
+        ql.query(&text, &[]).unwrap();
+    }
+    let (hits, misses) = ql.cache_stats();
+    assert_eq!(misses, 10);
+    assert_eq!(hits, 0);
+}
+
+#[test]
+fn cached_and_uncached_answers_agree() {
+    let db = small_db();
+    let with_cache = QueryEngine::new(db.clone());
+    let without = QueryEngine::with_options(
+        db,
+        EngineOptions { planner: Default::default(), plan_cache: false },
+    );
+    for i in 1..=15 {
+        let a = with_cache.query(PARAMETERIZED, &[("uid", Value::Int(i))]).unwrap();
+        let b = without.query(PARAMETERIZED, &[("uid", Value::Int(i))]).unwrap();
+        assert_eq!(a.rows, b.rows, "uid {i}");
+    }
+}
+
+#[test]
+fn cache_hit_skips_planning_cost() {
+    let db = small_db();
+    let ql = QueryEngine::new(db);
+    let first = ql.query(PARAMETERIZED, &[("uid", Value::Int(1))]).unwrap();
+    assert!(!first.stats.plan_cached);
+    assert!(first.stats.plan_ms > 0.0);
+    let second = ql.query(PARAMETERIZED, &[("uid", Value::Int(2))]).unwrap();
+    assert!(second.stats.plan_cached);
+    assert_eq!(second.stats.plan_ms, 0.0);
+}
+
+#[test]
+fn clear_cache_resets() {
+    let db = small_db();
+    let ql = QueryEngine::new(db);
+    ql.query(PARAMETERIZED, &[("uid", Value::Int(1))]).unwrap();
+    ql.clear_cache();
+    let r = ql.query(PARAMETERIZED, &[("uid", Value::Int(1))]).unwrap();
+    assert!(!r.stats.plan_cached);
+}
