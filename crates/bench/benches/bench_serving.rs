@@ -1,0 +1,41 @@
+//! Concurrent serving throughput: queries/sec for a mixed Q1–Q6 request
+//! stream at 1/2/4 reader threads over each shared engine — the
+//! multi-client axis single-query latency benches (Figure 4) leave open.
+//!
+//! Scale via `MICROGRAPH_SCALE=unit|small|medium` (default unit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use micrograph_bench::{fixture, Scale};
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::serve::{serve, ServeConfig};
+
+const REQUESTS: usize = 64;
+
+fn bench_serving(c: &mut Criterion) {
+    let f = fixture(Scale::from_env(Scale::Unit));
+    let users = f.dataset.users.len() as u64;
+    let engines: [(&str, &dyn MicroblogEngine); 2] =
+        [("arbordb", &f.arbor), ("bitgraph", &f.bit)];
+
+    let mut g = c.benchmark_group("serving_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(REQUESTS as u64));
+    for (name, engine) in engines {
+        for threads in [1usize, 2, 4] {
+            let config = ServeConfig { threads, requests: REQUESTS, seed: 7, users, vocab: 16 };
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{threads}_readers")),
+                &config,
+                |b, config| b.iter(|| serve(engine, config).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! navigation engine updates in-memory structures and its extent log.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use micrograph_core::engine::MicroblogEngine;
 use micrograph_core::ingest::build_engines;
 use micrograph_datagen::{generate, GenConfig, StreamGen, StreamMix};
 
@@ -39,7 +40,7 @@ fn bench_updates(c: &mut Criterion) {
                     StreamGen::new(&dataset, &cfg, 5, StreamMix::default()).events(100);
                 (bit, events)
             },
-            |(mut bit, events)| {
+            |(bit, events)| {
                 for e in &events {
                     bit.apply_event(e).unwrap();
                 }

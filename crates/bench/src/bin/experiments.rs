@@ -11,6 +11,7 @@
 //!   fig4 [a-h]    Figure 4 query latency panels (all panels by default)
 //!   ablations     §4 discussion items D1–D6
 //!   updates       §5 future-work update workload (FW1)
+//!   serving       §5 concurrent multi-reader serving throughput (FW2)
 //!   summary       §3.2 import/size headline comparison
 //!   all           everything above, in paper order
 //! ```
@@ -125,6 +126,7 @@ fn main() {
         }
         "ablations" => print!("{}", figures::ablations(f)),
         "updates" => print!("{}", figures::update_throughput(f)),
+        "serving" => print!("{}", figures::serving(f)),
         "summary" => print!("{}", figures::import_summary(f)),
         "all" => {
             println!("{}", figures::table1(f));
@@ -140,6 +142,7 @@ fn main() {
             run_fig4(&Panel::ALL);
             print!("{}", figures::ablations(f));
             print!("{}", figures::update_throughput(f));
+            print!("{}", figures::serving(f));
         }
         other => {
             eprintln!("unknown command {other:?}; see the module docs");

@@ -9,6 +9,7 @@
 //! | Fig 4a–h | [`fig4`] (Q3.1 / Q4.1 / Q5.2 / Q6.1 per engine) |
 //! | §4 items | [`ablations`] (D1–D6 in DESIGN.md) |
 //! | §5 FW1   | [`update_throughput`] (the future-work update workload) |
+//! | §5 FW2   | [`serving`] (concurrent multi-reader throughput) |
 
 use arbor_ql::EngineOptions;
 use arbor_ql::plan::PlannerOptions;
@@ -17,8 +18,9 @@ use micrograph_common::stats::ProgressCurve;
 use micrograph_core::adapters::RecommendationPhrasing;
 use micrograph_core::engine::MicroblogEngine;
 use micrograph_core::ingest::ingest_bit;
-use micrograph_core::runner::{measure, measure_cold, MeasureConfig};
-use micrograph_core::workload::render_table2;
+use micrograph_core::runner::{measure, measure_cold, measure_query, MeasureConfig};
+use micrograph_core::serve::{serve, ServeConfig};
+use micrograph_core::workload::{render_table2, QueryId, QueryParams};
 use micrograph_core::{ArborEngine, Value};
 
 use crate::fixture::Fixture;
@@ -162,10 +164,9 @@ fn fig4_q31(f: &Fixture, arbor: bool) -> Series {
     );
     for (uid, _) in subjects {
         let rows = engine.co_mentioned_users(uid, UNLIMITED).expect("q3.1").len() as f64;
-        let m = measure(&figure_protocol(), || {
-            engine.co_mentioned_users(uid, UNLIMITED).map(|_| ())
-        })
-        .expect("measure");
+        let params = QueryParams { uid, n: UNLIMITED, ..QueryParams::default() };
+        let m = measure_query(engine, QueryId::Q3_1, &params, &figure_protocol())
+            .expect("measure");
         s.points.push((rows, m.avg_ms));
     }
     s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -184,10 +185,9 @@ fn fig4_q41(f: &Fixture, arbor: bool) -> Series {
     );
     for (uid, _) in subjects {
         let rows = engine.recommend_followees(uid, UNLIMITED).expect("q4.1").len() as f64;
-        let m = measure(&figure_protocol(), || {
-            engine.recommend_followees(uid, UNLIMITED).map(|_| ())
-        })
-        .expect("measure");
+        let params = QueryParams { uid, n: UNLIMITED, ..QueryParams::default() };
+        let m = measure_query(engine, QueryId::Q4_1, &params, &figure_protocol())
+            .expect("measure");
         s.points.push((rows, m.avg_ms));
     }
     s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -205,10 +205,9 @@ fn fig4_q52(f: &Fixture, arbor: bool) -> Series {
         "average time (ms)",
     );
     for (uid, degree) in subjects {
-        let m = measure(&figure_protocol(), || {
-            engine.potential_influence(uid, UNLIMITED).map(|_| ())
-        })
-        .expect("measure");
+        let params = QueryParams { uid, n: UNLIMITED, ..QueryParams::default() };
+        let m = measure_query(engine, QueryId::Q5_2, &params, &figure_protocol())
+            .expect("measure");
         s.points.push((degree as f64, m.avg_ms));
     }
     s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -248,10 +247,10 @@ fn fig4_q61(f: &Fixture, arbor: bool) -> Series {
     for (len, pairs) in buckets {
         let mut total = 0.0;
         for &(a, b) in &pairs {
-            let m = measure(&figure_protocol(), || {
-                engine.shortest_path_len(a, b, max_hops).map(|_| ())
-            })
-            .expect("measure");
+            let params =
+                QueryParams { uid: a, uid_b: b, max_hops, ..QueryParams::default() };
+            let m = measure_query(engine, QueryId::Q6_1, &params, &figure_protocol())
+                .expect("measure");
             total += m.avg_ms;
         }
         s.points.push((len as f64, total / pairs.len() as f64));
@@ -468,18 +467,17 @@ pub fn update_throughput(f: &Fixture) -> String {
     )
     .expect("ingest");
     let arbor = ArborEngine::new(db);
-    let t = micrograph_common::stats::Timer::start();
-    for e in &events {
-        arbor.apply_event(e).expect("apply");
-    }
-    let arbor_ms = t.elapsed_ms();
-
-    let (_a2, mut bit, _) = build_engines(&f.files).expect("ingest");
-    let t = micrograph_common::stats::Timer::start();
-    for e in &events {
-        bit.apply_event(e).expect("apply");
-    }
-    let bit_ms = t.elapsed_ms();
+    let (_a2, bit, _) = build_engines(&f.files).expect("ingest");
+    // One generic application path for both engines, through the trait.
+    let apply_all = |engine: &dyn MicroblogEngine| -> f64 {
+        let t = micrograph_common::stats::Timer::start();
+        for e in &events {
+            engine.apply_event(e).expect("apply");
+        }
+        t.elapsed_ms()
+    };
+    let arbor_ms = apply_all(&arbor);
+    let bit_ms = apply_all(&bit);
 
     format!(
         "FW1 update workload ({EVENTS} events): arbordb {:.0} ev/s (WAL commit per event, disk) vs bitgraph {:.0} ev/s (in-memory + extent log)
@@ -487,6 +485,29 @@ pub fn update_throughput(f: &Fixture) -> String {
         EVENTS as f64 / arbor_ms * 1000.0,
         EVENTS as f64 / bit_ms * 1000.0,
     )
+}
+
+/// The concurrent-serving experiment: a mixed Q1–Q6 request stream from
+/// 1/2/4 reader threads over each shared engine — per-query latency
+/// percentiles and aggregate throughput (the LDBC-style multi-client axis
+/// the paper leaves open; see DESIGN.md "Concurrency & serving").
+pub fn serving(f: &Fixture) -> String {
+    let users = f.dataset.users.len() as u64;
+    let mut out = String::new();
+    out.push_str("== Concurrent serving (shared engine, mixed Q1-Q6 stream) ==\n\n");
+    for engine in [&f.arbor as &dyn MicroblogEngine, &f.bit] {
+        let mut digest = None;
+        for threads in [1usize, 2, 4] {
+            let config = ServeConfig { threads, requests: 128, seed: 42, users, vocab: 16 };
+            let report = serve(engine, &config).expect("serve");
+            // The rendered results must not depend on the thread count.
+            let d = report.digest();
+            assert_eq!(*digest.get_or_insert(d), d, "{} serving nondeterminism", engine.name());
+            out.push_str(&report.render());
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// Import/size summary (the §3.2 headline numbers).

@@ -163,71 +163,6 @@ impl ArborEngine {
         self.ranked_ints(text, &[("uid", Value::Int(uid)), ("n", Value::Int(n as i64))])
     }
 
-    /// Applies one streaming update transactionally (the paper's future-work
-    /// update workload). Keeps the `followers` property consistent with the
-    /// incoming `follows` edges, like the generated base data.
-    pub fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
-        use micrograph_datagen::UpdateEvent;
-        let mut tx = self.db.begin_write()?;
-        match event {
-            UpdateEvent::NewUser { uid, name } => {
-                tx.create_node(
-                    crate::schema::USER,
-                    &[
-                        (crate::schema::UID, Value::Int(*uid as i64)),
-                        (crate::schema::NAME, Value::Str(name.clone())),
-                        (crate::schema::FOLLOWERS, Value::Int(0)),
-                        (crate::schema::VERIFIED, Value::Int(0)),
-                    ],
-                )?;
-            }
-            UpdateEvent::NewFollow { follower, followee } => {
-                let a = self
-                    .node_of_uid(*follower as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
-                let b = self
-                    .node_of_uid(*followee as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
-                tx.create_rel(a, b, crate::schema::FOLLOWS, &[])?;
-                let count = self
-                    .db
-                    .node_prop(b, crate::schema::FOLLOWERS)?
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(0);
-                tx.set_node_prop(b, crate::schema::FOLLOWERS, Value::Int(count + 1))?;
-            }
-            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
-                let poster = self
-                    .node_of_uid(*uid as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
-                let tweet = tx.create_node(
-                    crate::schema::TWEET,
-                    &[
-                        (crate::schema::TID, Value::Int(*tid as i64)),
-                        (crate::schema::TEXT, Value::Str(text.clone())),
-                    ],
-                )?;
-                tx.create_rel(poster, tweet, crate::schema::POSTS, &[])?;
-                for m in mentions {
-                    let target = self
-                        .node_of_uid(*m as i64)?
-                        .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?;
-                    tx.create_rel(tweet, target, crate::schema::MENTIONS, &[])?;
-                }
-                for t in tags {
-                    let tag = self
-                        .db
-                        .index_seek(crate::schema::HASHTAG, crate::schema::TAG, &Value::from(t.as_str()))
-                        .and_then(|v| v.into_iter().next())
-                        .ok_or_else(|| CoreError::NotFound(format!("hashtag {t}")))?;
-                    tx.create_rel(tweet, tag, crate::schema::TAGS, &[])?;
-                }
-            }
-        }
-        tx.commit()?;
-        Ok(())
-    }
-
     // ---- "core API" (traversal framework) variants -------------------------
 
     /// Q2.1 through the traversal framework instead of the language.
@@ -365,6 +300,73 @@ impl MicroblogEngine for ArborEngine {
             .first()
             .map(|row| row[0].as_int().expect("uid"))
             .ok_or_else(|| CoreError::NotFound(format!("poster of tweet {tid}")))
+    }
+
+    /// Applies one streaming update transactionally (the paper's future-work
+    /// update workload). Keeps the `followers` property consistent with the
+    /// incoming `follows` edges, like the generated base data. The write
+    /// path serializes on the database's single-writer mutex, so concurrent
+    /// readers keep working while an event commits.
+    fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
+        use micrograph_datagen::UpdateEvent;
+        let mut tx = self.db.begin_write()?;
+        match event {
+            UpdateEvent::NewUser { uid, name } => {
+                tx.create_node(
+                    crate::schema::USER,
+                    &[
+                        (crate::schema::UID, Value::Int(*uid as i64)),
+                        (crate::schema::NAME, Value::Str(name.clone())),
+                        (crate::schema::FOLLOWERS, Value::Int(0)),
+                        (crate::schema::VERIFIED, Value::Int(0)),
+                    ],
+                )?;
+            }
+            UpdateEvent::NewFollow { follower, followee } => {
+                let a = self
+                    .node_of_uid(*follower as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
+                let b = self
+                    .node_of_uid(*followee as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
+                tx.create_rel(a, b, crate::schema::FOLLOWS, &[])?;
+                let count = self
+                    .db
+                    .node_prop(b, crate::schema::FOLLOWERS)?
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                tx.set_node_prop(b, crate::schema::FOLLOWERS, Value::Int(count + 1))?;
+            }
+            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
+                let poster = self
+                    .node_of_uid(*uid as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+                let tweet = tx.create_node(
+                    crate::schema::TWEET,
+                    &[
+                        (crate::schema::TID, Value::Int(*tid as i64)),
+                        (crate::schema::TEXT, Value::Str(text.clone())),
+                    ],
+                )?;
+                tx.create_rel(poster, tweet, crate::schema::POSTS, &[])?;
+                for m in mentions {
+                    let target = self
+                        .node_of_uid(*m as i64)?
+                        .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?;
+                    tx.create_rel(tweet, target, crate::schema::MENTIONS, &[])?;
+                }
+                for t in tags {
+                    let tag = self
+                        .db
+                        .index_seek(crate::schema::HASHTAG, crate::schema::TAG, &Value::from(t.as_str()))
+                        .and_then(|v| v.into_iter().next())
+                        .ok_or_else(|| CoreError::NotFound(format!("hashtag {t}")))?;
+                    tx.create_rel(tweet, tag, crate::schema::TAGS, &[])?;
+                }
+            }
+        }
+        tx.commit()?;
+        Ok(())
     }
 
     fn reset_stats(&self) {

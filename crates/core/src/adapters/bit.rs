@@ -6,6 +6,15 @@
 //! obtain the final result. Its API does not provide the functionality to
 //! limit the returned results." Multi-predicate selection is likewise
 //! client-side set algebra over `Objects`.
+//!
+//! The engine's write API is `&mut Graph`, while [`MicroblogEngine`] keeps
+//! every method on `&self` so one engine instance can serve many reader
+//! threads. The adapter bridges the two with a `parking_lot::RwLock`:
+//! queries take the read lock once per call (reads run concurrently),
+//! [`MicroblogEngine::apply_event`] takes the write lock. Each public
+//! method acquires the lock exactly once and hands the borrowed `&Graph`
+//! to helpers — never re-entering the lock, which with a fair rwlock and a
+//! waiting writer would deadlock.
 
 use std::collections::HashMap;
 
@@ -13,6 +22,7 @@ use bitgraph::graph::{Condition, EdgesDirection, Graph, Oid};
 use bitgraph::traversal::single_pair_shortest_path_bfs;
 use micrograph_common::topn::TopN;
 use micrograph_common::Value;
+use parking_lot::{RwLock, RwLockReadGuard};
 
 use crate::engine::{MicroblogEngine, Ranked};
 use crate::schema;
@@ -34,7 +44,7 @@ struct Handles {
 
 /// The navigation adapter over a loaded [`Graph`].
 pub struct BitEngine {
-    g: Graph,
+    g: RwLock<Graph>,
     h: Handles,
 }
 
@@ -65,53 +75,54 @@ impl BitEngine {
             tag: attr(hashtag, schema::TAG)?,
             followers: attr(user, schema::FOLLOWERS)?,
         };
-        Ok(BitEngine { g, h })
+        Ok(BitEngine { g: RwLock::new(g), h })
     }
 
-    /// The underlying graph (for examples and benches).
-    pub fn graph(&self) -> &Graph {
-        &self.g
+    /// Read access to the underlying graph (for examples and benches).
+    ///
+    /// The guard holds the engine's read lock: drop it before applying
+    /// events, and do not call the engine's own query methods while
+    /// holding it (they take the lock themselves).
+    pub fn graph(&self) -> RwLockReadGuard<'_, Graph> {
+        self.g.read()
     }
 
-    fn user_oid(&self, uid: i64) -> Result<Option<Oid>> {
-        Ok(self.g.find_object(self.h.uid, &Value::Int(uid))?)
+    fn user_oid(&self, g: &Graph, uid: i64) -> Result<Option<Oid>> {
+        Ok(g.find_object(self.h.uid, &Value::Int(uid))?)
     }
 
-    fn tweet_oid(&self, tid: i64) -> Result<Option<Oid>> {
-        Ok(self.g.find_object(self.h.tid, &Value::Int(tid))?)
+    fn tweet_oid(&self, g: &Graph, tid: i64) -> Result<Option<Oid>> {
+        Ok(g.find_object(self.h.tid, &Value::Int(tid))?)
     }
 
-    fn tag_oid(&self, tag: &str) -> Result<Option<Oid>> {
-        Ok(self.g.find_object(self.h.tag, &Value::Str(tag.to_owned()))?)
+    fn tag_oid(&self, g: &Graph, tag: &str) -> Result<Option<Oid>> {
+        Ok(g.find_object(self.h.tag, &Value::Str(tag.to_owned()))?)
     }
 
-    fn uid_of(&self, oid: Oid) -> Result<i64> {
-        self.g
-            .get_attr(oid, self.h.uid)?
+    fn uid_of(&self, g: &Graph, oid: Oid) -> Result<i64> {
+        g.get_attr(oid, self.h.uid)?
             .and_then(|v| v.as_int())
             .ok_or_else(|| CoreError::Bit(format!("object {oid} has no uid")))
     }
 
-    fn tid_of(&self, oid: Oid) -> Result<i64> {
-        self.g
-            .get_attr(oid, self.h.tid)?
+    fn tid_of(&self, g: &Graph, oid: Oid) -> Result<i64> {
+        g.get_attr(oid, self.h.tid)?
             .and_then(|v| v.as_int())
             .ok_or_else(|| CoreError::Bit(format!("object {oid} has no tid")))
     }
 
-    fn tag_of(&self, oid: Oid) -> Result<String> {
-        self.g
-            .get_attr(oid, self.h.tag)?
+    fn tag_of(&self, g: &Graph, oid: Oid) -> Result<String> {
+        g.get_attr(oid, self.h.tag)?
             .and_then(|v| v.as_str().map(str::to_owned))
             .ok_or_else(|| CoreError::Bit(format!("object {oid} has no tag")))
     }
 
-    fn top_uids(&self, counts: HashMap<Oid, u64>, n: usize) -> Result<Vec<Ranked<i64>>> {
+    fn top_uids(&self, g: &Graph, counts: HashMap<Oid, u64>, n: usize) -> Result<Vec<Ranked<i64>>> {
         // "These counts are then sorted to obtain the final result" — the
         // whole map is ranked client-side.
         let mut top = TopN::new(n);
         for (oid, count) in counts {
-            top.offer(self.uid_of(oid)?, count);
+            top.offer(self.uid_of(g, oid)?, count);
         }
         Ok(top.into_sorted_vec().into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
     }
@@ -123,33 +134,36 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn users_with_followers_over(&self, threshold: i64) -> Result<Vec<i64>> {
+        let g = self.g.read();
         // Single-predicate select; the result set is mapped and sorted here.
-        let sel = self.g.select(self.h.followers, Condition::GreaterThan, &Value::Int(threshold))?;
+        let sel = g.select(self.h.followers, Condition::GreaterThan, &Value::Int(threshold))?;
         let mut out = Vec::with_capacity(sel.count() as usize);
         for oid in sel.iter() {
-            out.push(self.uid_of(oid)?);
+            out.push(self.uid_of(&g, oid)?);
         }
         out.sort_unstable();
         Ok(out)
     }
 
     fn followees(&self, uid: i64) -> Result<Vec<i64>> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
-        let nb = self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
+        let nb = g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
         let mut out = Vec::with_capacity(nb.count() as usize);
         for oid in nb.iter() {
-            out.push(self.uid_of(oid)?);
+            out.push(self.uid_of(&g, oid)?);
         }
         out.sort_unstable();
         Ok(out)
     }
 
     fn followee_tweets(&self, uid: i64) -> Result<Vec<i64>> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let mut out = Vec::new();
-        for f in self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?.iter() {
-            for t in self.g.neighbors(f, self.h.posts, EdgesDirection::Outgoing)?.iter() {
-                out.push(self.tid_of(t)?);
+        for f in g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?.iter() {
+            for t in g.neighbors(f, self.h.posts, EdgesDirection::Outgoing)?.iter() {
+                out.push(self.tid_of(&g, t)?);
             }
         }
         out.sort_unstable();
@@ -157,12 +171,13 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn followee_hashtags(&self, uid: i64) -> Result<Vec<String>> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let mut tags = std::collections::BTreeSet::new();
-        for f in self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?.iter() {
-            for t in self.g.neighbors(f, self.h.posts, EdgesDirection::Outgoing)?.iter() {
-                for h in self.g.neighbors(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
-                    tags.insert(self.tag_of(h)?);
+        for f in g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?.iter() {
+            for t in g.neighbors(f, self.h.posts, EdgesDirection::Outgoing)?.iter() {
+                for h in g.neighbors(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
+                    tags.insert(self.tag_of(&g, h)?);
                 }
             }
         }
@@ -170,30 +185,32 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         // Step 1: the tweets T mentioning A — per *edge*, so a tweet that
         // mentions A twice contributes twice (multigraph semantics).
         // Step 2: other users mentioned in T, counted per edge.
         let mut counts: HashMap<Oid, u64> = HashMap::new();
-        for e1 in self.g.explode(a, self.h.mentions, EdgesDirection::Ingoing)?.iter() {
-            let t = self.g.peer(e1, a)?;
-            for e2 in self.g.explode(t, self.h.mentions, EdgesDirection::Outgoing)?.iter() {
-                let b = self.g.peer(e2, t)?;
+        for e1 in g.explode(a, self.h.mentions, EdgesDirection::Ingoing)?.iter() {
+            let t = g.peer(e1, a)?;
+            for e2 in g.explode(t, self.h.mentions, EdgesDirection::Outgoing)?.iter() {
+                let b = g.peer(e2, t)?;
                 if b != a {
                     *counts.entry(b).or_insert(0) += 1;
                 }
             }
         }
-        self.top_uids(counts, n)
+        self.top_uids(&g, counts, n)
     }
 
     fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
-        let Some(g0) = self.tag_oid(tag)? else { return Ok(Vec::new()) };
+        let g = self.g.read();
+        let Some(g0) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
         let mut counts: HashMap<Oid, u64> = HashMap::new();
-        for e1 in self.g.explode(g0, self.h.tags, EdgesDirection::Ingoing)?.iter() {
-            let t = self.g.peer(e1, g0)?;
-            for e2 in self.g.explode(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
-                let h2 = self.g.peer(e2, t)?;
+        for e1 in g.explode(g0, self.h.tags, EdgesDirection::Ingoing)?.iter() {
+            let t = g.peer(e1, g0)?;
+            for e2 in g.explode(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
+                let h2 = g.peer(e2, t)?;
                 if h2 != g0 {
                     *counts.entry(h2).or_insert(0) += 1;
                 }
@@ -201,55 +218,60 @@ impl MicroblogEngine for BitEngine {
         }
         let mut top = TopN::new(n);
         for (oid, count) in counts {
-            top.offer(self.tag_of(oid)?, count);
+            top.offer(self.tag_of(&g, oid)?, count);
         }
         Ok(top.into_sorted_vec().into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
     }
 
     fn recommend_followees(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         // "A separate neighbours call has to be executed for each 1-step
         // followee of A, which makes the execution of this query expensive."
-        let followed = self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
+        let followed = g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
         let mut counts: HashMap<Oid, u64> = HashMap::new();
         for f in followed.iter() {
-            for r in self.g.neighbors(f, self.h.follows, EdgesDirection::Outgoing)?.iter() {
+            for r in g.neighbors(f, self.h.follows, EdgesDirection::Outgoing)?.iter() {
                 if r != a && !followed.contains(r) {
                     *counts.entry(r).or_insert(0) += 1;
                 }
             }
         }
-        self.top_uids(counts, n)
+        self.top_uids(&g, counts, n)
     }
 
     fn recommend_followers(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
-        let followed = self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
+        let followed = g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
         let mut counts: HashMap<Oid, u64> = HashMap::new();
         for f in followed.iter() {
-            for r in self.g.neighbors(f, self.h.follows, EdgesDirection::Ingoing)?.iter() {
+            for r in g.neighbors(f, self.h.follows, EdgesDirection::Ingoing)?.iter() {
                 if r != a && !followed.contains(r) {
                     *counts.entry(r).or_insert(0) += 1;
                 }
             }
         }
-        self.top_uids(counts, n)
+        self.top_uids(&g, counts, n)
     }
 
     fn current_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        self.influence(uid, n, true)
+        let g = self.g.read();
+        self.influence(&g, uid, n, true)
     }
 
     fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        self.influence(uid, n, false)
+        let g = self.g.read();
+        self.influence(&g, uid, n, false)
     }
 
     fn shortest_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
-        let (Some(oa), Some(ob)) = (self.user_oid(a)?, self.user_oid(b)?) else {
+        let g = self.g.read();
+        let (Some(oa), Some(ob)) = (self.user_oid(&g, a)?, self.user_oid(&g, b)?) else {
             return Ok(None);
         };
         Ok(single_pair_shortest_path_bfs(
-            &self.g,
+            &g,
             oa,
             ob,
             self.h.follows,
@@ -260,39 +282,107 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn tweets_with_hashtag(&self, tag: &str) -> Result<Vec<i64>> {
-        let Some(h) = self.tag_oid(tag)? else { return Ok(Vec::new()) };
+        let g = self.g.read();
+        let Some(h) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
         let mut out = Vec::new();
-        for t in self.g.neighbors(h, self.h.tags, EdgesDirection::Ingoing)?.iter() {
-            out.push(self.tid_of(t)?);
+        for t in g.neighbors(h, self.h.tags, EdgesDirection::Ingoing)?.iter() {
+            out.push(self.tid_of(&g, t)?);
         }
         out.sort_unstable();
         Ok(out)
     }
 
     fn retweet_count(&self, tid: i64) -> Result<u64> {
+        let g = self.g.read();
         let Some(retweets) = self.h.retweets else { return Ok(0) };
-        let Some(t) = self.tweet_oid(tid)? else { return Ok(0) };
-        Ok(self.g.degree(t, retweets, EdgesDirection::Ingoing)?)
+        let Some(t) = self.tweet_oid(&g, tid)? else { return Ok(0) };
+        Ok(g.degree(t, retweets, EdgesDirection::Ingoing)?)
     }
 
     fn poster_of(&self, tid: i64) -> Result<i64> {
+        let g = self.g.read();
         let t = self
-            .tweet_oid(tid)?
+            .tweet_oid(&g, tid)?
             .ok_or_else(|| CoreError::NotFound(format!("tweet {tid}")))?;
-        let posters = self.g.neighbors(t, self.h.posts, EdgesDirection::Ingoing)?;
+        let posters = g.neighbors(t, self.h.posts, EdgesDirection::Ingoing)?;
         let p = posters
             .iter()
             .next()
             .ok_or_else(|| CoreError::NotFound(format!("poster of tweet {tid}")))?;
-        self.uid_of(p)
+        self.uid_of(&g, p)
+    }
+
+    /// Applies one streaming update (the paper's future-work update
+    /// workload) through the navigation engine's write API, behind the
+    /// adapter's write lock.
+    fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
+        use micrograph_datagen::UpdateEvent;
+        let mut g = self.g.write();
+        let user_ty = g.find_type(schema::USER).expect("schema loaded");
+        let tweet_ty = g.find_type(schema::TWEET).expect("schema loaded");
+        let name_attr = g
+            .find_attribute(user_ty, schema::NAME)
+            .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
+        let verified_attr = g
+            .find_attribute(user_ty, schema::VERIFIED)
+            .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
+        let text_attr = g
+            .find_attribute(tweet_ty, schema::TEXT)
+            .ok_or_else(|| CoreError::Bit("text attribute missing".into()))?;
+        match event {
+            UpdateEvent::NewUser { uid, name } => {
+                let o = g.add_node(user_ty)?;
+                g.set_attr(o, self.h.uid, Value::Int(*uid as i64))?;
+                g.set_attr(o, name_attr, Value::Str(name.clone()))?;
+                g.set_attr(o, self.h.followers, Value::Int(0))?;
+                g.set_attr(o, verified_attr, Value::Int(0))?;
+            }
+            UpdateEvent::NewFollow { follower, followee } => {
+                let a = self
+                    .user_oid(&g, *follower as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
+                let b = self
+                    .user_oid(&g, *followee as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
+                g.add_edge(self.h.follows, a, b)?;
+                let count = g
+                    .get_attr(b, self.h.followers)?
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                g.set_attr(b, self.h.followers, Value::Int(count + 1))?;
+            }
+            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
+                let poster = self
+                    .user_oid(&g, *uid as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+                let t = g.add_node(tweet_ty)?;
+                g.set_attr(t, self.h.tid, Value::Int(*tid as i64))?;
+                g.set_attr(t, text_attr, Value::Str(text.clone()))?;
+                g.add_edge(self.h.posts, poster, t)?;
+                for m in mentions {
+                    let target = self
+                        .user_oid(&g, *m as i64)?
+                        .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?;
+                    g.add_edge(self.h.mentions, t, target)?;
+                }
+                for tag in tags {
+                    let h = self
+                        .tag_oid(&g, tag)?
+                        .ok_or_else(|| CoreError::NotFound(format!("hashtag {tag}")))?;
+                    g.add_edge(self.h.tags, t, h)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn reset_stats(&self) {
-        self.g.reset_stats();
+        self.g.read().reset_stats();
     }
 
     fn ops_count(&self) -> u64 {
-        let s = self.g.stats();
+        let g = self.g.read();
+        let s = g.stats();
         s.neighbors_calls
             + s.explode_calls
             + s.find_object_calls
@@ -309,72 +399,6 @@ impl MicroblogEngine for BitEngine {
 }
 
 impl BitEngine {
-    /// Applies one streaming update (the paper's future-work update
-    /// workload) through the navigation engine's write API.
-    pub fn apply_event(&mut self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
-        use micrograph_datagen::UpdateEvent;
-        let user_ty = self.g.find_type(schema::USER).expect("schema loaded");
-        let tweet_ty = self.g.find_type(schema::TWEET).expect("schema loaded");
-        let name_attr = self
-            .g
-            .find_attribute(user_ty, schema::NAME)
-            .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
-        let verified_attr = self
-            .g
-            .find_attribute(user_ty, schema::VERIFIED)
-            .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
-        let text_attr = self
-            .g
-            .find_attribute(tweet_ty, schema::TEXT)
-            .ok_or_else(|| CoreError::Bit("text attribute missing".into()))?;
-        match event {
-            UpdateEvent::NewUser { uid, name } => {
-                let o = self.g.add_node(user_ty)?;
-                self.g.set_attr(o, self.h.uid, Value::Int(*uid as i64))?;
-                self.g.set_attr(o, name_attr, Value::Str(name.clone()))?;
-                self.g.set_attr(o, self.h.followers, Value::Int(0))?;
-                self.g.set_attr(o, verified_attr, Value::Int(0))?;
-            }
-            UpdateEvent::NewFollow { follower, followee } => {
-                let a = self
-                    .user_oid(*follower as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
-                let b = self
-                    .user_oid(*followee as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
-                self.g.add_edge(self.h.follows, a, b)?;
-                let count = self
-                    .g
-                    .get_attr(b, self.h.followers)?
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(0);
-                self.g.set_attr(b, self.h.followers, Value::Int(count + 1))?;
-            }
-            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
-                let poster = self
-                    .user_oid(*uid as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
-                let t = self.g.add_node(tweet_ty)?;
-                self.g.set_attr(t, self.h.tid, Value::Int(*tid as i64))?;
-                self.g.set_attr(t, text_attr, Value::Str(text.clone()))?;
-                self.g.add_edge(self.h.posts, poster, t)?;
-                for m in mentions {
-                    let target = self
-                        .user_oid(*m as i64)?
-                        .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?;
-                    self.g.add_edge(self.h.mentions, t, target)?;
-                }
-                for tag in tags {
-                    let h = self
-                        .tag_oid(tag)?
-                        .ok_or_else(|| CoreError::NotFound(format!("hashtag {tag}")))?;
-                    self.g.add_edge(self.h.tags, t, h)?;
-                }
-            }
-        }
-        Ok(())
-    }
-
     /// Q2.1 expressed through the engine's traversal context instead of
     /// raw navigation — the paper's §4 comparison: "using the raw
     /// navigation operations (neighbors and explode) are slightly more
@@ -382,10 +406,11 @@ impl BitEngine {
     /// operations ... perhaps due to the overhead involved with the
     /// traversals."
     pub fn followees_via_traversal(&self, uid: i64) -> Result<Vec<i64>> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let mut out = Vec::new();
         for v in bitgraph::traversal::TraversalBfs::new(
-            &self.g,
+            &g,
             a,
             self.h.follows,
             EdgesDirection::Outgoing,
@@ -393,7 +418,7 @@ impl BitEngine {
         ) {
             let (node, depth) = v?;
             if depth == 1 {
-                out.push(self.uid_of(node)?);
+                out.push(self.uid_of(&g, node)?);
             }
         }
         out.sort_unstable();
@@ -403,11 +428,12 @@ impl BitEngine {
     /// Count of the *distinct* 2-step follows neighborhood via raw
     /// navigation (nested `neighbors` calls + set union).
     pub fn two_step_reach_nav(&self, uid: i64) -> Result<u64> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(0) };
-        let first = self.g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(0) };
+        let first = g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
         let mut reach = first.clone();
         for f in first.iter() {
-            reach = reach.union(&self.g.neighbors(f, self.h.follows, EdgesDirection::Outgoing)?);
+            reach = reach.union(&g.neighbors(f, self.h.follows, EdgesDirection::Outgoing)?);
         }
         reach.remove(a);
         Ok(reach.count())
@@ -415,10 +441,11 @@ impl BitEngine {
 
     /// The same 2-step reach through the traversal context.
     pub fn two_step_reach_traversal(&self, uid: i64) -> Result<u64> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(0) };
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(0) };
         let mut n = 0u64;
         for v in bitgraph::traversal::TraversalBfs::new(
-            &self.g,
+            &g,
             a,
             self.h.follows,
             EdgesDirection::Outgoing,
@@ -432,24 +459,23 @@ impl BitEngine {
         Ok(n)
     }
 
-    fn influence(&self, uid: i64, n: usize, follows_a: bool) -> Result<Vec<Ranked<i64>>> {
-        let Some(a) = self.user_oid(uid)? else { return Ok(Vec::new()) };
+    fn influence(&self, g: &Graph, uid: i64, n: usize, follows_a: bool) -> Result<Vec<Ranked<i64>>> {
+        let Some(a) = self.user_oid(g, uid)? else { return Ok(Vec::new()) };
         // "Finding the users who mentioned A, and removing (or retaining)
         // the users who are already following A."
         let mut counts: HashMap<Oid, u64> = HashMap::new();
-        for e in self.g.explode(a, self.h.mentions, EdgesDirection::Ingoing)?.iter() {
-            let t = self.g.peer(e, a)?;
-            for p in self.g.neighbors(t, self.h.posts, EdgesDirection::Ingoing)?.iter() {
+        for e in g.explode(a, self.h.mentions, EdgesDirection::Ingoing)?.iter() {
+            let t = g.peer(e, a)?;
+            for p in g.neighbors(t, self.h.posts, EdgesDirection::Ingoing)?.iter() {
                 if p == a {
                     continue;
                 }
-                let is_follower =
-                    self.g.are_adjacent(p, a, self.h.follows, EdgesDirection::Outgoing)?;
+                let is_follower = g.are_adjacent(p, a, self.h.follows, EdgesDirection::Outgoing)?;
                 if is_follower == follows_a {
                     *counts.entry(p).or_insert(0) += 1;
                 }
             }
         }
-        self.top_uids(counts, n)
+        self.top_uids(g, counts, n)
     }
 }

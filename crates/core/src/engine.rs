@@ -82,7 +82,13 @@ impl From<bitgraph::BitError> for CoreError {
 use crate::Result;
 
 /// The microblogging query workload (Table 2) over any graph engine.
-pub trait MicroblogEngine {
+///
+/// The trait is object safe — callers hold `&dyn MicroblogEngine` (or
+/// `Arc<dyn MicroblogEngine>` in the serving layer) — and requires
+/// `Send + Sync` so one engine can serve concurrent readers. Every method,
+/// including [`MicroblogEngine::apply_event`], takes `&self`; engines that
+/// need mutation use interior mutability behind their own locks.
+pub trait MicroblogEngine: Send + Sync {
     /// Engine name for reports ("arbordb" / "bitgraph").
     fn name(&self) -> &'static str;
 
@@ -147,6 +153,14 @@ pub trait MicroblogEngine {
     /// Uid of the user who posted `tid`.
     fn poster_of(&self, tid: i64) -> Result<i64>;
 
+    // ---- update workload (§5 future work) -----------------------------------
+
+    /// Applies one streaming update event (new user / follow / tweet),
+    /// keeping the `followers` property consistent with incoming `follows`
+    /// edges. Semantics are identical across adapters — the cross-engine
+    /// equivalence invariant covers post-update state too.
+    fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()>;
+
     // ---- instrumentation ----------------------------------------------------
 
     /// Resets the engine's operation counters.
@@ -175,5 +189,15 @@ mod tests {
         let r = Ranked::new(5i64, 10);
         assert_eq!(r.key, 5);
         assert_eq!(r.count, 10);
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_thread_safe() {
+        // Compile-time properties the serving layer depends on: the trait
+        // stays object safe and its trait objects are shareable.
+        fn takes_dyn(_: Option<&dyn MicroblogEngine>) {}
+        fn send_sync<T: Send + Sync + ?Sized>() {}
+        takes_dyn(None);
+        send_sync::<dyn MicroblogEngine>();
     }
 }

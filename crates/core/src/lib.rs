@@ -19,6 +19,10 @@
 //!   parameter sampling.
 //! * [`runner`] — the paper's measurement protocol: warm up until latency
 //!   stabilizes, then average over N runs; plus cold-cache measurement.
+//! * [`serve`] — the concurrent serving layer: N reader threads drive a
+//!   deterministic mixed Q1–Q6 request stream against one shared
+//!   `dyn MicroblogEngine`, reporting per-query latency percentiles and
+//!   aggregate throughput (byte-identical results at any thread count).
 //! * [`ingest`] — drives both bulk loaders over the same CSV sources
 //!   (§3.2), capturing the Figure 2/3 progress curves.
 //! * [`compose`] — the §3.3 derived query (topic experts via co-occurring
@@ -33,10 +37,12 @@ pub mod engine;
 pub mod ingest;
 pub mod runner;
 pub mod schema;
+pub mod serve;
 pub mod workload;
 
 pub use adapters::{ArborEngine, BitEngine};
 pub use engine::{CoreError, MicroblogEngine, Ranked};
+pub use serve::{ServeConfig, ServeReport};
 pub use micrograph_common::Value;
 
 /// Result alias for this crate.

@@ -13,6 +13,7 @@
 use micrograph_common::stats::{OnlineStats, Timer};
 
 use crate::engine::MicroblogEngine;
+use crate::workload::{run_query, QueryId, QueryParams};
 use crate::Result;
 
 /// Protocol configuration.
@@ -96,6 +97,18 @@ pub fn measure<F: FnMut() -> Result<()>>(config: &MeasureConfig, mut f: F) -> Re
         warmup_runs: warmup,
         runs: config.runs,
     })
+}
+
+/// Measures one catalog query on any engine under the warm-measure
+/// protocol — the single generic path the figure generators share instead
+/// of per-engine closures.
+pub fn measure_query(
+    engine: &dyn MicroblogEngine,
+    id: QueryId,
+    params: &QueryParams,
+    config: &MeasureConfig,
+) -> Result<Measurement> {
+    measure(config, || run_query(engine, id, params).map(|_| ()))
 }
 
 /// Cold-cache measurement: drops the engine's caches before every run.

@@ -109,7 +109,7 @@ impl QueryId {
 }
 
 /// Parameters for one workload execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryParams {
     /// The subject user A.
     pub uid: i64,

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &arbordb::import::ImportOptions::default(),
     )?;
     let arbor = micrograph_core::ArborEngine::new(db);
-    let (_unused, mut bit, _) = build_engines(&files)?;
+    let (_unused, bit, _) = build_engines(&files)?;
     println!("Base graph: {}", dataset.stats().render_table());
 
     const EVENTS: usize = 2_000;

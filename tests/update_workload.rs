@@ -25,11 +25,14 @@ fn setup(
     let dir = std::env::temp_dir().join(format!("updates-{seed}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let files = dataset.write_csv(&dir).unwrap();
-    let (arbor, mut bit, _) = build_engines(&files).unwrap();
+    let (arbor, bit, _) = build_engines(&files).unwrap();
     let events = StreamGen::new(&dataset, &cfg, seed, StreamMix::default()).events(n_events);
-    for e in &events {
-        arbor.apply_event(e).unwrap();
-        bit.apply_event(e).unwrap();
+    // Both engines take the same stream through the trait's `&self` write
+    // path — no `mut` binding on either side.
+    for engine in [&arbor as &dyn MicroblogEngine, &bit] {
+        for e in &events {
+            engine.apply_event(e).unwrap();
+        }
     }
     (arbor, bit, events, Guard(dir))
 }
