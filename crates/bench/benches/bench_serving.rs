@@ -1,13 +1,17 @@
 //! Concurrent serving throughput: queries/sec for a mixed Q1–Q6 request
 //! stream at 1/2/4 reader threads over each shared engine — the
-//! multi-client axis single-query latency benches (Figure 4) leave open.
+//! multi-client axis single-query latency benches (Figure 4) leave open —
+//! plus a shard-count axis (1/2/4 shards at a fixed 4 readers) over the
+//! hash-partitioned `ShardedEngine` composition of each backend.
 //!
 //! Scale via `MICROGRAPH_SCALE=unit|small|medium` (default unit).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use micrograph_bench::{fixture, Scale};
 use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ingest::build_sharded_engines;
 use micrograph_core::serve::{serve, ServeConfig};
+use micrograph_core::ShardedEngine;
 
 const REQUESTS: usize = 64;
 
@@ -29,6 +33,33 @@ fn bench_serving(c: &mut Criterion) {
                 |b, config| b.iter(|| serve(engine, config).unwrap()),
             );
         }
+    }
+
+    // Shard-count axis: same stream, fixed 4 readers, scatter/merge across
+    // 1/2/4 hash partitions per backend. Built once, outside measurement.
+    let mut sharded: Vec<(String, ShardedEngine)> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (arbor, bit) = build_sharded_engines(
+            &f.dataset,
+            &f.dir.join(format!("bench-shards-{shards}")),
+            shards,
+        )
+        .expect("build sharded engines");
+        sharded.push((format!("{shards}_shards"), arbor));
+        sharded.push((format!("{shards}_shards"), bit));
+    }
+    for (axis, engine) in &sharded {
+        let config = ServeConfig { threads: 4, requests: REQUESTS, seed: 7, users, vocab: 16 };
+        let name = if engine.name().contains("arbordb") {
+            "arbordb_sharded"
+        } else {
+            "bitgraph_sharded"
+        };
+        g.bench_with_input(
+            BenchmarkId::new(name, axis),
+            &config,
+            |b, config| b.iter(|| serve(engine, config).unwrap()),
+        );
     }
     g.finish();
 }

@@ -492,6 +492,7 @@ pub fn update_throughput(f: &Fixture) -> String {
 /// percentiles and aggregate throughput (the LDBC-style multi-client axis
 /// the paper leaves open; see DESIGN.md "Concurrency & serving").
 pub fn serving(f: &Fixture) -> String {
+    use micrograph_core::ingest::build_sharded_engines;
     let users = f.dataset.users.len() as u64;
     let mut out = String::new();
     out.push_str("== Concurrent serving (shared engine, mixed Q1-Q6 stream) ==\n\n");
@@ -506,6 +507,30 @@ pub fn serving(f: &Fixture) -> String {
             out.push_str(&report.render());
             out.push('\n');
         }
+    }
+    // Scale-out axis: the same stream over hash-partitioned 2-shard
+    // compositions of both backends, pinned byte-identical to the
+    // unsharded engines above (the ShardedEngine correctness invariant,
+    // exercised here so the CI smoke run covers the merge layer too).
+    let config = ServeConfig { threads: 4, requests: 128, seed: 42, users, vocab: 16 };
+    let (sharded_arbor, sharded_bit) =
+        build_sharded_engines(&f.dataset, &f.dir.join("serving-shards-2"), 2)
+            .expect("build sharded engines");
+    for (engine, base) in [
+        (&sharded_arbor as &dyn MicroblogEngine, &f.arbor as &dyn MicroblogEngine),
+        (&sharded_bit, &f.bit),
+    ] {
+        let report = serve(engine, &config).expect("serve");
+        let unsharded = serve(base, &config).expect("serve");
+        assert_eq!(
+            report.digest(),
+            unsharded.digest(),
+            "{} diverged from {}",
+            engine.name(),
+            base.name()
+        );
+        out.push_str(&report.render());
+        out.push('\n');
     }
     out
 }

@@ -99,6 +99,34 @@ pub fn full_sort_top_n<K: Ord>(mut items: Vec<Counted<K>>, limit: usize) -> Vec<
     items
 }
 
+/// Merges partial top-n (or full partial-count) lists into one global top-n.
+///
+/// Counts for a key appearing in several partials are summed — the
+/// count-sum merge a sharded execution needs when a group's occurrences are
+/// split across partitions. The result follows the global ordering
+/// invariant everywhere in the workload: count descending, ties broken by
+/// ascending key, truncated to `limit`.
+///
+/// Exactness caveat, documented for the sharded query layer: merging
+/// *truncated* partials is exact only when every key's full count lives in
+/// a single partial (disjoint key sets, e.g. Q5's mentioners, whose tweets
+/// are all on the poster's shard). When counts for one key are split across
+/// partials (Q3/Q4), callers must feed the *untruncated* per-shard count
+/// lists instead.
+pub fn merge_top_n<K: Ord>(parts: Vec<Vec<Counted<K>>>, limit: usize) -> Vec<Counted<K>> {
+    let mut totals: std::collections::BTreeMap<K, u64> = std::collections::BTreeMap::new();
+    for part in parts {
+        for c in part {
+            *totals.entry(c.key).or_insert(0) += c.count;
+        }
+    }
+    let mut top = TopN::new(limit);
+    for (key, count) in totals {
+        top.offer(key, count);
+    }
+    top.into_sorted_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +175,49 @@ mod tests {
         assert_eq!(t.len(), 2);
         let out = t.into_sorted_vec();
         assert_eq!(out[0].key, 2);
+    }
+
+    #[test]
+    fn merge_sums_counts_across_partials() {
+        // Key 7 is split across two partials (3 + 4 = 7) and must outrank
+        // key 1 (count 5) after the merge, even though no single partial
+        // ranks it first.
+        let parts = vec![counted(&[(7, 3), (1, 5)]), counted(&[(7, 4), (2, 2)])];
+        let out = merge_top_n(parts, 10);
+        assert_eq!(
+            out,
+            counted(&[(7, 7), (1, 5), (2, 2)]),
+            "count-sum merge must re-rank globally"
+        );
+    }
+
+    #[test]
+    fn merge_breaks_ties_by_ascending_key_globally() {
+        // All three keys end at count 4; global order must be ascending key
+        // regardless of which partial contributed what.
+        let parts = vec![counted(&[(9, 4), (3, 1)]), counted(&[(3, 3), (5, 4)])];
+        let out = merge_top_n(parts, 3);
+        assert_eq!(out, counted(&[(3, 4), (5, 4), (9, 4)]));
+    }
+
+    #[test]
+    fn merge_truncates_to_limit_after_summing() {
+        let parts = vec![counted(&[(1, 1), (2, 2)]), counted(&[(1, 10), (3, 3)])];
+        let out = merge_top_n(parts, 2);
+        assert_eq!(out, counted(&[(1, 11), (3, 3)]));
+    }
+
+    #[test]
+    fn merge_of_single_partial_matches_full_sort() {
+        let pairs: Vec<(u64, u64)> = (0..50).map(|i| (i, (i * 31) % 11)).collect();
+        let merged = merge_top_n(vec![counted(&pairs)], 5);
+        assert_eq!(merged, full_sort_top_n(counted(&pairs), 5));
+    }
+
+    #[test]
+    fn merge_handles_empty_and_zero_limit() {
+        assert_eq!(merge_top_n::<u64>(vec![], 5), vec![]);
+        assert_eq!(merge_top_n(vec![counted(&[(1, 1)])], 0), vec![]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use arbor_ql::{EngineOptions, QueryEngine};
 use arbordb::db::GraphDb;
 use arbordb::traversal::{shortest_path, Traversal};
 use arbordb::{Direction, NodeId, Value};
-use micrograph_common::topn::TopN;
+use micrograph_common::topn::{merge_top_n, Counted};
 
 use crate::engine::{MicroblogEngine, Ranked};
 use crate::{CoreError, Result};
@@ -91,6 +91,30 @@ const RETWEET_COUNT: &str =
     "MATCH (o:tweet {tid: $tid})<-[:retweets]-(r:tweet) RETURN count(*)";
 
 const POSTER_OF: &str = "MATCH (u:user)-[:posts]->(t:tweet {tid: $tid}) RETURN u.uid";
+
+// ---- shard-local kernel queries (DESIGN.md §4c) ----------------------------
+// Parameterized per-user fragments of Q2/Q3/Q4/Q6; like the monolithic
+// texts above they are fixed strings so the plan cache hits per kernel.
+
+const K_POSTED: &str =
+    "MATCH (a:user {uid: $uid})-[:posts]->(t:tweet) RETURN t.tid ORDER BY t.tid";
+
+const K_USER_TAGS: &str =
+    "MATCH (a:user {uid: $uid})-[:posts]->(t)-[:tags]->(h:hashtag) \
+     RETURN DISTINCT h.tag ORDER BY h.tag";
+
+const K_IN: &str =
+    "MATCH (a:user {uid: $uid})<-[:follows]-(x:user) RETURN x.uid";
+
+const K_CO_MENTION: &str =
+    "MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)-[:mentions]->(b:user) \
+     WHERE b.uid <> $uid \
+     RETURN b.uid, count(*) AS c ORDER BY b.uid ASC";
+
+const K_CO_TAG: &str =
+    "MATCH (g:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(h:hashtag) \
+     WHERE h.tag <> $tag \
+     RETURN h.tag, count(*) AS c ORDER BY h.tag ASC";
 
 /// The declarative adapter over [`GraphDb`].
 pub struct ArborEngine {
@@ -201,16 +225,16 @@ impl ArborEngine {
                 }
             }
         }
-        let mut top = TopN::new(n);
+        let mut part = Vec::with_capacity(counts.len());
         for (node, count) in counts {
             let u = self
                 .db
                 .node_prop(node, crate::schema::UID)?
                 .and_then(|v| v.as_int())
                 .ok_or_else(|| CoreError::NotFound(format!("uid of node {node}")))?;
-            top.offer(u, count);
+            part.push(Counted { key: u, count });
         }
-        Ok(top.into_sorted_vec().into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
+        Ok(merge_top_n(vec![part], n).into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
     }
 }
 
@@ -300,6 +324,123 @@ impl MicroblogEngine for ArborEngine {
             .first()
             .map(|row| row[0].as_int().expect("uid"))
             .ok_or_else(|| CoreError::NotFound(format!("poster of tweet {tid}")))
+    }
+
+    // ---- shard-local kernels ------------------------------------------------
+    // Per-user parameterized fragments of the monolithic queries; each is a
+    // fixed-text declarative query so the plan cache covers the kernels too.
+
+    fn has_user(&self, uid: i64) -> Result<bool> {
+        Ok(self.node_of_uid(uid)?.is_some())
+    }
+
+    fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
+        let mut out = Vec::new();
+        for &uid in uids {
+            out.extend(self.int_column(K_POSTED, &[("uid", Value::Int(uid))])?);
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
+        let mut tags = std::collections::BTreeSet::new();
+        for &uid in uids {
+            let r = self.ql.query(K_USER_TAGS, &[("uid", Value::Int(uid))])?;
+            for row in &r.rows {
+                tags.insert(row[0].as_str().expect("tag column").to_owned());
+            }
+        }
+        Ok(tags.into_iter().collect())
+    }
+
+    fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
+        let mut counts: HashMap<i64, u64> = HashMap::new();
+        for &uid in uids {
+            for r in self.int_column(Q2_1, &[("uid", Value::Int(uid))])? {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(i64, u64)> = counts.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
+        let mut counts: HashMap<i64, u64> = HashMap::new();
+        for &uid in uids {
+            for r in self.int_column(K_IN, &[("uid", Value::Int(uid))])? {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(i64, u64)> = counts.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>> {
+        let r = self.ql.query(K_CO_MENTION, &[("uid", Value::Int(uid))])?;
+        Ok(r.rows
+            .iter()
+            .map(|row| (row[0].as_int().expect("uid"), row[1].as_int().expect("count") as u64))
+            .collect())
+    }
+
+    fn co_tag_counts_kernel(&self, tag: &str) -> Result<Vec<(String, u64)>> {
+        let r = self.ql.query(K_CO_TAG, &[("tag", Value::from(tag))])?;
+        Ok(r.rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].as_str().expect("tag").to_owned(),
+                    row[1].as_int().expect("count") as u64,
+                )
+            })
+            .collect())
+    }
+
+    fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
+        // One undirected BFS round = out-neighbors (Q2.1 text) ∪
+        // in-neighbors (K_IN) over locally stored follows edges.
+        let mut next = std::collections::BTreeSet::new();
+        for &uid in uids {
+            next.extend(self.int_column(Q2_1, &[("uid", Value::Int(uid))])?);
+            next.extend(self.int_column(K_IN, &[("uid", Value::Int(uid))])?);
+        }
+        Ok(next.into_iter().collect())
+    }
+
+    fn ensure_user(&self, uid: i64) -> Result<()> {
+        if self.node_of_uid(uid)?.is_some() {
+            return Ok(());
+        }
+        let mut tx = self.db.begin_write()?;
+        tx.create_node(
+            crate::schema::USER,
+            &[
+                (crate::schema::UID, Value::Int(uid)),
+                (crate::schema::NAME, Value::Str(String::new())),
+                (crate::schema::FOLLOWERS, Value::Int(0)),
+                (crate::schema::VERIFIED, Value::Int(0)),
+            ],
+        )?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn bump_followers(&self, uid: i64, delta: i64) -> Result<()> {
+        let node = self
+            .node_of_uid(uid)?
+            .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+        let count = self
+            .db
+            .node_prop(node, crate::schema::FOLLOWERS)?
+            .and_then(|v| v.as_int())
+            .unwrap_or(0);
+        let mut tx = self.db.begin_write()?;
+        tx.set_node_prop(node, crate::schema::FOLLOWERS, Value::Int(count + delta))?;
+        tx.commit()?;
+        Ok(())
     }
 
     /// Applies one streaming update transactionally (the paper's future-work

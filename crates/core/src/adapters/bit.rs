@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use bitgraph::graph::{Condition, EdgesDirection, Graph, Oid};
 use bitgraph::traversal::single_pair_shortest_path_bfs;
-use micrograph_common::topn::TopN;
+use micrograph_common::topn::{merge_top_n, Counted};
 use micrograph_common::Value;
 use parking_lot::{RwLock, RwLockReadGuard};
 
@@ -119,12 +119,59 @@ impl BitEngine {
 
     fn top_uids(&self, g: &Graph, counts: HashMap<Oid, u64>, n: usize) -> Result<Vec<Ranked<i64>>> {
         // "These counts are then sorted to obtain the final result" — the
-        // whole map is ranked client-side.
-        let mut top = TopN::new(n);
+        // whole map is ranked client-side, through the same mergeable
+        // top-n the sharded layer uses (a single partial here).
+        let mut part = Vec::with_capacity(counts.len());
         for (oid, count) in counts {
-            top.offer(self.uid_of(g, oid)?, count);
+            part.push(Counted { key: self.uid_of(g, oid)?, count });
         }
-        Ok(top.into_sorted_vec().into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
+        Ok(merge_top_n(vec![part], n).into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
+    }
+
+    /// Maps an oid-keyed count map to `(uid, count)` pairs, ascending by
+    /// uid — the raw shape the shard-local kernels return.
+    fn counts_by_uid(&self, g: &Graph, counts: HashMap<Oid, u64>) -> Result<Vec<(i64, u64)>> {
+        let mut out = Vec::with_capacity(counts.len());
+        for (oid, count) in counts {
+            out.push((self.uid_of(g, oid)?, count));
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Per-edge co-mention counts around user `a` (Q3.1's inner loop),
+    /// shared by the monolithic query and the shard-local kernel.
+    fn co_mention_counts(&self, g: &Graph, a: Oid) -> Result<HashMap<Oid, u64>> {
+        // Step 1: the tweets T mentioning A — per *edge*, so a tweet that
+        // mentions A twice contributes twice (multigraph semantics).
+        // Step 2: other users mentioned in T, counted per edge.
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for e1 in g.explode(a, self.h.mentions, EdgesDirection::Ingoing)?.iter() {
+            let t = g.peer(e1, a)?;
+            for e2 in g.explode(t, self.h.mentions, EdgesDirection::Outgoing)?.iter() {
+                let b = g.peer(e2, t)?;
+                if b != a {
+                    *counts.entry(b).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Per-edge hashtag co-occurrence counts around hashtag `g0` (Q3.2's
+    /// inner loop), shared by the monolithic query and the kernel.
+    fn co_tag_counts(&self, g: &Graph, g0: Oid) -> Result<HashMap<Oid, u64>> {
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for e1 in g.explode(g0, self.h.tags, EdgesDirection::Ingoing)?.iter() {
+            let t = g.peer(e1, g0)?;
+            for e2 in g.explode(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
+                let h2 = g.peer(e2, t)?;
+                if h2 != g0 {
+                    *counts.entry(h2).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(counts)
     }
 }
 
@@ -187,40 +234,19 @@ impl MicroblogEngine for BitEngine {
     fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         let g = self.g.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
-        // Step 1: the tweets T mentioning A — per *edge*, so a tweet that
-        // mentions A twice contributes twice (multigraph semantics).
-        // Step 2: other users mentioned in T, counted per edge.
-        let mut counts: HashMap<Oid, u64> = HashMap::new();
-        for e1 in g.explode(a, self.h.mentions, EdgesDirection::Ingoing)?.iter() {
-            let t = g.peer(e1, a)?;
-            for e2 in g.explode(t, self.h.mentions, EdgesDirection::Outgoing)?.iter() {
-                let b = g.peer(e2, t)?;
-                if b != a {
-                    *counts.entry(b).or_insert(0) += 1;
-                }
-            }
-        }
+        let counts = self.co_mention_counts(&g, a)?;
         self.top_uids(&g, counts, n)
     }
 
     fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
         let g = self.g.read();
         let Some(g0) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
-        let mut counts: HashMap<Oid, u64> = HashMap::new();
-        for e1 in g.explode(g0, self.h.tags, EdgesDirection::Ingoing)?.iter() {
-            let t = g.peer(e1, g0)?;
-            for e2 in g.explode(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
-                let h2 = g.peer(e2, t)?;
-                if h2 != g0 {
-                    *counts.entry(h2).or_insert(0) += 1;
-                }
-            }
-        }
-        let mut top = TopN::new(n);
+        let counts = self.co_tag_counts(&g, g0)?;
+        let mut part = Vec::with_capacity(counts.len());
         for (oid, count) in counts {
-            top.offer(self.tag_of(&g, oid)?, count);
+            part.push(Counted { key: self.tag_of(&g, oid)?, count });
         }
-        Ok(top.into_sorted_vec().into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
+        Ok(merge_top_n(vec![part], n).into_iter().map(|c| Ranked::new(c.key, c.count)).collect())
     }
 
     fn recommend_followees(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
@@ -310,6 +336,126 @@ impl MicroblogEngine for BitEngine {
             .next()
             .ok_or_else(|| CoreError::NotFound(format!("poster of tweet {tid}")))?;
         self.uid_of(&g, p)
+    }
+
+    // ---- shard-local kernels ------------------------------------------------
+    // Each kernel takes the read lock once and reports exactly what this
+    // graph stores; the merge layer (shard.rs) owns cross-shard semantics.
+
+    fn has_user(&self, uid: i64) -> Result<bool> {
+        let g = self.g.read();
+        Ok(self.user_oid(&g, uid)?.is_some())
+    }
+
+    fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
+        let g = self.g.read();
+        let mut out = Vec::new();
+        for &uid in uids {
+            let Some(u) = self.user_oid(&g, uid)? else { continue };
+            for t in g.neighbors(u, self.h.posts, EdgesDirection::Outgoing)?.iter() {
+                out.push(self.tid_of(&g, t)?);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
+        let g = self.g.read();
+        let mut tags = std::collections::BTreeSet::new();
+        for &uid in uids {
+            let Some(u) = self.user_oid(&g, uid)? else { continue };
+            for t in g.neighbors(u, self.h.posts, EdgesDirection::Outgoing)?.iter() {
+                for h in g.neighbors(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
+                    tags.insert(self.tag_of(&g, h)?);
+                }
+            }
+        }
+        Ok(tags.into_iter().collect())
+    }
+
+    fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
+        let g = self.g.read();
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for &uid in uids {
+            let Some(u) = self.user_oid(&g, uid)? else { continue };
+            for r in g.neighbors(u, self.h.follows, EdgesDirection::Outgoing)?.iter() {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        self.counts_by_uid(&g, counts)
+    }
+
+    fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
+        let g = self.g.read();
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for &uid in uids {
+            let Some(u) = self.user_oid(&g, uid)? else { continue };
+            for r in g.neighbors(u, self.h.follows, EdgesDirection::Ingoing)?.iter() {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        self.counts_by_uid(&g, counts)
+    }
+
+    fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>> {
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
+        let counts = self.co_mention_counts(&g, a)?;
+        self.counts_by_uid(&g, counts)
+    }
+
+    fn co_tag_counts_kernel(&self, tag: &str) -> Result<Vec<(String, u64)>> {
+        let g = self.g.read();
+        let Some(g0) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
+        let mut out = Vec::new();
+        for (oid, count) in self.co_tag_counts(&g, g0)? {
+            out.push((self.tag_of(&g, oid)?, count));
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
+        let g = self.g.read();
+        let mut next = std::collections::BTreeSet::new();
+        for &uid in uids {
+            let Some(u) = self.user_oid(&g, uid)? else { continue };
+            for v in g.neighbors(u, self.h.follows, EdgesDirection::Any)?.iter() {
+                next.insert(self.uid_of(&g, v)?);
+            }
+        }
+        Ok(next.into_iter().collect())
+    }
+
+    fn ensure_user(&self, uid: i64) -> Result<()> {
+        let mut g = self.g.write();
+        if g.find_object(self.h.uid, &Value::Int(uid))?.is_some() {
+            return Ok(());
+        }
+        let user_ty = g.find_type(schema::USER).expect("schema loaded");
+        let name_attr = g
+            .find_attribute(user_ty, schema::NAME)
+            .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
+        let verified_attr = g
+            .find_attribute(user_ty, schema::VERIFIED)
+            .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
+        let o = g.add_node(user_ty)?;
+        g.set_attr(o, self.h.uid, Value::Int(uid))?;
+        g.set_attr(o, name_attr, Value::Str(String::new()))?;
+        g.set_attr(o, self.h.followers, Value::Int(0))?;
+        g.set_attr(o, verified_attr, Value::Int(0))?;
+        Ok(())
+    }
+
+    fn bump_followers(&self, uid: i64, delta: i64) -> Result<()> {
+        let mut g = self.g.write();
+        let o = g
+            .find_object(self.h.uid, &Value::Int(uid))?
+            .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+        let count = g.get_attr(o, self.h.followers)?.and_then(|v| v.as_int()).unwrap_or(0);
+        g.set_attr(o, self.h.followers, Value::Int(count + delta))?;
+        Ok(())
     }
 
     /// Applies one streaming update (the paper's future-work update

@@ -153,6 +153,60 @@ pub trait MicroblogEngine: Send + Sync {
     /// Uid of the user who posted `tid`.
     fn poster_of(&self, tid: i64) -> Result<i64>;
 
+    // ---- shard-local kernels (scale-out; DESIGN.md §4c) ---------------------
+    //
+    // [`crate::shard::ShardedEngine`] executes Q1–Q6 as per-shard partial
+    // kernels plus engine-agnostic merges. The kernels are deliberately
+    // *raw*: each reports exactly what this engine stores locally — no
+    // global filtering, no top-n truncation — so the merge layer in
+    // `shard.rs` owns all cross-shard semantics. On an unsharded engine
+    // they simply describe the whole graph.
+
+    /// True when a user node with this uid exists in this engine.
+    fn has_user(&self, uid: i64) -> Result<bool>;
+
+    /// Q2.2 kernel — tids of tweets posted by any of the given users,
+    /// ascending. Users without a local node contribute nothing.
+    fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>>;
+
+    /// Q2.3 kernel — distinct hashtags on tweets posted by any of the given
+    /// users, ascending.
+    fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>>;
+
+    /// Q4.1 kernel — per-target counts of `follows` edges leaving the given
+    /// users (target uid → number of the given users following it),
+    /// ascending by uid.
+    fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>>;
+
+    /// Q4.2 kernel — per-source counts of locally stored `follows` edges
+    /// into the given users (source uid → number of the given users it
+    /// follows), ascending by uid.
+    fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>>;
+
+    /// Q3.1 kernel — full co-mention counts for `uid` over locally stored
+    /// tweets (edge multiplicity, untruncated), ascending by uid.
+    fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>>;
+
+    /// Q3.2 kernel — full co-occurrence counts for `tag` over locally
+    /// stored tweets (edge multiplicity, untruncated), ascending by tag.
+    fn co_tag_counts_kernel(&self, tag: &str) -> Result<Vec<(String, u64)>>;
+
+    /// Q6 kernel — one distributed-BFS round: distinct users adjacent to
+    /// any of the given users through locally stored `follows` edges
+    /// (either direction), ascending. May include the inputs themselves
+    /// when cycles exist; the BFS driver filters visited nodes.
+    fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>>;
+
+    /// Creates a bare user node for `uid` when absent — a ghost replica
+    /// used as the local endpoint of a cross-shard edge (`followers`
+    /// starts at 0, other attributes empty). Idempotent.
+    fn ensure_user(&self, uid: i64) -> Result<()>;
+
+    /// Adjusts the stored `followers` property of `uid` by `delta` — the
+    /// owner-shard half of a cross-shard follow. Errors with
+    /// [`CoreError::NotFound`] when the user does not exist locally.
+    fn bump_followers(&self, uid: i64, delta: i64) -> Result<()>;
+
     // ---- update workload (§5 future work) -----------------------------------
 
     /// Applies one streaming update event (new user / follow / tweet),

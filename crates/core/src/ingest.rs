@@ -16,10 +16,12 @@ use arbordb::import::{
 };
 use bitgraph::graph::{DataType, Graph};
 use bitgraph::loader::{load, EdgeSpec, LoadConfig, LoadOptions, LoadReport, LoadScript, NodeSpec};
-use micrograph_datagen::CsvFiles;
+use micrograph_datagen::{CsvFiles, Dataset};
 
 use crate::adapters::{ArborEngine, BitEngine};
+use crate::engine::MicroblogEngine;
 use crate::schema;
+use crate::shard::{partition_dataset, ShardedEngine};
 use crate::{CoreError, Result};
 
 /// Builds the arbordb import description for a CSV bundle.
@@ -290,6 +292,30 @@ pub fn build_engines(files: &CsvFiles) -> Result<(ArborEngine, BitEngine, Ingest
     ))
 }
 
+/// Partitions `dataset` into `shards` hash-partitions (see
+/// [`crate::shard`]), writes each partition's CSV bundle under
+/// `dir/shard-N`, ingests every partition into BOTH backends with default
+/// settings, and returns one [`ShardedEngine`] per backend
+/// (arbordb-backed, bitgraph-backed).
+pub fn build_sharded_engines(
+    dataset: &Dataset,
+    dir: &Path,
+    shards: usize,
+) -> Result<(ShardedEngine, ShardedEngine)> {
+    let parts = partition_dataset(dataset, shards);
+    let mut arbors: Vec<Box<dyn MicroblogEngine>> = Vec::with_capacity(shards);
+    let mut bits: Vec<Box<dyn MicroblogEngine>> = Vec::with_capacity(shards);
+    for (i, part) in parts.iter().enumerate() {
+        let files = part
+            .write_csv(&dir.join(format!("shard-{i}")))
+            .map_err(|e| CoreError::Ingest(e.to_string()))?;
+        let (arbor, bit, _) = build_engines(&files)?;
+        arbors.push(Box::new(arbor));
+        bits.push(Box::new(bit));
+    }
+    Ok((ShardedEngine::new(arbors), ShardedEngine::new(bits)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +350,26 @@ mod tests {
         let parsed = bitgraph::loader::parse_script(&text).unwrap();
         assert_eq!(parsed, script);
         std::fs::remove_dir_all(&files.dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_engines_agree_with_unsharded_spot_checks() {
+        let dir = std::env::temp_dir().join(format!("core-ingest-sharded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dataset = generate(&GenConfig::unit());
+        let files = dataset.write_csv(&dir).unwrap();
+        let (arbor, _, _) = build_engines(&files).unwrap();
+        let (sa, sb) = build_sharded_engines(&dataset, &dir.join("parts"), 2).unwrap();
+        assert_eq!(sa.shard_count(), 2);
+        assert!(sa.name().contains("arbordb"), "{}", sa.name());
+        assert!(sb.name().contains("bitgraph"), "{}", sb.name());
+        for uid in [1i64, 5, 17] {
+            assert_eq!(sa.followees(uid).unwrap(), arbor.followees(uid).unwrap());
+            assert_eq!(sb.followees(uid).unwrap(), arbor.followees(uid).unwrap());
+            assert_eq!(sa.followee_tweets(uid).unwrap(), arbor.followee_tweets(uid).unwrap());
+            assert_eq!(sb.followee_tweets(uid).unwrap(), arbor.followee_tweets(uid).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

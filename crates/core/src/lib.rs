@@ -23,8 +23,13 @@
 //!   deterministic mixed Q1–Q6 request stream against one shared
 //!   `dyn MicroblogEngine`, reporting per-query latency percentiles and
 //!   aggregate throughput (byte-identical results at any thread count).
+//! * [`shard`] — the scale-out composition: [`shard::ShardedEngine`]
+//!   hash-partitions users across N inner engines and answers every
+//!   workload query byte-identically to an unsharded engine via
+//!   shard-local kernels plus engine-agnostic merges.
 //! * [`ingest`] — drives both bulk loaders over the same CSV sources
-//!   (§3.2), capturing the Figure 2/3 progress curves.
+//!   (§3.2), capturing the Figure 2/3 progress curves; also builds
+//!   sharded engine pairs from a partitioned dataset.
 //! * [`compose`] — the §3.3 derived query (topic experts via co-occurring
 //!   hashtags, retweets and path lengths).
 
@@ -38,10 +43,12 @@ pub mod ingest;
 pub mod runner;
 pub mod schema;
 pub mod serve;
+pub mod shard;
 pub mod workload;
 
 pub use adapters::{ArborEngine, BitEngine};
 pub use engine::{CoreError, MicroblogEngine, Ranked};
+pub use shard::ShardedEngine;
 pub use serve::{ServeConfig, ServeReport};
 pub use micrograph_common::Value;
 

@@ -32,6 +32,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
     assert_send_sync::<crate::adapters::ArborEngine>();
     assert_send_sync::<crate::adapters::BitEngine>();
+    assert_send_sync::<crate::shard::ShardedEngine>();
     assert_send_sync::<dyn MicroblogEngine>();
     assert_send_sync::<arbordb::db::GraphDb>();
     assert_send_sync::<arbor_ql::QueryEngine>();

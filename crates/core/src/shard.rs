@@ -1,0 +1,703 @@
+//! Hash-partitioned composition: shard-local kernels + engine-agnostic merge.
+//!
+//! The paper introspects two *single-node* architectures; the ROADMAP north
+//! star is serving the same workload at production scale, which requires
+//! the engines to compose under partitioning. This module is that
+//! composition, in three parts (DESIGN.md §4c):
+//!
+//! 1. **Partitioning** — [`shard_of`] hash-assigns every user to one of N
+//!    shards; [`partition_dataset`] splits a generated [`Dataset`] into N
+//!    per-shard datasets (tweets ride with their poster, edges with their
+//!    routing endpoint, ghost replicas for cross-shard endpoints, hashtag
+//!    nodes replicated everywhere).
+//! 2. **Kernels** — both adapters expose shard-local partial queries
+//!    (`*_kernel` methods on [`MicroblogEngine`]) that report exactly what
+//!    one shard stores.
+//! 3. **Merge** — [`ShardedEngine`] routes or broadcasts each Q1–Q6 query
+//!    to its inner engines and merges the partials (count-sum, frontier
+//!    union, distributed-BFS rounds, mergeable top-n with the global
+//!    tie-break). It implements [`MicroblogEngine`] itself, so the runner,
+//!    the serving layer, benches and the equivalence tests drive it
+//!    unchanged through `&dyn MicroblogEngine`.
+//!
+//! The load-bearing property, pinned by `tests/cross_engine_equivalence.rs`
+//! and `tests/concurrent_serving.rs`: a `ShardedEngine` over either backend
+//! at any shard count answers every workload query **byte-identically** to
+//! the unsharded engine.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use micrograph_common::topn::{merge_top_n, Counted};
+use micrograph_datagen::{Dataset, Tweet, User};
+
+use crate::engine::{MicroblogEngine, Ranked};
+use crate::{CoreError, Result};
+
+/// The shard owning `uid`: a SplitMix64-finalized hash of the uid modulo
+/// the shard count. The finalizer scrambles sequential uids so partitions
+/// are balanced; the function is pure, so every layer (ingest routing,
+/// query routing, ownership filters) agrees on placement.
+pub fn shard_of(uid: i64, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    let mut z = (uid as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+/// Splits a dataset into `shards` per-shard datasets under [`shard_of`].
+///
+/// Placement rules:
+/// * A user lives on its hash shard with real attributes.
+/// * A tweet lives on its poster's shard, along with its `posts`,
+///   `mentions` and `tags` edges (so every per-tweet pattern — Q3's
+///   co-occurrence, Q5's mention counting — is complete on one shard).
+/// * A `follows` edge lives on the **follower's** shard (out-edges local,
+///   in-edges scattered — the merge layer compensates where it matters).
+/// * A `retweets` edge lives on the retweeting poster's shard.
+/// * Cross-shard endpoints get **ghost replicas**: a copy of the real user
+///   (or, for retweet targets, the real tweet plus its poster) so every
+///   local edge resolves. Ghosts never own data — ownership filters
+///   (`shard_of(x) == shard index`) exclude them from global answers.
+/// * Hashtag nodes are replicated to every shard (they are few, and the
+///   update path needs tag lookups to resolve locally).
+///
+/// The input must be internally consistent (every edge endpoint exists);
+/// generated datasets are. Panics otherwise.
+pub fn partition_dataset(d: &Dataset, shards: usize) -> Vec<Dataset> {
+    assert!(shards > 0, "shard count must be positive");
+    let owner = |uid: u64| shard_of(uid as i64, shards);
+    let user_by_uid: HashMap<u64, &User> = d.users.iter().map(|u| (u.uid, u)).collect();
+    let tweet_by_tid: HashMap<u64, &Tweet> = d.tweets.iter().map(|t| (t.tid, t)).collect();
+    let poster_shard = |tid: u64| {
+        owner(tweet_by_tid.get(&tid).expect("tweet of edge exists").uid)
+    };
+
+    let mut parts: Vec<Dataset> = (0..shards)
+        .map(|_| Dataset { hashtags: d.hashtags.clone(), ..Dataset::default() })
+        .collect();
+    let mut ghost_users: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); shards];
+    let mut ghost_tweets: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); shards];
+
+    for u in &d.users {
+        parts[owner(u.uid)].users.push(u.clone());
+    }
+    for t in &d.tweets {
+        parts[owner(t.uid)].tweets.push(t.clone());
+    }
+    for &(a, b) in &d.follows {
+        let s = owner(a);
+        parts[s].follows.push((a, b));
+        if owner(b) != s {
+            ghost_users[s].insert(b);
+        }
+    }
+    for &(tid, uid) in &d.mentions {
+        let s = poster_shard(tid);
+        parts[s].mentions.push((tid, uid));
+        if owner(uid) != s {
+            ghost_users[s].insert(uid);
+        }
+    }
+    for &(tid, h) in &d.tags {
+        parts[poster_shard(tid)].tags.push((tid, h));
+    }
+    for &(rt, orig) in &d.retweets {
+        let s = poster_shard(rt);
+        parts[s].retweets.push((rt, orig));
+        let target = tweet_by_tid.get(&orig).expect("retweet target exists");
+        if owner(target.uid) != s {
+            // The target tweet rides along as a ghost, and its poster as a
+            // ghost user so the derived `posts` edge resolves. Ghost tweets
+            // carry no mention/tag edges here — those stay with the owner.
+            ghost_tweets[s].insert(orig);
+            ghost_users[s].insert(target.uid);
+        }
+    }
+
+    for (s, ghosts) in ghost_users.into_iter().enumerate() {
+        for uid in ghosts {
+            parts[s].users.push(user_by_uid[&uid].clone());
+        }
+    }
+    for (s, ghosts) in ghost_tweets.into_iter().enumerate() {
+        for tid in ghosts {
+            parts[s].tweets.push(tweet_by_tid[&tid].clone());
+        }
+    }
+    parts
+}
+
+fn counted<K: Ord>(pairs: Vec<(K, u64)>) -> Vec<Counted<K>> {
+    pairs.into_iter().map(|(key, count)| Counted { key, count }).collect()
+}
+
+fn to_ranked<K>(top: Vec<Counted<K>>) -> Vec<Ranked<K>> {
+    top.into_iter().map(|c| Ranked::new(c.key, c.count)).collect()
+}
+
+/// Q4 merge: sum partial counts, drop the subject and already-followed
+/// users, rank with the global tie-break.
+fn merge_recommend(
+    uid: i64,
+    followed: &[i64],
+    parts: Vec<Vec<(i64, u64)>>,
+    n: usize,
+) -> Vec<Ranked<i64>> {
+    let followed: BTreeSet<i64> = followed.iter().copied().collect();
+    let kept = parts
+        .into_iter()
+        .map(|part| {
+            counted(
+                part.into_iter()
+                    .filter(|&(r, _)| r != uid && !followed.contains(&r))
+                    .collect(),
+            )
+        })
+        .collect();
+    to_ranked(merge_top_n(kept, n))
+}
+
+/// Sums per-shard `(key, count)` partials into one ascending count list.
+fn sum_counts<K: Ord>(parts: Vec<Vec<(K, u64)>>) -> Vec<(K, u64)> {
+    let mut totals: BTreeMap<K, u64> = BTreeMap::new();
+    for part in parts {
+        for (k, c) in part {
+            *totals.entry(k).or_insert(0) += c;
+        }
+    }
+    totals.into_iter().collect()
+}
+
+/// N inner engines behind one [`MicroblogEngine`] facade.
+///
+/// Point lookups route to the owner shard; scatter/gather queries broadcast
+/// and merge. Every merge sorts (or ranks with the global tie-break), so
+/// answers are deterministic and byte-identical to an unsharded engine
+/// regardless of shard count — see the per-method comments for why each
+/// merge is exact.
+pub struct ShardedEngine {
+    shards: Vec<Box<dyn MicroblogEngine>>,
+    name: &'static str,
+}
+
+impl ShardedEngine {
+    /// Wraps `shards` inner engines (typically all of the same backend,
+    /// each ingested from one [`partition_dataset`] part).
+    ///
+    /// # Panics
+    /// Panics when `shards` is empty.
+    pub fn new(shards: Vec<Box<dyn MicroblogEngine>>) -> Self {
+        assert!(!shards.is_empty(), "ShardedEngine needs at least one shard");
+        // The trait hands out `&'static str`; one leaked label per engine
+        // construction is bounded by the number of engines built.
+        let name: &'static str =
+            Box::leak(format!("sharded[{}/{}]", shards[0].name(), shards.len()).into_boxed_str());
+        ShardedEngine { shards, name }
+    }
+
+    /// Number of inner shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn owner(&self, uid: i64) -> &dyn MicroblogEngine {
+        self.shards[shard_of(uid, self.shards.len())].as_ref()
+    }
+
+    /// Buckets uids by owning shard (index = shard index).
+    fn route(&self, uids: &[i64]) -> Vec<Vec<i64>> {
+        let mut buckets = vec![Vec::new(); self.shards.len()];
+        for &u in uids {
+            buckets[shard_of(u, self.shards.len())].push(u);
+        }
+        buckets
+    }
+}
+
+impl MicroblogEngine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn users_with_followers_over(&self, threshold: i64) -> Result<Vec<i64>> {
+        // Broadcast; each shard's answer is filtered to the users it OWNS
+        // (ghost replicas carry real follower counts and would otherwise
+        // duplicate). Owned sets are disjoint, so concat + sort is exact.
+        let n = self.shards.len();
+        let mut out = Vec::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            out.extend(
+                s.users_with_followers_over(threshold)?
+                    .into_iter()
+                    .filter(|&uid| shard_of(uid, n) == i),
+            );
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn followees(&self, uid: i64) -> Result<Vec<i64>> {
+        // All of A's out-edges live on A's shard; ghosts have none.
+        self.owner(uid).followees(uid)
+    }
+
+    fn followee_tweets(&self, uid: i64) -> Result<Vec<i64>> {
+        // Round 1: frontier from the owner. Round 2: route the frontier by
+        // ownership — a user's tweets are complete on their own shard.
+        let frontier = self.owner(uid).followees(uid)?;
+        let mut out = Vec::new();
+        for (bucket, s) in self.route(&frontier).into_iter().zip(&self.shards) {
+            if !bucket.is_empty() {
+                out.extend(s.posted_tweets_kernel(&bucket)?);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn followee_hashtags(&self, uid: i64) -> Result<Vec<String>> {
+        let frontier = self.owner(uid).followees(uid)?;
+        let mut tags = BTreeSet::new();
+        for (bucket, s) in self.route(&frontier).into_iter().zip(&self.shards) {
+            if !bucket.is_empty() {
+                tags.extend(s.hashtags_kernel(&bucket)?);
+            }
+        }
+        Ok(tags.into_iter().collect())
+    }
+
+    fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        // A co-mention pair can recur on many shards (one per mentioning
+        // tweet), so the merge needs the FULL per-shard count maps — the
+        // untruncated kernels — before ranking.
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            parts.push(counted(s.co_mention_counts_kernel(uid)?));
+        }
+        Ok(to_ranked(merge_top_n(parts, n)))
+    }
+
+    fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            parts.push(counted(s.co_tag_counts_kernel(tag)?));
+        }
+        Ok(to_ranked(merge_top_n(parts, n)))
+    }
+
+    fn recommend_followees(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        // Frontier from the owner, counting kernels routed by ownership
+        // (out-edges are local to their source's shard), then count-sum
+        // merge with the not-already-followed filter applied globally.
+        let followed = self.owner(uid).followees(uid)?;
+        let mut parts = Vec::new();
+        for (bucket, s) in self.route(&followed).into_iter().zip(&self.shards) {
+            if !bucket.is_empty() {
+                parts.push(s.count_followees_kernel(&bucket)?);
+            }
+        }
+        Ok(merge_recommend(uid, &followed, parts, n))
+    }
+
+    fn recommend_followers(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        // In-edges are scattered (each lives on its source's shard), so the
+        // frontier is BROADCAST; every `follows` edge is stored exactly
+        // once globally, so summing per-shard counts is exact.
+        let followed = self.owner(uid).followees(uid)?;
+        if followed.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            parts.push(s.count_followers_kernel(&followed)?);
+        }
+        Ok(merge_recommend(uid, &followed, parts, n))
+    }
+
+    fn current_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        // A mentioner p's tweets — and the p→A follows edge the filter
+        // needs — are all on p's shard, so per-shard candidate sets are
+        // DISJOINT and merging the truncated per-shard top-n is exact.
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            parts.push(counted(
+                s.current_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
+            ));
+        }
+        Ok(to_ranked(merge_top_n(parts, n)))
+    }
+
+    fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            parts.push(counted(
+                s.potential_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
+            ));
+        }
+        Ok(to_ranked(merge_top_n(parts, n)))
+    }
+
+    fn shortest_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
+        // Distributed BFS: each round broadcasts the frontier to every
+        // shard (a user's undirected adjacency is split between their own
+        // shard's out-edges and other shards' in-edges) and unions the
+        // results. Path LENGTH is exploration-order independent, so the
+        // round-per-hop schedule reproduces the single-engine answer.
+        if !self.owner(a).has_user(a)? || !self.owner(b).has_user(b)? {
+            return Ok(None);
+        }
+        if a == b {
+            return Ok(Some(0));
+        }
+        let mut visited: BTreeSet<i64> = BTreeSet::from([a]);
+        let mut frontier = vec![a];
+        for depth in 1..=max_hops {
+            let mut next = BTreeSet::new();
+            for s in &self.shards {
+                next.extend(s.follow_frontier_kernel(&frontier)?);
+            }
+            if next.contains(&b) {
+                return Ok(Some(depth));
+            }
+            frontier = next.into_iter().filter(|&u| visited.insert(u)).collect();
+            if frontier.is_empty() {
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    fn tweets_with_hashtag(&self, tag: &str) -> Result<Vec<i64>> {
+        // `tags` edges live only on the owning tweet's shard — disjoint.
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.tweets_with_hashtag(tag)?);
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn retweet_count(&self, tid: i64) -> Result<u64> {
+        // Each retweet edge is stored once (at the retweeting poster's
+        // shard); shards without the tweet report 0.
+        let mut total = 0;
+        for s in &self.shards {
+            total += s.retweet_count(tid)?;
+        }
+        Ok(total)
+    }
+
+    fn poster_of(&self, tid: i64) -> Result<i64> {
+        // Ghost tweet replicas keep the real poster uid, so the first
+        // shard that knows the tweet answers correctly.
+        for s in &self.shards {
+            match s.poster_of(tid) {
+                Ok(uid) => return Ok(uid),
+                Err(CoreError::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(CoreError::NotFound(format!("poster of tweet {tid}")))
+    }
+
+    // ---- kernels: delegate so sharded engines compose -----------------------
+
+    fn has_user(&self, uid: i64) -> Result<bool> {
+        self.owner(uid).has_user(uid)
+    }
+
+    fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
+        let mut out = Vec::new();
+        for (bucket, s) in self.route(uids).into_iter().zip(&self.shards) {
+            if !bucket.is_empty() {
+                out.extend(s.posted_tweets_kernel(&bucket)?);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
+        let mut tags = BTreeSet::new();
+        for (bucket, s) in self.route(uids).into_iter().zip(&self.shards) {
+            if !bucket.is_empty() {
+                tags.extend(s.hashtags_kernel(&bucket)?);
+            }
+        }
+        Ok(tags.into_iter().collect())
+    }
+
+    fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
+        let mut parts = Vec::new();
+        for (bucket, s) in self.route(uids).into_iter().zip(&self.shards) {
+            if !bucket.is_empty() {
+                parts.push(s.count_followees_kernel(&bucket)?);
+            }
+        }
+        Ok(sum_counts(parts))
+    }
+
+    fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            parts.push(s.count_followers_kernel(uids)?);
+        }
+        Ok(sum_counts(parts))
+    }
+
+    fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            parts.push(s.co_mention_counts_kernel(uid)?);
+        }
+        Ok(sum_counts(parts))
+    }
+
+    fn co_tag_counts_kernel(&self, tag: &str) -> Result<Vec<(String, u64)>> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            parts.push(s.co_tag_counts_kernel(tag)?);
+        }
+        Ok(sum_counts(parts))
+    }
+
+    fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
+        let mut next = BTreeSet::new();
+        for s in &self.shards {
+            next.extend(s.follow_frontier_kernel(uids)?);
+        }
+        Ok(next.into_iter().collect())
+    }
+
+    fn ensure_user(&self, uid: i64) -> Result<()> {
+        self.owner(uid).ensure_user(uid)
+    }
+
+    fn bump_followers(&self, uid: i64, delta: i64) -> Result<()> {
+        self.owner(uid).bump_followers(uid, delta)
+    }
+
+    fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
+        use micrograph_datagen::UpdateEvent;
+        let n = self.shards.len();
+        match event {
+            UpdateEvent::NewUser { uid, .. } => self.owner(*uid as i64).apply_event(event),
+            UpdateEvent::NewFollow { follower, followee } => {
+                let (fa, fb) = (*follower as i64, *followee as i64);
+                // Validate both endpoints against their OWNERS, in the same
+                // order the unsharded adapters do.
+                if !self.owner(fa).has_user(fa)? {
+                    return Err(CoreError::NotFound(format!("user {follower}")));
+                }
+                if !self.owner(fb).has_user(fb)? {
+                    return Err(CoreError::NotFound(format!("user {followee}")));
+                }
+                let (src, dst) = (shard_of(fa, n), shard_of(fb, n));
+                if src == dst {
+                    self.shards[src].apply_event(event)
+                } else {
+                    // Edge + ghost followee at the follower's shard. The
+                    // inner engine also bumps the ghost's follower count,
+                    // which is invisible globally: only Q1 reads the
+                    // property, and its merge filters by ownership.
+                    self.shards[src].ensure_user(fb)?;
+                    self.shards[src].apply_event(event)?;
+                    // The real count lives at the owner.
+                    self.shards[dst].bump_followers(fb, 1)
+                }
+            }
+            UpdateEvent::NewTweet { uid, mentions, .. } => {
+                let poster = *uid as i64;
+                let home = shard_of(poster, n);
+                if !self.shards[home].has_user(poster)? {
+                    return Err(CoreError::NotFound(format!("user {uid}")));
+                }
+                for m in mentions {
+                    let mi = *m as i64;
+                    if !self.owner(mi).has_user(mi)? {
+                        return Err(CoreError::NotFound(format!("user {m}")));
+                    }
+                    if shard_of(mi, n) != home {
+                        self.shards[home].ensure_user(mi)?;
+                    }
+                }
+                // Hashtags are replicated, so tag lookups resolve locally.
+                self.shards[home].apply_event(event)
+            }
+        }
+    }
+
+    fn reset_stats(&self) {
+        for s in &self.shards {
+            s.reset_stats();
+        }
+    }
+
+    fn ops_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops_count()).sum()
+    }
+
+    fn drop_caches(&self) -> Result<()> {
+        for s in &self.shards {
+            s.drop_caches()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            for uid in 0..500i64 {
+                let s = shard_of(uid, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(uid, shards), "must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_single_shard_is_zero() {
+        for uid in [0i64, 1, 42, 1_000_000] {
+            assert_eq!(shard_of(uid, 1), 0);
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_users() {
+        // The finalizer must not collapse sequential uids onto one shard.
+        let mut seen = BTreeSet::new();
+        for uid in 1..=64i64 {
+            seen.insert(shard_of(uid, 4));
+        }
+        assert_eq!(seen.len(), 4, "64 sequential uids should hit all 4 shards");
+    }
+
+    fn tiny() -> Dataset {
+        let users = (1..=8u64)
+            .map(|uid| User {
+                uid,
+                name: format!("u{uid}"),
+                followers: uid as u32,
+                verified: uid == 1,
+            })
+            .collect();
+        let tweets = (1..=8u64)
+            .map(|tid| Tweet { tid, uid: (tid % 8) + 1, text: format!("t{tid}") })
+            .collect();
+        let mut follows = Vec::new();
+        for a in 1..=8u64 {
+            for b in 1..=8u64 {
+                if a != b && (a + b) % 3 != 0 {
+                    follows.push((a, b));
+                }
+            }
+        }
+        Dataset {
+            users,
+            tweets,
+            hashtags: vec!["alpha".into(), "beta".into()],
+            follows,
+            mentions: vec![(1, 3), (1, 3), (2, 5), (3, 7), (4, 1), (5, 2)],
+            tags: vec![(1, 0), (1, 1), (2, 0), (3, 1), (5, 0)],
+            retweets: vec![(2, 1), (3, 1), (4, 2), (6, 5)],
+        }
+    }
+
+    #[test]
+    fn partition_preserves_every_edge_exactly_once() {
+        let d = tiny();
+        for shards in [1usize, 2, 4] {
+            let parts = partition_dataset(&d, shards);
+            assert_eq!(parts.len(), shards);
+            let sum = |f: fn(&Dataset) -> usize| parts.iter().map(f).sum::<usize>();
+            assert_eq!(sum(|p| p.follows.len()), d.follows.len());
+            assert_eq!(sum(|p| p.mentions.len()), d.mentions.len());
+            assert_eq!(sum(|p| p.tags.len()), d.tags.len());
+            assert_eq!(sum(|p| p.retweets.len()), d.retweets.len());
+        }
+    }
+
+    #[test]
+    fn partition_owned_nodes_partition_exactly() {
+        let d = tiny();
+        for shards in [1usize, 2, 4] {
+            let parts = partition_dataset(&d, shards);
+            let owned_users: usize = parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    p.users.iter().filter(|u| shard_of(u.uid as i64, shards) == i).count()
+                })
+                .sum();
+            let owned_tweets: usize = parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    p.tweets.iter().filter(|t| shard_of(t.uid as i64, shards) == i).count()
+                })
+                .sum();
+            assert_eq!(owned_users, d.users.len());
+            assert_eq!(owned_tweets, d.tweets.len());
+        }
+    }
+
+    #[test]
+    fn partition_every_local_edge_endpoint_resolves() {
+        let d = tiny();
+        for shards in [2usize, 4] {
+            for (i, p) in partition_dataset(&d, shards).into_iter().enumerate() {
+                let users: BTreeSet<u64> = p.users.iter().map(|u| u.uid).collect();
+                let tweets: BTreeSet<u64> = p.tweets.iter().map(|t| t.tid).collect();
+                assert_eq!(p.hashtags, d.hashtags, "hashtags replicate everywhere");
+                for &(a, b) in &p.follows {
+                    assert_eq!(shard_of(a as i64, shards), i, "follows routed by source");
+                    assert!(users.contains(&a) && users.contains(&b), "shard {i}: {a}->{b}");
+                }
+                for &(t, u) in &p.mentions {
+                    assert!(tweets.contains(&t) && users.contains(&u));
+                }
+                for &(t, _) in &p.tags {
+                    assert!(tweets.contains(&t));
+                }
+                for &(rt, orig) in &p.retweets {
+                    assert!(tweets.contains(&rt) && tweets.contains(&orig));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_ghost_users_carry_real_attributes() {
+        let d = tiny();
+        let by_uid: HashMap<u64, &User> = d.users.iter().map(|u| (u.uid, u)).collect();
+        for p in partition_dataset(&d, 4) {
+            for u in &p.users {
+                assert_eq!(u, by_uid[&u.uid], "replica must equal the original record");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_recommend_filters_subject_and_followed() {
+        let parts = vec![vec![(1i64, 3u64), (2, 5), (9, 1)], vec![(2, 2), (4, 4)]];
+        let out = merge_recommend(9, &[1], parts, 10);
+        // 1 is followed, 9 is the subject; 2 sums to 7 across shards.
+        assert_eq!(
+            out,
+            vec![Ranked::new(2, 7), Ranked::new(4, 4)],
+        );
+    }
+
+    #[test]
+    fn sum_counts_merges_ascending() {
+        let parts = vec![vec![(3i64, 1u64), (5, 2)], vec![(1, 4), (3, 2)]];
+        assert_eq!(sum_counts(parts), vec![(1, 4), (3, 3), (5, 2)]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Scale-out serving: the mixed Q1–Q6 request stream against hash-
+//! partitioned engines.
+//!
+//! Builds `ShardedEngine`s over both backends at 1, 2 and 4 shards from
+//! one generated dataset, serves the same deterministic request stream
+//! against each (4 reader threads), prints the per-query latency
+//! percentiles, and verifies every sharded run is byte-identical to the
+//! unsharded engine — the invariant that makes the sharded numbers
+//! comparable at all.
+//!
+//! ```sh
+//! cargo run --release --example sharded_serving
+//! ```
+
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::ingest::{build_engines, build_sharded_engines};
+use micrograph_core::serve::{serve, ServeConfig};
+use micrograph_datagen::{generate, GenConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = GenConfig::small();
+    config.users = 1_000;
+    let dataset = generate(&config);
+    let dir = std::env::temp_dir().join("micrograph-sharded-serving");
+    let _ = std::fs::remove_dir_all(&dir);
+    let files = dataset.write_csv(&dir)?;
+    println!("Base graph: {}", dataset.stats().render_table());
+
+    let serve_config = ServeConfig {
+        threads: 4,
+        requests: 512,
+        seed: 42,
+        users: config.users,
+        vocab: 16,
+    };
+
+    // Unsharded baselines: the digests every sharded run must reproduce.
+    let (arbor, bit, _) = build_engines(&files)?;
+    let mut baselines = Vec::new();
+    for engine in [&arbor as &dyn MicroblogEngine, &bit] {
+        let report = serve(engine, &serve_config)?;
+        println!("{}", report.render());
+        baselines.push(report.digest());
+    }
+
+    for shards in [1usize, 2, 4] {
+        let (sharded_arbor, sharded_bit) =
+            build_sharded_engines(&dataset, &dir.join(format!("shards-{shards}")), shards)?;
+        let pair = [&sharded_arbor as &dyn MicroblogEngine, &sharded_bit];
+        for (i, engine) in pair.into_iter().enumerate() {
+            let report = serve(engine, &serve_config)?;
+            println!("{}", report.render());
+            assert_eq!(
+                report.digest(),
+                baselines[i],
+                "{}: sharded results diverged from the unsharded engine",
+                engine.name()
+            );
+        }
+    }
+    println!(
+        "All sharded runs byte-identical to the unsharded engines \
+         ({} requests each, 4 reader threads).",
+        serve_config.requests
+    );
+    Ok(())
+}

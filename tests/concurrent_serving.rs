@@ -7,10 +7,10 @@
 use std::sync::Arc;
 
 use micrograph_core::engine::MicroblogEngine;
-use micrograph_core::ingest::build_engines;
+use micrograph_core::ingest::{build_engines, build_sharded_engines};
 use micrograph_core::serve::{request_stream, serve, ServeConfig};
-use micrograph_core::{ArborEngine, BitEngine};
-use micrograph_datagen::{generate, GenConfig};
+use micrograph_core::{ArborEngine, BitEngine, ShardedEngine};
+use micrograph_datagen::{generate, Dataset, GenConfig};
 
 struct Guard(std::path::PathBuf);
 impl Drop for Guard {
@@ -21,7 +21,7 @@ impl Drop for Guard {
 
 const USERS: u64 = 120;
 
-fn engines(seed: u64) -> (ArborEngine, BitEngine, Guard) {
+fn engines(seed: u64) -> (ArborEngine, BitEngine, Dataset, Guard) {
     let mut cfg = GenConfig::unit();
     cfg.seed = seed;
     cfg.users = USERS;
@@ -34,9 +34,10 @@ fn engines(seed: u64) -> (ArborEngine, BitEngine, Guard) {
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
-    let files = generate(&cfg).write_csv(&dir).unwrap();
+    let dataset = generate(&cfg);
+    let files = dataset.write_csv(&dir).unwrap();
     let (a, b, _) = build_engines(&files).unwrap();
-    (a, b, Guard(dir))
+    (a, b, dataset, Guard(dir))
 }
 
 fn config(threads: usize) -> ServeConfig {
@@ -45,7 +46,7 @@ fn config(threads: usize) -> ServeConfig {
 
 #[test]
 fn four_readers_match_single_thread_on_both_engines() {
-    let (arbor, bit, _g) = engines(55);
+    let (arbor, bit, _dataset, _g) = engines(55);
     let mut cross: Vec<Vec<String>> = Vec::new();
     for engine in [&arbor as &dyn MicroblogEngine, &bit] {
         let single = serve(engine, &config(1)).unwrap();
@@ -68,7 +69,7 @@ fn four_readers_match_single_thread_on_both_engines() {
 
 #[test]
 fn serving_reports_cover_the_stream() {
-    let (arbor, _bit, _g) = engines(56);
+    let (arbor, _bit, _dataset, _g) = engines(56);
     let report = serve(&arbor, &config(4)).unwrap();
     let counted: u64 = report.per_query.iter().map(|q| q.count).sum();
     assert_eq!(counted, 128, "every request must be attributed to a query");
@@ -89,12 +90,47 @@ fn serving_reports_cover_the_stream() {
 fn arc_shared_engine_serves_from_scoped_threads() {
     // The serving layer's advertised shape: one engine behind
     // `Arc<dyn MicroblogEngine>`, shared by reference across readers.
-    let (_arbor, bit, _g) = engines(57);
+    let (_arbor, bit, _dataset, _g) = engines(57);
     let shared: Arc<dyn MicroblogEngine> = Arc::new(bit);
     let single = serve(&*shared, &config(1)).unwrap();
     let multi = serve(&*shared, &config(2)).unwrap();
     assert_eq!(single.rendered, multi.rendered);
     assert_eq!(shared.name(), "bitgraph");
+}
+
+#[test]
+fn sharded_serving_matches_unsharded_digest() {
+    // The acceptance bar for the sharded composition: ShardedEngine at
+    // N ∈ {1, 2, 4} over BOTH backends serves the mixed request stream
+    // byte-identically to the corresponding unsharded engine — and stays
+    // byte-identical across reader thread counts.
+    let (arbor, bit, dataset, g) = engines(58);
+    let base: Vec<u64> = [&arbor as &dyn MicroblogEngine, &bit]
+        .iter()
+        .map(|e| serve(*e, &config(1)).unwrap().digest())
+        .collect();
+    for shards in [1usize, 2, 4] {
+        let (sharded_arbor, sharded_bit) =
+            build_sharded_engines(&dataset, &g.0.join(format!("shards-{shards}")), shards)
+                .unwrap();
+        let pair = [&sharded_arbor as &dyn MicroblogEngine, &sharded_bit];
+        for (i, engine) in pair.into_iter().enumerate() {
+            let single = serve(engine, &config(1)).unwrap();
+            let multi = serve(engine, &config(4)).unwrap();
+            assert_eq!(
+                single.rendered,
+                multi.rendered,
+                "{}: readers diverged on the sharded engine",
+                engine.name()
+            );
+            assert_eq!(
+                multi.digest(),
+                base[i],
+                "{}: sharded digest diverged from the unsharded engine",
+                engine.name()
+            );
+        }
+    }
 }
 
 #[test]
@@ -113,6 +149,7 @@ fn engines_are_send_sync() {
     fn check<T: Send + Sync + ?Sized>() {}
     check::<ArborEngine>();
     check::<BitEngine>();
+    check::<ShardedEngine>();
     check::<dyn MicroblogEngine>();
     check::<Arc<dyn MicroblogEngine>>();
 }

@@ -1,17 +1,20 @@
 //! The load-bearing invariant of the reproduction: **both engine
 //! architectures answer every Table 2 query identically** on the same
-//! dataset. The paper compares the two systems' performance; that is only
-//! meaningful because the answers agree.
+//! dataset — and so does the sharded composition over either backend, at
+//! any shard count. The paper compares the two systems' performance; that
+//! is only meaningful because the answers agree.
 //!
 //! Every workload assertion goes through one generic path ([`agree`]) over
-//! `&dyn MicroblogEngine` — the trait is the contract, and adding a third
-//! backend means adding one element to [`pair`]'s successor, not another
-//! copy of the assertions. Engine-specific alternate implementations
-//! (phrasings, traversal-API variants) are compared against the trait
-//! answer on their concrete types at the end.
+//! `&dyn MicroblogEngine`. The [`matrix`] builds eight engines per
+//! dataset: the two monolithic adapters plus `ShardedEngine` over each
+//! backend at N ∈ {1, 2, 4} shards — adding a backend or a partitioning
+//! scheme means adding elements there, not another copy of the
+//! assertions. Engine-specific alternate implementations (phrasings,
+//! traversal-API variants) are compared against the trait answer on their
+//! concrete types at the end.
 
 use micrograph_core::engine::MicroblogEngine;
-use micrograph_core::ingest::build_engines;
+use micrograph_core::ingest::{build_engines, build_sharded_engines};
 use micrograph_core::{ArborEngine, BitEngine};
 use micrograph_datagen::{generate, GenConfig};
 
@@ -23,7 +26,7 @@ impl Drop for Guard {
     }
 }
 
-fn engines(seed: u64, users: u64) -> (ArborEngine, BitEngine, Guard) {
+fn base_config(seed: u64, users: u64) -> GenConfig {
     let mut cfg = GenConfig::unit();
     cfg.seed = seed;
     cfg.users = users;
@@ -31,20 +34,57 @@ fn engines(seed: u64, users: u64) -> (ArborEngine, BitEngine, Guard) {
     cfg.tweets_per_poster = 6;
     cfg.mentions_per_tweet = 1.2;
     cfg.tags_per_tweet = 0.8;
+    cfg
+}
+
+fn engines(seed: u64, users: u64) -> (ArborEngine, BitEngine, Guard) {
     let dir = std::env::temp_dir().join(format!(
         "xengine-{seed}-{users}-{}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
-    let files = generate(&cfg).write_csv(&dir).unwrap();
+    let files = generate(&base_config(seed, users)).write_csv(&dir).unwrap();
     let (a, b, _) = build_engines(&files).unwrap();
     (a, b, Guard(dir))
 }
 
-/// Both engines as trait objects — the only place the concrete types meet
-/// the assertions.
+/// Both engines as trait objects (for the concrete-type comparisons).
 fn pair<'a>(a: &'a ArborEngine, b: &'a BitEngine) -> [&'a dyn MicroblogEngine; 2] {
     [a, b]
+}
+
+/// The full agreement matrix over one dataset: both monolithic engines
+/// plus `ShardedEngine` over each backend at 1, 2 and 4 shards.
+struct Matrix {
+    engines: Vec<Box<dyn MicroblogEngine>>,
+    _guard: Guard,
+}
+
+impl Matrix {
+    fn refs(&self) -> Vec<&dyn MicroblogEngine> {
+        self.engines.iter().map(|e| e.as_ref()).collect()
+    }
+}
+
+fn matrix(seed: u64, users: u64) -> Matrix {
+    let cfg = base_config(seed, users);
+    let dir = std::env::temp_dir().join(format!(
+        "xmatrix-{seed}-{users}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dataset = generate(&cfg);
+    let files = dataset.write_csv(&dir).unwrap();
+    let (a, b, _) = build_engines(&files).unwrap();
+    let mut engines: Vec<Box<dyn MicroblogEngine>> = vec![Box::new(a), Box::new(b)];
+    for shards in [1usize, 2, 4] {
+        let (sa, sb) =
+            build_sharded_engines(&dataset, &dir.join(format!("shards-{shards}")), shards)
+                .unwrap();
+        engines.push(Box::new(sa));
+        engines.push(Box::new(sb));
+    }
+    Matrix { engines, _guard: Guard(dir) }
 }
 
 /// The single generic assertion path: runs `f` on every engine through
@@ -65,8 +105,8 @@ where
 
 #[test]
 fn q1_selection_agrees() {
-    let (a, b, _g) = engines(11, 150);
-    let es = pair(&a, &b);
+    let m = matrix(11, 150);
+    let es = m.refs();
     for th in [0, 1, 3, 10, 100] {
         agree(&es, &format!("Q1.1 threshold {th}"), |e| {
             e.users_with_followers_over(th).unwrap()
@@ -76,8 +116,8 @@ fn q1_selection_agrees() {
 
 #[test]
 fn q2_adjacency_agrees() {
-    let (a, b, _g) = engines(12, 150);
-    let es = pair(&a, &b);
+    let m = matrix(12, 150);
+    let es = m.refs();
     for uid in 1..=30 {
         agree(&es, &format!("Q2.1 uid {uid}"), |e| e.followees(uid).unwrap());
         agree(&es, &format!("Q2.2 uid {uid}"), |e| e.followee_tweets(uid).unwrap());
@@ -87,8 +127,8 @@ fn q2_adjacency_agrees() {
 
 #[test]
 fn q3_cooccurrence_agrees() {
-    let (a, b, _g) = engines(13, 150);
-    let es = pair(&a, &b);
+    let m = matrix(13, 150);
+    let es = m.refs();
     for uid in 1..=40 {
         agree(&es, &format!("Q3.1 uid {uid}"), |e| e.co_mentioned_users(uid, 10).unwrap());
     }
@@ -100,8 +140,8 @@ fn q3_cooccurrence_agrees() {
 
 #[test]
 fn q4_recommendation_agrees() {
-    let (a, b, _g) = engines(14, 150);
-    let es = pair(&a, &b);
+    let m = matrix(14, 150);
+    let es = m.refs();
     for uid in 1..=30 {
         agree(&es, &format!("Q4.1 uid {uid}"), |e| e.recommend_followees(uid, 10).unwrap());
         agree(&es, &format!("Q4.2 uid {uid}"), |e| e.recommend_followers(uid, 10).unwrap());
@@ -110,8 +150,8 @@ fn q4_recommendation_agrees() {
 
 #[test]
 fn q5_influence_agrees() {
-    let (a, b, _g) = engines(16, 150);
-    let es = pair(&a, &b);
+    let m = matrix(16, 150);
+    let es = m.refs();
     for uid in 1..=40 {
         agree(&es, &format!("Q5.1 uid {uid}"), |e| e.current_influence(uid, 10).unwrap());
         agree(&es, &format!("Q5.2 uid {uid}"), |e| e.potential_influence(uid, 10).unwrap());
@@ -121,8 +161,8 @@ fn q5_influence_agrees() {
 #[test]
 fn q5_partitions_mentioners() {
     // Current and potential influence never share a user — on either engine.
-    let (a, b, _g) = engines(17, 120);
-    let es = pair(&a, &b);
+    let m = matrix(17, 120);
+    let es = m.refs();
     for uid in 1..=20 {
         agree(&es, &format!("Q5 partition uid {uid}"), |e| {
             let cur = e.current_influence(uid, 1000).unwrap();
@@ -143,8 +183,8 @@ fn q5_partitions_mentioners() {
 
 #[test]
 fn q6_shortest_paths_agree() {
-    let (a, b, _g) = engines(18, 120);
-    let es = pair(&a, &b);
+    let m = matrix(18, 120);
+    let es = m.refs();
     for (ua, ub) in [(1, 2), (3, 50), (10, 90), (5, 5), (7, 119), (100, 2)] {
         for max in [1, 2, 3, 4, 6] {
             agree(&es, &format!("Q6.1 {ua}->{ub} max {max}"), |e| {
@@ -156,8 +196,8 @@ fn q6_shortest_paths_agree() {
 
 #[test]
 fn composite_building_blocks_agree() {
-    let (a, b, _g) = engines(21, 120);
-    let es = pair(&a, &b);
+    let m = matrix(21, 120);
+    let es = m.refs();
     for t in 1..=6 {
         let tag = format!("tag{t}");
         let tids = agree(&es, &format!("tweets with {tag}"), |e| {
@@ -172,8 +212,8 @@ fn composite_building_blocks_agree() {
 
 #[test]
 fn missing_entities_are_empty_everywhere() {
-    let (a, b, _g) = engines(20, 60);
-    let es = pair(&a, &b);
+    let m = matrix(20, 60);
+    let es = m.refs();
     let empty_followees =
         agree(&es, "missing user Q2.1", |e| e.followees(99999).unwrap());
     assert!(empty_followees.is_empty());
@@ -194,8 +234,8 @@ fn several_seeds_full_sweep() {
     use micrograph_common::rng::SplitMix64;
     use micrograph_core::workload::{run_query, QueryId, QueryParams};
     for seed in [31, 32, 33] {
-        let (a, b, _g) = engines(seed, 100);
-        let es = pair(&a, &b);
+        let m = matrix(seed, 100);
+        let es = m.refs();
         let mut rng = SplitMix64::new(seed);
         for _ in 0..5 {
             let params = QueryParams::sample(&mut rng, 100, 8);
@@ -211,15 +251,9 @@ fn several_seeds_full_sweep() {
 #[test]
 fn update_events_agree_through_the_trait() {
     use micrograph_datagen::{StreamGen, StreamMix};
-    let (a, b, _g) = engines(22, 120);
-    let es = pair(&a, &b);
-    let mut cfg = GenConfig::unit();
-    cfg.seed = 22;
-    cfg.users = 120;
-    cfg.poster_fraction = 0.3;
-    cfg.tweets_per_poster = 6;
-    cfg.mentions_per_tweet = 1.2;
-    cfg.tags_per_tweet = 0.8;
+    let m = matrix(22, 120);
+    let es = m.refs();
+    let cfg = base_config(22, 120);
     let dataset = generate(&cfg);
     let events = StreamGen::new(&dataset, &cfg, 5, StreamMix::default()).events(150);
     for event in &events {
@@ -231,6 +265,13 @@ fn update_events_agree_through_the_trait() {
         agree(&es, &format!("post-update Q2.1 uid {uid}"), |e| e.followees(uid).unwrap());
         agree(&es, &format!("post-update Q4.1 uid {uid}"), |e| {
             e.recommend_followees(uid, 10).unwrap()
+        });
+    }
+    // Q1 reads the followers property — this pins the cross-shard follow
+    // routing (edge at the follower's shard, count bump at the owner).
+    for th in [0, 1, 3, 10] {
+        agree(&es, &format!("post-update Q1.1 threshold {th}"), |e| {
+            e.users_with_followers_over(th).unwrap()
         });
     }
 }
