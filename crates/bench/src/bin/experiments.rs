@@ -12,6 +12,7 @@
 //!   ablations     §4 discussion items D1–D6
 //!   updates       §5 future-work update workload (FW1)
 //!   serving       §5 concurrent multi-reader serving throughput (FW2)
+//!   chaos         §5 fault-injection robustness (retries/deadlines/degradation)
 //!   summary       §3.2 import/size headline comparison
 //!   all           everything above, in paper order
 //! ```
@@ -127,6 +128,7 @@ fn main() {
         "ablations" => print!("{}", figures::ablations(f)),
         "updates" => print!("{}", figures::update_throughput(f)),
         "serving" => print!("{}", figures::serving(f)),
+        "chaos" => print!("{}", figures::chaos(f)),
         "summary" => print!("{}", figures::import_summary(f)),
         "all" => {
             println!("{}", figures::table1(f));
@@ -143,6 +145,7 @@ fn main() {
             print!("{}", figures::ablations(f));
             print!("{}", figures::update_throughput(f));
             print!("{}", figures::serving(f));
+            print!("{}", figures::chaos(f));
         }
         other => {
             eprintln!("unknown command {other:?}; see the module docs");

@@ -10,6 +10,7 @@
 //! | §4 items | [`ablations`] (D1–D6 in DESIGN.md) |
 //! | §5 FW1   | [`update_throughput`] (the future-work update workload) |
 //! | §5 FW2   | [`serving`] (concurrent multi-reader throughput) |
+//! | §5 FW3   | [`chaos`] (fault-injection robustness, DESIGN.md §4d) |
 
 use arbor_ql::EngineOptions;
 use arbor_ql::plan::PlannerOptions;
@@ -499,7 +500,7 @@ pub fn serving(f: &Fixture) -> String {
     for engine in [&f.arbor as &dyn MicroblogEngine, &f.bit] {
         let mut digest = None;
         for threads in [1usize, 2, 4] {
-            let config = ServeConfig { threads, requests: 128, seed: 42, users, vocab: 16 };
+            let config = ServeConfig { threads, requests: 128, seed: 42, users, vocab: 16, deadline_us: None };
             let report = serve(engine, &config).expect("serve");
             // The rendered results must not depend on the thread count.
             let d = report.digest();
@@ -512,7 +513,7 @@ pub fn serving(f: &Fixture) -> String {
     // compositions of both backends, pinned byte-identical to the
     // unsharded engines above (the ShardedEngine correctness invariant,
     // exercised here so the CI smoke run covers the merge layer too).
-    let config = ServeConfig { threads: 4, requests: 128, seed: 42, users, vocab: 16 };
+    let config = ServeConfig { threads: 4, requests: 128, seed: 42, users, vocab: 16, deadline_us: None };
     let (sharded_arbor, sharded_bit) =
         build_sharded_engines(&f.dataset, &f.dir.join("serving-shards-2"), 2)
             .expect("build sharded engines");
@@ -531,6 +532,66 @@ pub fn serving(f: &Fixture) -> String {
         );
         out.push_str(&report.render());
         out.push('\n');
+    }
+    out
+}
+
+/// The chaos-serving experiment: deterministic fault injection against the
+/// sharded composition (DESIGN.md §4d). Three regimes over a 2-shard
+/// chaos-wrapped engine: transient faults fully masked by retries (digest
+/// pinned byte-identical to the fault-free run), a hostile plan in Strict
+/// mode (typed errors, caught panics), and the same plan in Partial mode
+/// (coverage-tagged degradation).
+pub fn chaos(f: &Fixture) -> String {
+    use micrograph_core::fault::silence_injected_panics;
+    use micrograph_core::ingest::{build_chaos_sharded_engines, build_sharded_engines};
+    use micrograph_core::{DegradationMode, FaultPlan, RetryPolicy};
+    silence_injected_panics();
+    let users = f.dataset.users.len() as u64;
+    let config = ServeConfig { threads: 4, requests: 128, seed: 42, users, vocab: 16, deadline_us: None };
+    let mut out = String::new();
+    out.push_str("== Chaos serving (seeded fault injection, sharded stack) ==\n\n");
+
+    let (clean, _) =
+        build_sharded_engines(&f.dataset, &f.dir.join("chaos-clean"), 2).expect("build clean");
+    let baseline = serve(&clean, &config).expect("serve baseline");
+
+    let (masked_engine, _) = build_chaos_sharded_engines(
+        &f.dataset,
+        &f.dir.join("chaos-transient"),
+        2,
+        FaultPlan::transient(3),
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .expect("build transient");
+    let masked = serve(&masked_engine, &config).expect("serve transient");
+    assert_eq!(masked.digest(), baseline.digest(), "transient faults leaked into answers");
+    out.push_str(&format!(
+        "transient plan: {} faults injected, {} retries spent, 0 answers changed \
+         (digest == fault-free {:#018x})\n",
+        masked.faults.total_injected(),
+        masked.faults.retries,
+        baseline.digest(),
+    ));
+
+    for (mode, label) in
+        [(DegradationMode::Strict, "Strict"), (DegradationMode::Partial, "Partial")]
+    {
+        let (engine, _) = build_chaos_sharded_engines(
+            &f.dataset,
+            &f.dir.join(format!("chaos-hostile-{label}")),
+            2,
+            FaultPlan::hostile(5),
+            RetryPolicy::default(),
+            mode,
+        )
+        .expect("build hostile");
+        let report = serve(&engine, &config).expect("serve hostile");
+        out.push_str(&format!(
+            "hostile plan, {label}: {} — {} errored, {} degraded\n",
+            report.faults, report.errors, report.degraded,
+        ));
     }
     out
 }

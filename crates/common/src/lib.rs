@@ -15,6 +15,7 @@
 //!   used by the synthetic dataset generator.
 //! * [`csvio`] — a minimal, escaping CSV reader/writer in the shape the
 //!   bulk loaders of both engines consume.
+//! * [`tmpdir`] — collision-free scratch directories for tests/benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,9 +25,11 @@ pub mod error;
 pub mod ids;
 pub mod rng;
 pub mod stats;
+pub mod tmpdir;
 pub mod topn;
 pub mod value;
 
 pub use error::CommonError;
+pub use tmpdir::unique_temp_dir;
 pub use ids::{AttrId, EdgeId, LabelId, NodeId, PageId, TypeId};
 pub use value::Value;

@@ -1,0 +1,39 @@
+//! Collision-free scratch directories for tests, benches and examples.
+//!
+//! Several test binaries in this workspace build engines from CSV files in
+//! a temp directory and delete that directory on drop. Naming the directory
+//! after the process id alone is not enough: the libtest harness runs the
+//! `#[test]` functions of one binary concurrently in a single process, so
+//! two tests sharing a prefix would create, read and delete the *same*
+//! path and race each other (observed as spurious `No such file or
+//! directory` ingest failures). This module disambiguates with a
+//! process-wide atomic counter on top of the pid.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// Returns a fresh, unique path under the system temp directory, of the
+/// form `<tmp>/<prefix>-<pid>-<n>`. The path is not created; callers own
+/// creation and cleanup. Successive calls never return the same path
+/// within a process, and the pid component keeps concurrent test binaries
+/// apart.
+pub fn unique_temp_dir(prefix: &str) -> PathBuf {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::unique_temp_dir;
+
+    #[test]
+    fn paths_are_distinct_and_prefixed() {
+        let a = unique_temp_dir("micrograph-x");
+        let b = unique_temp_dir("micrograph-x");
+        assert_ne!(a, b);
+        let name = a.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("micrograph-x-"));
+    }
+}

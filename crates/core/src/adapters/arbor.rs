@@ -429,17 +429,34 @@ impl MicroblogEngine for ArborEngine {
     }
 
     fn bump_followers(&self, uid: i64, delta: i64) -> Result<()> {
-        let node = self
-            .node_of_uid(uid)?
-            .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
-        let count = self
-            .db
-            .node_prop(node, crate::schema::FOLLOWERS)?
-            .and_then(|v| v.as_int())
-            .unwrap_or(0);
-        let mut tx = self.db.begin_write()?;
-        tx.set_node_prop(node, crate::schema::FOLLOWERS, Value::Int(count + delta))?;
-        tx.commit()?;
+        // Upsert: a cross-shard follow can replay before the owner saw the
+        // `new user` event. Create the placeholder and count onto it; the
+        // later `NewUser` fills in attributes without resetting the count.
+        match self.node_of_uid(uid)? {
+            Some(node) => {
+                let count = self
+                    .db
+                    .node_prop(node, crate::schema::FOLLOWERS)?
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                let mut tx = self.db.begin_write()?;
+                tx.set_node_prop(node, crate::schema::FOLLOWERS, Value::Int(count + delta))?;
+                tx.commit()?;
+            }
+            None => {
+                let mut tx = self.db.begin_write()?;
+                tx.create_node(
+                    crate::schema::USER,
+                    &[
+                        (crate::schema::UID, Value::Int(uid)),
+                        (crate::schema::NAME, Value::Str(String::new())),
+                        (crate::schema::FOLLOWERS, Value::Int(delta)),
+                        (crate::schema::VERIFIED, Value::Int(0)),
+                    ],
+                )?;
+                tx.commit()?;
+            }
+        }
         Ok(())
     }
 
@@ -453,15 +470,25 @@ impl MicroblogEngine for ArborEngine {
         let mut tx = self.db.begin_write()?;
         match event {
             UpdateEvent::NewUser { uid, name } => {
-                tx.create_node(
-                    crate::schema::USER,
-                    &[
-                        (crate::schema::UID, Value::Int(*uid as i64)),
-                        (crate::schema::NAME, Value::Str(name.clone())),
-                        (crate::schema::FOLLOWERS, Value::Int(0)),
-                        (crate::schema::VERIFIED, Value::Int(0)),
-                    ],
-                )?;
+                // Upsert: when a placeholder exists (ensure_user ghost, or
+                // bump_followers racing ahead of this event), fill in the
+                // attributes and keep the accumulated follower count.
+                match self.node_of_uid(*uid as i64)? {
+                    Some(node) => {
+                        tx.set_node_prop(node, crate::schema::NAME, Value::Str(name.clone()))?;
+                    }
+                    None => {
+                        tx.create_node(
+                            crate::schema::USER,
+                            &[
+                                (crate::schema::UID, Value::Int(*uid as i64)),
+                                (crate::schema::NAME, Value::Str(name.clone())),
+                                (crate::schema::FOLLOWERS, Value::Int(0)),
+                                (crate::schema::VERIFIED, Value::Int(0)),
+                            ],
+                        )?;
+                    }
+                }
             }
             UpdateEvent::NewFollow { follower, followee } => {
                 let a = self

@@ -449,10 +449,28 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn bump_followers(&self, uid: i64, delta: i64) -> Result<()> {
+        // Upsert: a cross-shard follow can replay before the owner saw the
+        // `new user` event. Create the placeholder and count onto it; the
+        // later `NewUser` fills in attributes without resetting the count.
         let mut g = self.g.write();
-        let o = g
-            .find_object(self.h.uid, &Value::Int(uid))?
-            .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+        let o = match g.find_object(self.h.uid, &Value::Int(uid))? {
+            Some(o) => o,
+            None => {
+                let user_ty = g.find_type(schema::USER).expect("schema loaded");
+                let name_attr = g
+                    .find_attribute(user_ty, schema::NAME)
+                    .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
+                let verified_attr = g
+                    .find_attribute(user_ty, schema::VERIFIED)
+                    .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
+                let o = g.add_node(user_ty)?;
+                g.set_attr(o, self.h.uid, Value::Int(uid))?;
+                g.set_attr(o, name_attr, Value::Str(String::new()))?;
+                g.set_attr(o, self.h.followers, Value::Int(0))?;
+                g.set_attr(o, verified_attr, Value::Int(0))?;
+                o
+            }
+        };
         let count = g.get_attr(o, self.h.followers)?.and_then(|v| v.as_int()).unwrap_or(0);
         g.set_attr(o, self.h.followers, Value::Int(count + delta))?;
         Ok(())
@@ -477,11 +495,21 @@ impl MicroblogEngine for BitEngine {
             .ok_or_else(|| CoreError::Bit("text attribute missing".into()))?;
         match event {
             UpdateEvent::NewUser { uid, name } => {
-                let o = g.add_node(user_ty)?;
-                g.set_attr(o, self.h.uid, Value::Int(*uid as i64))?;
-                g.set_attr(o, name_attr, Value::Str(name.clone()))?;
-                g.set_attr(o, self.h.followers, Value::Int(0))?;
-                g.set_attr(o, verified_attr, Value::Int(0))?;
+                // Upsert: when a placeholder exists (ensure_user ghost, or
+                // bump_followers racing ahead of this event), fill in the
+                // attributes and keep the accumulated follower count.
+                match self.user_oid(&g, *uid as i64)? {
+                    Some(o) => {
+                        g.set_attr(o, name_attr, Value::Str(name.clone()))?;
+                    }
+                    None => {
+                        let o = g.add_node(user_ty)?;
+                        g.set_attr(o, self.h.uid, Value::Int(*uid as i64))?;
+                        g.set_attr(o, name_attr, Value::Str(name.clone()))?;
+                        g.set_attr(o, self.h.followers, Value::Int(0))?;
+                        g.set_attr(o, verified_attr, Value::Int(0))?;
+                    }
+                }
             }
             UpdateEvent::NewFollow { follower, followee } => {
                 let a = self
@@ -498,23 +526,36 @@ impl MicroblogEngine for BitEngine {
                 g.set_attr(b, self.h.followers, Value::Int(count + 1))?;
             }
             UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
+                // Resolve EVERY referenced entity before the first write:
+                // the navigation engine has no transactions, so validating
+                // mentions/tags after creating the tweet node would leave a
+                // half-applied tweet behind on error (a state divergence
+                // the error-path parity tests would catch).
                 let poster = self
                     .user_oid(&g, *uid as i64)?
                     .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+                let mut mention_oids = Vec::with_capacity(mentions.len());
+                for m in mentions {
+                    mention_oids.push(
+                        self.user_oid(&g, *m as i64)?
+                            .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?,
+                    );
+                }
+                let mut tag_oids = Vec::with_capacity(tags.len());
+                for tag in tags {
+                    tag_oids.push(
+                        self.tag_oid(&g, tag)?
+                            .ok_or_else(|| CoreError::NotFound(format!("hashtag {tag}")))?,
+                    );
+                }
                 let t = g.add_node(tweet_ty)?;
                 g.set_attr(t, self.h.tid, Value::Int(*tid as i64))?;
                 g.set_attr(t, text_attr, Value::Str(text.clone()))?;
                 g.add_edge(self.h.posts, poster, t)?;
-                for m in mentions {
-                    let target = self
-                        .user_oid(&g, *m as i64)?
-                        .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?;
+                for target in mention_oids {
                     g.add_edge(self.h.mentions, t, target)?;
                 }
-                for tag in tags {
-                    let h = self
-                        .tag_oid(&g, tag)?
-                        .ok_or_else(|| CoreError::NotFound(format!("hashtag {tag}")))?;
+                for h in tag_oids {
                     g.add_edge(self.h.tags, t, h)?;
                 }
             }

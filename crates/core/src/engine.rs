@@ -46,6 +46,22 @@ pub enum CoreError {
     Bit(String),
     /// Ingest/dataset error.
     Ingest(String),
+    /// A shard (or an injected fault standing in for one) could not answer.
+    /// Retryable: the serving stack's [`crate::fault::RetryPolicy`] treats
+    /// this as transient until attempts are exhausted.
+    Unavailable(String),
+    /// The per-query deadline budget ran out. Not retryable — retrying
+    /// cannot create more budget.
+    Timeout(String),
+}
+
+impl CoreError {
+    /// True when retrying the same call may succeed (operational faults),
+    /// false for semantic errors (`NotFound`, engine errors) and for
+    /// [`CoreError::Timeout`], where the budget is already spent.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CoreError::Unavailable(_))
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +71,8 @@ impl fmt::Display for CoreError {
             CoreError::Arbor(m) => write!(f, "arbordb: {m}"),
             CoreError::Bit(m) => write!(f, "bitgraph: {m}"),
             CoreError::Ingest(m) => write!(f, "ingest: {m}"),
+            CoreError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            CoreError::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
 }
@@ -203,8 +221,11 @@ pub trait MicroblogEngine: Send + Sync {
     fn ensure_user(&self, uid: i64) -> Result<()>;
 
     /// Adjusts the stored `followers` property of `uid` by `delta` — the
-    /// owner-shard half of a cross-shard follow. Errors with
-    /// [`CoreError::NotFound`] when the user does not exist locally.
+    /// owner-shard half of a cross-shard follow. **Upserts**: when the user
+    /// does not exist locally yet (a cross-shard follow replayed ahead of
+    /// the owner's `new user` event), a bare placeholder is created first
+    /// and the delta applied to it; a later `NewUser` event fills in the
+    /// attributes without resetting the accumulated count.
     fn bump_followers(&self, uid: i64, delta: i64) -> Result<()>;
 
     // ---- update workload (§5 future work) -----------------------------------
@@ -226,6 +247,14 @@ pub trait MicroblogEngine: Send + Sync {
     /// Drops caches so the next query runs cold (no-op for engines that
     /// serve entirely from memory).
     fn drop_caches(&self) -> Result<()>;
+
+    /// Fault-layer accounting (injected faults, retries, caught panics)
+    /// accumulated since construction. Plain engines report zeros; the
+    /// chaos wrapper and the sharded merge layer override this and fold in
+    /// their inner engines' counters (see `crate::fault`).
+    fn fault_stats(&self) -> crate::fault::FaultStats {
+        crate::fault::FaultStats::default()
+    }
 }
 
 #[cfg(test)]

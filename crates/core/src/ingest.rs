@@ -20,6 +20,7 @@ use micrograph_datagen::{CsvFiles, Dataset};
 
 use crate::adapters::{ArborEngine, BitEngine};
 use crate::engine::MicroblogEngine;
+use crate::fault::{ChaosEngine, DegradationMode, FaultPlan, RetryPolicy};
 use crate::schema;
 use crate::shard::{partition_dataset, ShardedEngine};
 use crate::{CoreError, Result};
@@ -314,6 +315,36 @@ pub fn build_sharded_engines(
         bits.push(Box::new(bit));
     }
     Ok((ShardedEngine::new(arbors), ShardedEngine::new(bits)))
+}
+
+/// Like [`build_sharded_engines`], but wraps every shard of both backends
+/// in a [`ChaosEngine`] under `plan` (salted by shard index, so shards
+/// fault independently), and configures the sharded facades with `policy`
+/// and `mode`. This is the chaos-serving test/bench entry point: same
+/// partitions, same data, faults injected at the shard boundary.
+pub fn build_chaos_sharded_engines(
+    dataset: &Dataset,
+    dir: &Path,
+    shards: usize,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    mode: DegradationMode,
+) -> Result<(ShardedEngine, ShardedEngine)> {
+    let parts = partition_dataset(dataset, shards);
+    let mut arbors: Vec<Box<dyn MicroblogEngine>> = Vec::with_capacity(shards);
+    let mut bits: Vec<Box<dyn MicroblogEngine>> = Vec::with_capacity(shards);
+    for (i, part) in parts.iter().enumerate() {
+        let files = part
+            .write_csv(&dir.join(format!("shard-{i}")))
+            .map_err(|e| CoreError::Ingest(e.to_string()))?;
+        let (arbor, bit, _) = build_engines(&files)?;
+        arbors.push(Box::new(ChaosEngine::new(Box::new(arbor), plan, i as u64)));
+        bits.push(Box::new(ChaosEngine::new(Box::new(bit), plan, i as u64)));
+    }
+    Ok((
+        ShardedEngine::new(arbors).with_policy(policy).with_degradation(mode),
+        ShardedEngine::new(bits).with_policy(policy).with_degradation(mode),
+    ))
 }
 
 #[cfg(test)]

@@ -32,6 +32,12 @@
 //!   sharded engine pairs from a partitioned dataset.
 //! * [`compose`] — the §3.3 derived query (topic experts via co-occurring
 //!   hashtags, retweets and path lengths).
+//! * [`fault`] — deterministic fault injection ([`fault::ChaosEngine`] under
+//!   a seeded [`fault::FaultPlan`]) plus the retry/deadline/degradation
+//!   semantics ([`fault::RetryPolicy`], [`fault::DegradationMode`]) the
+//!   sharded serving stack uses to survive it. Headline invariant: under
+//!   transient faults with retries, answers stay byte-identical to the
+//!   fault-free run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +45,7 @@
 pub mod adapters;
 pub mod compose;
 pub mod engine;
+pub mod fault;
 pub mod ingest;
 pub mod runner;
 pub mod schema;
@@ -48,6 +55,7 @@ pub mod workload;
 
 pub use adapters::{ArborEngine, BitEngine};
 pub use engine::{CoreError, MicroblogEngine, Ranked};
+pub use fault::{ChaosEngine, Coverage, DegradationMode, FaultPlan, FaultStats, RetryPolicy};
 pub use shard::ShardedEngine;
 pub use serve::{ServeConfig, ServeReport};
 pub use micrograph_common::Value;

@@ -21,6 +21,7 @@ use micrograph_common::rng::SplitMix64;
 use micrograph_common::stats::{percentile, Timer};
 
 use crate::engine::MicroblogEngine;
+use crate::fault::{self, FaultStats};
 use crate::workload::{QueryId, QueryParams};
 use crate::Result;
 
@@ -103,11 +104,15 @@ pub struct ServeConfig {
     pub users: u64,
     /// Hashtag vocabulary size for tag subjects.
     pub vocab: u64,
+    /// Per-request deadline budget in **virtual** microseconds (see
+    /// `crate::fault`): `None` disables deadlines. Only engines that charge
+    /// the budget (chaos wrappers, retry backoff) consume it.
+    pub deadline_us: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { threads: 4, requests: 256, seed: 42, users: 100, vocab: 16 }
+        ServeConfig { threads: 4, requests: 256, seed: 42, users: 100, vocab: 16, deadline_us: None }
     }
 }
 
@@ -145,8 +150,20 @@ pub struct ServeReport {
     /// the stream).
     pub per_query: Vec<QuerySummary>,
     /// Rendered result per request, in stream order — identical across
-    /// thread counts by construction.
+    /// thread counts by construction. Failed requests render as
+    /// `<error:…>`, degraded ones carry a `<coverage:a/t>` suffix, so the
+    /// digest covers fault outcomes too.
     pub rendered: Vec<String>,
+    /// The per-request deadline budget the run used.
+    pub deadline_us: Option<u64>,
+    /// Requests that failed (rendered as `<error:…>`).
+    pub errors: u64,
+    /// Requests answered with partial scatter coverage.
+    pub degraded: u64,
+    /// Fault-layer counters attributed to this run (engine totals after
+    /// minus before). For a fixed chaos seed and request stream these are
+    /// identical at any thread count.
+    pub faults: FaultStats,
 }
 
 impl ServeReport {
@@ -188,6 +205,12 @@ impl ServeReport {
                 q.max_ms
             ));
         }
+        if self.errors > 0 || self.degraded > 0 || !self.faults.is_zero() {
+            out.push_str(&format!(
+                "faults: {} — {} request(s) errored, {} degraded\n",
+                self.faults, self.errors, self.degraded
+            ));
+        }
         out
     }
 }
@@ -198,6 +221,8 @@ struct Sample {
     query: QueryId,
     ms: f64,
     rendered: String,
+    errored: bool,
+    degraded: bool,
 }
 
 /// Drives a deterministic mixed Q1–Q6 stream from `config.threads` reader
@@ -208,14 +233,19 @@ struct Sample {
 /// so a slow query does not idle the other readers) and record results by
 /// stream index, keeping the output independent of the interleaving.
 ///
+/// Each request runs under its own deadline budget and coverage scope
+/// (`crate::fault`); a failed request renders as `<error:…>` instead of
+/// aborting the run, so one dead shard degrades answers, not the server.
+///
 /// # Panics
 /// Panics when `config.threads` is zero or a reader thread panics.
 pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<ServeReport> {
     assert!(config.threads > 0, "serving needs at least one reader thread");
     let requests = request_stream(config.seed, config.requests, config.users, config.vocab);
     let cursor = AtomicUsize::new(0);
+    let faults_before = engine.fault_stats();
     let wall = Timer::start();
-    let per_thread: Vec<Result<Vec<Sample>>> = crossbeam::thread::scope(|s| {
+    let per_thread: Vec<Vec<Sample>> = crossbeam::thread::scope(|s| {
         let mut handles = Vec::with_capacity(config.threads);
         for _ in 0..config.threads {
             let cursor = &cursor;
@@ -226,10 +256,26 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(req) = requests.get(i) else { break };
                     let t = Timer::start();
-                    let rendered = execute_rendered(engine, req)?;
-                    local.push(Sample { index: i, query: req.query, ms: t.elapsed_ms(), rendered });
+                    let (result, coverage) = fault::with_request_budget(config.deadline_us, || {
+                        execute_rendered(engine, req)
+                    });
+                    let (rendered, errored, degraded) = match result {
+                        Ok(s) if coverage.is_partial() => {
+                            (format!("{s} <coverage:{coverage}>"), false, true)
+                        }
+                        Ok(s) => (s, false, false),
+                        Err(e) => (format!("<error:{e}>"), true, false),
+                    };
+                    local.push(Sample {
+                        index: i,
+                        query: req.query,
+                        ms: t.elapsed_ms(),
+                        rendered,
+                        errored,
+                        degraded,
+                    });
                 }
-                Ok(local)
+                local
             }));
         }
         handles
@@ -242,9 +288,12 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
 
     let mut rendered: Vec<Option<String>> = (0..requests.len()).map(|_| None).collect();
     let mut latencies: HashMap<QueryId, Vec<f64>> = HashMap::new();
+    let (mut errors, mut degraded) = (0u64, 0u64);
     for thread_samples in per_thread {
-        for sample in thread_samples? {
+        for sample in thread_samples {
             latencies.entry(sample.query).or_default().push(sample.ms);
+            errors += sample.errored as u64;
+            degraded += sample.degraded as u64;
             rendered[sample.index] = Some(sample.rendered);
         }
     }
@@ -274,6 +323,10 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
         qps: requests.len() as f64 / (wall_ms / 1_000.0).max(1e-9),
         per_query,
         rendered,
+        deadline_us: config.deadline_us,
+        errors,
+        degraded,
+        faults: engine.fault_stats().since(&faults_before),
     })
 }
 

@@ -26,11 +26,13 @@
 //! the unsharded engine.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use micrograph_common::topn::{merge_top_n, Counted};
 use micrograph_datagen::{Dataset, Tweet, User};
 
 use crate::engine::{MicroblogEngine, Ranked};
+use crate::fault::{self, DegradationMode, FaultCounters, FaultStats, RetryPolicy};
 use crate::{CoreError, Result};
 
 /// The shard owning `uid`: a SplitMix64-finalized hash of the uid modulo
@@ -170,6 +172,15 @@ fn sum_counts<K: Ord>(parts: Vec<Vec<(K, u64)>>) -> Vec<(K, u64)> {
     totals.into_iter().collect()
 }
 
+/// Renders a caught panic payload for an `Unavailable` message.
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
 /// N inner engines behind one [`MicroblogEngine`] facade.
 ///
 /// Point lookups route to the owner shard; scatter/gather queries broadcast
@@ -177,14 +188,29 @@ fn sum_counts<K: Ord>(parts: Vec<Vec<(K, u64)>>) -> Vec<(K, u64)> {
 /// answers are deterministic and byte-identical to an unsharded engine
 /// regardless of shard count — see the per-method comments for why each
 /// merge is exact.
+///
+/// Every shard call goes through a fault boundary (`crate::fault`):
+/// panicking shards are caught and surfaced as typed
+/// [`CoreError::Unavailable`] errors (never a process abort), retryable
+/// errors are retried under the engine's [`RetryPolicy`] with deterministic
+/// backoff charged to the ambient virtual-deadline budget, and — in
+/// [`DegradationMode::Partial`] only — scatter queries skip shards that
+/// stay down, tagging the request's [`fault::Coverage`]. The default
+/// (`Strict` mode, no deadline) never changes an answer, which is why the
+/// cross-engine equivalence matrix holds for default-configured sharded
+/// engines.
 pub struct ShardedEngine {
     shards: Vec<Box<dyn MicroblogEngine>>,
     name: &'static str,
+    policy: RetryPolicy,
+    mode: DegradationMode,
+    counters: FaultCounters,
 }
 
 impl ShardedEngine {
     /// Wraps `shards` inner engines (typically all of the same backend,
-    /// each ingested from one [`partition_dataset`] part).
+    /// each ingested from one [`partition_dataset`] part), with the default
+    /// [`RetryPolicy`] and [`DegradationMode::Strict`].
     ///
     /// # Panics
     /// Panics when `shards` is empty.
@@ -194,16 +220,40 @@ impl ShardedEngine {
         // construction is bounded by the number of engines built.
         let name: &'static str =
             Box::leak(format!("sharded[{}/{}]", shards[0].name(), shards.len()).into_boxed_str());
-        ShardedEngine { shards, name }
+        ShardedEngine {
+            shards,
+            name,
+            policy: RetryPolicy::default(),
+            mode: DegradationMode::Strict,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Builder: replaces the retry policy (attempts, backoff, deadline).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder: sets the degradation mode for scatter queries.
+    pub fn with_degradation(mut self, mode: DegradationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// The active degradation mode.
+    pub fn degradation(&self) -> DegradationMode {
+        self.mode
     }
 
     /// Number of inner shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
-    }
-
-    fn owner(&self, uid: i64) -> &dyn MicroblogEngine {
-        self.shards[shard_of(uid, self.shards.len())].as_ref()
     }
 
     /// Buckets uids by owning shard (index = shard index).
@@ -213,6 +263,97 @@ impl ShardedEngine {
             buckets[shard_of(u, self.shards.len())].push(u);
         }
         buckets
+    }
+
+    /// Installs the policy's per-query deadline budget unless the serving
+    /// layer already installed a per-request one — the entry point every
+    /// public query method runs under.
+    fn q<R>(&self, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        fault::with_fallback_budget(self.policy.deadline_us, f)
+    }
+
+    /// One shard call under the retry policy. Panics are caught and
+    /// converted to [`CoreError::Unavailable`]; retryable errors retry up
+    /// to `max_attempts` with exponential backoff charged to the ambient
+    /// budget; semantic errors and timeouts propagate immediately.
+    ///
+    /// The fault-injection layer gates *before* touching the inner engine,
+    /// so retrying a write through here never double-applies it.
+    fn retrying<T>(
+        &self,
+        shard: usize,
+        mut op: impl FnMut(&dyn MicroblogEngine) -> Result<T>,
+    ) -> Result<T> {
+        let engine = self.shards[shard].as_ref();
+        let mut attempt = 0u32;
+        loop {
+            // AssertUnwindSafe: on unwind the closure's captures are either
+            // dropped (locals) or `&self`/`&dyn` shared state whose engines
+            // guarantee no torn writes (chaos faults fire before the inner
+            // call; inner locks are not poisoned).
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                fault::with_attempt(attempt, || op(engine))
+            }))
+            .unwrap_or_else(|payload| {
+                self.counters.note_panic_caught();
+                Err(CoreError::Unavailable(format!(
+                    "shard {shard} panicked: {}",
+                    panic_payload(payload.as_ref())
+                )))
+            });
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt + 1 < self.policy.max_attempts => {
+                    self.counters.note_retry();
+                    fault::charge(self.policy.backoff_us(attempt))?;
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if e.is_retryable() {
+                        self.counters.note_exhausted();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Point lookup/write on the owner shard — never degrades: a single
+    /// owner is not optional, so exhausted retries propagate in both modes.
+    fn point<T>(&self, uid: i64, op: impl FnMut(&dyn MicroblogEngine) -> Result<T>) -> Result<T> {
+        self.retrying(shard_of(uid, self.shards.len()), op)
+    }
+
+    /// Scatter fan-out: runs `op` on every shard selected by `include`,
+    /// in shard order, collecting the partials. Strict mode propagates the
+    /// first failure; Partial mode skips shards that stay `Unavailable`
+    /// after retries (recording lost coverage) — but a `Timeout` always
+    /// propagates, because the whole request is out of budget.
+    fn scatter<T>(
+        &self,
+        include: impl Fn(usize) -> bool,
+        mut op: impl FnMut(usize, &dyn MicroblogEngine) -> Result<T>,
+    ) -> Result<Vec<T>> {
+        let mut parts = Vec::new();
+        for i in 0..self.shards.len() {
+            if !include(i) {
+                continue;
+            }
+            match self.retrying(i, |e| op(i, e)) {
+                Ok(v) => {
+                    fault::note_shard(true);
+                    parts.push(v);
+                }
+                Err(CoreError::Unavailable(_)) if self.mode == DegradationMode::Partial => {
+                    fault::note_shard(false);
+                }
+                Err(e) => {
+                    fault::note_shard(false);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(parts)
     }
 }
 
@@ -225,118 +366,135 @@ impl MicroblogEngine for ShardedEngine {
         // Broadcast; each shard's answer is filtered to the users it OWNS
         // (ghost replicas carry real follower counts and would otherwise
         // duplicate). Owned sets are disjoint, so concat + sort is exact.
-        let n = self.shards.len();
-        let mut out = Vec::new();
-        for (i, s) in self.shards.iter().enumerate() {
-            out.extend(
-                s.users_with_followers_over(threshold)?
-                    .into_iter()
-                    .filter(|&uid| shard_of(uid, n) == i),
-            );
-        }
-        out.sort_unstable();
-        Ok(out)
+        self.q(|| {
+            let n = self.shards.len();
+            let parts = self.scatter(
+                |_| true,
+                |i, s| {
+                    Ok(s.users_with_followers_over(threshold)?
+                        .into_iter()
+                        .filter(|&uid| shard_of(uid, n) == i)
+                        .collect::<Vec<_>>())
+                },
+            )?;
+            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
+            out.sort_unstable();
+            Ok(out)
+        })
     }
 
     fn followees(&self, uid: i64) -> Result<Vec<i64>> {
         // All of A's out-edges live on A's shard; ghosts have none.
-        self.owner(uid).followees(uid)
+        self.q(|| self.point(uid, |s| s.followees(uid)))
     }
 
     fn followee_tweets(&self, uid: i64) -> Result<Vec<i64>> {
         // Round 1: frontier from the owner. Round 2: route the frontier by
         // ownership — a user's tweets are complete on their own shard.
-        let frontier = self.owner(uid).followees(uid)?;
-        let mut out = Vec::new();
-        for (bucket, s) in self.route(&frontier).into_iter().zip(&self.shards) {
-            if !bucket.is_empty() {
-                out.extend(s.posted_tweets_kernel(&bucket)?);
-            }
-        }
-        out.sort_unstable();
-        Ok(out)
+        self.q(|| {
+            let frontier = self.point(uid, |s| s.followees(uid))?;
+            let buckets = self.route(&frontier);
+            let parts = self.scatter(
+                |i| !buckets[i].is_empty(),
+                |i, s| s.posted_tweets_kernel(&buckets[i]),
+            )?;
+            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
+            out.sort_unstable();
+            Ok(out)
+        })
     }
 
     fn followee_hashtags(&self, uid: i64) -> Result<Vec<String>> {
-        let frontier = self.owner(uid).followees(uid)?;
-        let mut tags = BTreeSet::new();
-        for (bucket, s) in self.route(&frontier).into_iter().zip(&self.shards) {
-            if !bucket.is_empty() {
-                tags.extend(s.hashtags_kernel(&bucket)?);
-            }
-        }
-        Ok(tags.into_iter().collect())
+        self.q(|| {
+            let frontier = self.point(uid, |s| s.followees(uid))?;
+            let buckets = self.route(&frontier);
+            let parts = self
+                .scatter(|i| !buckets[i].is_empty(), |i, s| s.hashtags_kernel(&buckets[i]))?;
+            let tags: BTreeSet<String> = parts.into_iter().flatten().collect();
+            Ok(tags.into_iter().collect())
+        })
     }
 
     fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         // A co-mention pair can recur on many shards (one per mentioning
         // tweet), so the merge needs the FULL per-shard count maps — the
         // untruncated kernels — before ranking.
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            parts.push(counted(s.co_mention_counts_kernel(uid)?));
-        }
-        Ok(to_ranked(merge_top_n(parts, n)))
+        self.q(|| {
+            let parts = self
+                .scatter(|_| true, |_, s| Ok(counted(s.co_mention_counts_kernel(uid)?)))?;
+            Ok(to_ranked(merge_top_n(parts, n)))
+        })
     }
 
     fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            parts.push(counted(s.co_tag_counts_kernel(tag)?));
-        }
-        Ok(to_ranked(merge_top_n(parts, n)))
+        self.q(|| {
+            let parts =
+                self.scatter(|_| true, |_, s| Ok(counted(s.co_tag_counts_kernel(tag)?)))?;
+            Ok(to_ranked(merge_top_n(parts, n)))
+        })
     }
 
     fn recommend_followees(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         // Frontier from the owner, counting kernels routed by ownership
         // (out-edges are local to their source's shard), then count-sum
         // merge with the not-already-followed filter applied globally.
-        let followed = self.owner(uid).followees(uid)?;
-        let mut parts = Vec::new();
-        for (bucket, s) in self.route(&followed).into_iter().zip(&self.shards) {
-            if !bucket.is_empty() {
-                parts.push(s.count_followees_kernel(&bucket)?);
-            }
-        }
-        Ok(merge_recommend(uid, &followed, parts, n))
+        self.q(|| {
+            let followed = self.point(uid, |s| s.followees(uid))?;
+            let buckets = self.route(&followed);
+            let parts = self.scatter(
+                |i| !buckets[i].is_empty(),
+                |i, s| s.count_followees_kernel(&buckets[i]),
+            )?;
+            Ok(merge_recommend(uid, &followed, parts, n))
+        })
     }
 
     fn recommend_followers(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         // In-edges are scattered (each lives on its source's shard), so the
         // frontier is BROADCAST; every `follows` edge is stored exactly
         // once globally, so summing per-shard counts is exact.
-        let followed = self.owner(uid).followees(uid)?;
-        if followed.is_empty() {
-            return Ok(Vec::new());
-        }
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            parts.push(s.count_followers_kernel(&followed)?);
-        }
-        Ok(merge_recommend(uid, &followed, parts, n))
+        self.q(|| {
+            let followed = self.point(uid, |s| s.followees(uid))?;
+            if followed.is_empty() {
+                return Ok(Vec::new());
+            }
+            let parts = self.scatter(|_| true, |_, s| s.count_followers_kernel(&followed))?;
+            Ok(merge_recommend(uid, &followed, parts, n))
+        })
     }
 
     fn current_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         // A mentioner p's tweets — and the p→A follows edge the filter
         // needs — are all on p's shard, so per-shard candidate sets are
         // DISJOINT and merging the truncated per-shard top-n is exact.
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            parts.push(counted(
-                s.current_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
-            ));
-        }
-        Ok(to_ranked(merge_top_n(parts, n)))
+        self.q(|| {
+            let parts = self.scatter(
+                |_| true,
+                |_, s| {
+                    Ok(counted(
+                        s.current_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
+                    ))
+                },
+            )?;
+            Ok(to_ranked(merge_top_n(parts, n)))
+        })
     }
 
     fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            parts.push(counted(
-                s.potential_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
-            ));
-        }
-        Ok(to_ranked(merge_top_n(parts, n)))
+        self.q(|| {
+            let parts = self.scatter(
+                |_| true,
+                |_, s| {
+                    Ok(counted(
+                        s.potential_influence(uid, n)?
+                            .into_iter()
+                            .map(|r| (r.key, r.count))
+                            .collect(),
+                    ))
+                },
+            )?;
+            Ok(to_ranked(merge_top_n(parts, n)))
+        })
     }
 
     fn shortest_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
@@ -345,188 +503,214 @@ impl MicroblogEngine for ShardedEngine {
         // shard's out-edges and other shards' in-edges) and unions the
         // results. Path LENGTH is exploration-order independent, so the
         // round-per-hop schedule reproduces the single-engine answer.
-        if !self.owner(a).has_user(a)? || !self.owner(b).has_user(b)? {
-            return Ok(None);
-        }
-        if a == b {
-            return Ok(Some(0));
-        }
-        let mut visited: BTreeSet<i64> = BTreeSet::from([a]);
-        let mut frontier = vec![a];
-        for depth in 1..=max_hops {
-            let mut next = BTreeSet::new();
-            for s in &self.shards {
-                next.extend(s.follow_frontier_kernel(&frontier)?);
-            }
-            if next.contains(&b) {
-                return Ok(Some(depth));
-            }
-            frontier = next.into_iter().filter(|&u| visited.insert(u)).collect();
-            if frontier.is_empty() {
+        // Under Partial degradation a skipped shard can only lengthen or
+        // lose a path, never invent one.
+        self.q(|| {
+            if !self.point(a, |s| s.has_user(a))? || !self.point(b, |s| s.has_user(b))? {
                 return Ok(None);
             }
-        }
-        Ok(None)
+            if a == b {
+                return Ok(Some(0));
+            }
+            let mut visited: BTreeSet<i64> = BTreeSet::from([a]);
+            let mut frontier = vec![a];
+            for depth in 1..=max_hops {
+                let parts =
+                    self.scatter(|_| true, |_, s| s.follow_frontier_kernel(&frontier))?;
+                let next: BTreeSet<i64> = parts.into_iter().flatten().collect();
+                if next.contains(&b) {
+                    return Ok(Some(depth));
+                }
+                frontier = next.into_iter().filter(|&u| visited.insert(u)).collect();
+                if frontier.is_empty() {
+                    return Ok(None);
+                }
+            }
+            Ok(None)
+        })
     }
 
     fn tweets_with_hashtag(&self, tag: &str) -> Result<Vec<i64>> {
         // `tags` edges live only on the owning tweet's shard — disjoint.
-        let mut out = Vec::new();
-        for s in &self.shards {
-            out.extend(s.tweets_with_hashtag(tag)?);
-        }
-        out.sort_unstable();
-        Ok(out)
+        self.q(|| {
+            let parts = self.scatter(|_| true, |_, s| s.tweets_with_hashtag(tag))?;
+            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
+            out.sort_unstable();
+            Ok(out)
+        })
     }
 
     fn retweet_count(&self, tid: i64) -> Result<u64> {
         // Each retweet edge is stored once (at the retweeting poster's
         // shard); shards without the tweet report 0.
-        let mut total = 0;
-        for s in &self.shards {
-            total += s.retweet_count(tid)?;
-        }
-        Ok(total)
+        self.q(|| {
+            let parts = self.scatter(|_| true, |_, s| s.retweet_count(tid))?;
+            Ok(parts.into_iter().sum())
+        })
     }
 
     fn poster_of(&self, tid: i64) -> Result<i64> {
         // Ghost tweet replicas keep the real poster uid, so the first
-        // shard that knows the tweet answers correctly.
-        for s in &self.shards {
-            match s.poster_of(tid) {
-                Ok(uid) => return Ok(uid),
-                Err(CoreError::NotFound(_)) => continue,
-                Err(e) => return Err(e),
+        // shard that knows the tweet answers correctly. Shards are probed
+        // in order; in Partial mode an unavailable shard is skipped (a
+        // missed ghost can only turn the answer into NotFound, never a
+        // wrong uid).
+        self.q(|| {
+            for i in 0..self.shards.len() {
+                match self.retrying(i, |s| s.poster_of(tid)) {
+                    Ok(uid) => {
+                        fault::note_shard(true);
+                        return Ok(uid);
+                    }
+                    Err(CoreError::NotFound(_)) => {
+                        fault::note_shard(true);
+                    }
+                    Err(CoreError::Unavailable(_)) if self.mode == DegradationMode::Partial => {
+                        fault::note_shard(false);
+                    }
+                    Err(e) => {
+                        fault::note_shard(false);
+                        return Err(e);
+                    }
+                }
             }
-        }
-        Err(CoreError::NotFound(format!("poster of tweet {tid}")))
+            Err(CoreError::NotFound(format!("poster of tweet {tid}")))
+        })
     }
 
     // ---- kernels: delegate so sharded engines compose -----------------------
 
     fn has_user(&self, uid: i64) -> Result<bool> {
-        self.owner(uid).has_user(uid)
+        self.q(|| self.point(uid, |s| s.has_user(uid)))
     }
 
     fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
-        let mut out = Vec::new();
-        for (bucket, s) in self.route(uids).into_iter().zip(&self.shards) {
-            if !bucket.is_empty() {
-                out.extend(s.posted_tweets_kernel(&bucket)?);
-            }
-        }
-        out.sort_unstable();
-        Ok(out)
+        self.q(|| {
+            let buckets = self.route(uids);
+            let parts = self.scatter(
+                |i| !buckets[i].is_empty(),
+                |i, s| s.posted_tweets_kernel(&buckets[i]),
+            )?;
+            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
+            out.sort_unstable();
+            Ok(out)
+        })
     }
 
     fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
-        let mut tags = BTreeSet::new();
-        for (bucket, s) in self.route(uids).into_iter().zip(&self.shards) {
-            if !bucket.is_empty() {
-                tags.extend(s.hashtags_kernel(&bucket)?);
-            }
-        }
-        Ok(tags.into_iter().collect())
+        self.q(|| {
+            let buckets = self.route(uids);
+            let parts = self
+                .scatter(|i| !buckets[i].is_empty(), |i, s| s.hashtags_kernel(&buckets[i]))?;
+            let tags: BTreeSet<String> = parts.into_iter().flatten().collect();
+            Ok(tags.into_iter().collect())
+        })
     }
 
     fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
-        let mut parts = Vec::new();
-        for (bucket, s) in self.route(uids).into_iter().zip(&self.shards) {
-            if !bucket.is_empty() {
-                parts.push(s.count_followees_kernel(&bucket)?);
-            }
-        }
-        Ok(sum_counts(parts))
+        self.q(|| {
+            let buckets = self.route(uids);
+            let parts = self.scatter(
+                |i| !buckets[i].is_empty(),
+                |i, s| s.count_followees_kernel(&buckets[i]),
+            )?;
+            Ok(sum_counts(parts))
+        })
     }
 
     fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            parts.push(s.count_followers_kernel(uids)?);
-        }
-        Ok(sum_counts(parts))
+        self.q(|| {
+            let parts = self.scatter(|_| true, |_, s| s.count_followers_kernel(uids))?;
+            Ok(sum_counts(parts))
+        })
     }
 
     fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>> {
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            parts.push(s.co_mention_counts_kernel(uid)?);
-        }
-        Ok(sum_counts(parts))
+        self.q(|| {
+            let parts = self.scatter(|_| true, |_, s| s.co_mention_counts_kernel(uid))?;
+            Ok(sum_counts(parts))
+        })
     }
 
     fn co_tag_counts_kernel(&self, tag: &str) -> Result<Vec<(String, u64)>> {
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            parts.push(s.co_tag_counts_kernel(tag)?);
-        }
-        Ok(sum_counts(parts))
+        self.q(|| {
+            let parts = self.scatter(|_| true, |_, s| s.co_tag_counts_kernel(tag))?;
+            Ok(sum_counts(parts))
+        })
     }
 
     fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
-        let mut next = BTreeSet::new();
-        for s in &self.shards {
-            next.extend(s.follow_frontier_kernel(uids)?);
-        }
-        Ok(next.into_iter().collect())
+        self.q(|| {
+            let parts = self.scatter(|_| true, |_, s| s.follow_frontier_kernel(uids))?;
+            let next: BTreeSet<i64> = parts.into_iter().flatten().collect();
+            Ok(next.into_iter().collect())
+        })
     }
 
     fn ensure_user(&self, uid: i64) -> Result<()> {
-        self.owner(uid).ensure_user(uid)
+        // Writes never degrade — the owner shard is not optional.
+        self.q(|| self.point(uid, |s| s.ensure_user(uid)))
     }
 
     fn bump_followers(&self, uid: i64, delta: i64) -> Result<()> {
-        self.owner(uid).bump_followers(uid, delta)
+        self.q(|| self.point(uid, |s| s.bump_followers(uid, delta)))
     }
 
     fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
         use micrograph_datagen::UpdateEvent;
+        // Every step — validation reads and the writes themselves — runs
+        // under the retry policy, and none of them degrade: a half-applied
+        // update is worse than a failed one, so errors propagate in both
+        // modes. The chaos gate fires before the inner engine mutates, so
+        // a retried write is never double-applied.
         let n = self.shards.len();
-        match event {
-            UpdateEvent::NewUser { uid, .. } => self.owner(*uid as i64).apply_event(event),
+        self.q(|| match event {
+            UpdateEvent::NewUser { uid, .. } => {
+                self.point(*uid as i64, |s| s.apply_event(event))
+            }
             UpdateEvent::NewFollow { follower, followee } => {
                 let (fa, fb) = (*follower as i64, *followee as i64);
                 // Validate both endpoints against their OWNERS, in the same
                 // order the unsharded adapters do.
-                if !self.owner(fa).has_user(fa)? {
+                if !self.point(fa, |s| s.has_user(fa))? {
                     return Err(CoreError::NotFound(format!("user {follower}")));
                 }
-                if !self.owner(fb).has_user(fb)? {
+                if !self.point(fb, |s| s.has_user(fb))? {
                     return Err(CoreError::NotFound(format!("user {followee}")));
                 }
                 let (src, dst) = (shard_of(fa, n), shard_of(fb, n));
                 if src == dst {
-                    self.shards[src].apply_event(event)
+                    self.retrying(src, |s| s.apply_event(event))
                 } else {
                     // Edge + ghost followee at the follower's shard. The
                     // inner engine also bumps the ghost's follower count,
                     // which is invisible globally: only Q1 reads the
                     // property, and its merge filters by ownership.
-                    self.shards[src].ensure_user(fb)?;
-                    self.shards[src].apply_event(event)?;
+                    self.retrying(src, |s| s.ensure_user(fb))?;
+                    self.retrying(src, |s| s.apply_event(event))?;
                     // The real count lives at the owner.
-                    self.shards[dst].bump_followers(fb, 1)
+                    self.retrying(dst, |s| s.bump_followers(fb, 1))
                 }
             }
             UpdateEvent::NewTweet { uid, mentions, .. } => {
                 let poster = *uid as i64;
                 let home = shard_of(poster, n);
-                if !self.shards[home].has_user(poster)? {
+                if !self.retrying(home, |s| s.has_user(poster))? {
                     return Err(CoreError::NotFound(format!("user {uid}")));
                 }
                 for m in mentions {
                     let mi = *m as i64;
-                    if !self.owner(mi).has_user(mi)? {
+                    if !self.point(mi, |s| s.has_user(mi))? {
                         return Err(CoreError::NotFound(format!("user {m}")));
                     }
                     if shard_of(mi, n) != home {
-                        self.shards[home].ensure_user(mi)?;
+                        self.retrying(home, |s| s.ensure_user(mi))?;
                     }
                 }
                 // Hashtags are replicated, so tag lookups resolve locally.
-                self.shards[home].apply_event(event)
+                self.retrying(home, |s| s.apply_event(event))
             }
-        }
+        })
     }
 
     fn reset_stats(&self) {
@@ -544,6 +728,14 @@ impl MicroblogEngine for ShardedEngine {
             s.drop_caches()?;
         }
         Ok(())
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        // Own handling counters (retries, caught panics, exhaustion) plus
+        // whatever the inner engines injected/handled themselves.
+        self.shards
+            .iter()
+            .fold(self.counters.snapshot(), |acc, s| acc.plus(&s.fault_stats()))
     }
 }
 

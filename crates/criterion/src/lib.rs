@@ -1,0 +1,255 @@
+//! Offline workspace shim for the `criterion` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! workspace pins `criterion` to this local path crate (DESIGN.md §5). It
+//! keeps criterion's API shape for the subset the benches use — groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `iter`/`iter_with_setup`, `criterion_group!`/`criterion_main!` — but
+//! replaces the statistics engine with a plain wall-clock sampler that
+//! reports min/median/mean per benchmark on stdout. Good enough to compare
+//! engine variants locally; not a statistical framework.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as in criterion.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = run_samples(self.sample_size, &mut f);
+        report(&id.to_string(), &samples, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the amount of work per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = run_samples(self.criterion.sample_size, &mut f);
+        report(&format!("{}/{}", self.name, id), &samples, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = run_samples(self.criterion.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        report(&format!("{}/{}", self.name, id), &samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Names a benchmark within a group, as `function/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter as the name.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Work per iteration, for ops/sec reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(std_black_box(out));
+    }
+
+    /// Times `routine` on a fresh untimed `setup()` value per sample.
+    pub fn iter_with_setup<S, O, Setup: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(std_black_box(out));
+    }
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(sample_size: usize, f: &mut F) -> Vec<Duration> {
+    // One warmup call outside the recorded set.
+    let mut warm = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut warm);
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let per_iter = if b.iters > 0 { b.elapsed / (b.iters as u32) } else { Duration::ZERO };
+        samples.push(per_iter);
+    }
+    samples
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<Duration>() / (sorted.len() as u32);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  {:.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench: {name:<50} min {min:>12?}  median {median:>12?}  mean {mean:>12?}{rate}"
+    );
+}
+
+/// Declares a benchmark group entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter_with_setup(|| vec![n; 32], |v| v.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn api_surface_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        bench_demo(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

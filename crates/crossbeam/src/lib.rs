@@ -1,0 +1,85 @@
+//! Offline workspace shim for the `crossbeam` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! workspace pins `crossbeam` to this local path crate (DESIGN.md §5). Only
+//! the `thread::scope` API the serving layer uses is provided, implemented
+//! over `std::thread::scope` (stable since 1.63) with crossbeam's calling
+//! convention: the spawn closure receives the scope as an argument and
+//! `scope` returns `Err` instead of unwinding when a spawned thread panics.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads with crossbeam's API shape.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result type of [`scope`] and [`ScopedJoinHandle::join`]: `Err` holds
+    /// a panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope in which threads borrowing the enclosing stack frame can be
+    /// spawned. Handed to both the `scope` closure and every spawn closure.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. All spawned threads
+    /// are joined before this returns. Unlike `std::thread::scope`, a panic
+    /// in a spawned thread (or in `f` itself) is reported as `Err` rather
+    /// than resumed.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope(s)))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err_in_join() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

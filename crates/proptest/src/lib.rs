@@ -1,0 +1,722 @@
+//! Offline workspace shim for the `proptest` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! workspace pins `proptest` to this local path crate (DESIGN.md §5). It
+//! re-implements the subset of the API the workspace's property tests use:
+//! `proptest!`, `prop_oneof!` (weighted and unweighted), `prop_assert*`,
+//! `Just`, `any`, integer ranges, a small regex-subset string strategy,
+//! tuples, `prop::collection::{vec, btree_set}`, `prop_map`/`prop_flat_map`
+//! and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking
+//! (failures report the raw inputs), and generation is driven by a
+//! SplitMix64 stream seeded from the test function's name, so every run of
+//! a given test explores the same deterministic case sequence.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic generator state for one property test (SplitMix64).
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the stream from an arbitrary integer.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Seeds the stream from a test name (FNV-1a), so each test owns a
+    /// stable, distinct case sequence.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Error type carried by `prop_assert*` failures inside a test body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!`-block configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values; `Debug` so failures can report inputs.
+    type Value: fmt::Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then draws from the strategy `f` returns for it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let first = self.inner.generate(rng);
+        (self.f)(first).generate(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (subset of proptest's
+/// `Arbitrary`).
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix small values (edge-prone) with full-width randoms.
+                match rng.next_below(4) {
+                    0 => (rng.next_below(16) as u64) as $t,
+                    1 => <$t>::MAX.wrapping_sub(rng.next_below(4) as $t),
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only (no NaN/inf), matching proptest's default
+        // f64 strategy closely enough for ordering/hashing laws.
+        match rng.next_below(4) {
+            0 => 0.0,
+            1 => rng.next_below(100) as f64 - 50.0,
+            _ => (rng.next_f64() - 0.5) * 1.0e9,
+        }
+    }
+}
+
+/// Strategy for any value of `A` (see [`any`]).
+pub struct Any<A>(PhantomData<A>);
+
+impl<A> Clone for Any<A> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Strategy drawing arbitrary values of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width = (self.end as i128) - (self.start as i128);
+                assert!(width > 0, "empty range strategy");
+                (self.start as i128 + (rng.next_u64() as i128).rem_euclid(width)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width = (*self.end() as i128) - (*self.start() as i128) + 1;
+                assert!(width > 0, "empty range strategy");
+                (*self.start() as i128 + (rng.next_u64() as i128).rem_euclid(width)) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy: `&'static str` patterns like ".{0,200}",
+// "[ \t\n]{0,5}", "[^\u{0}]{0,20}" (classes arrive already unescaped by the
+// Rust lexer). Grammar: sequence of atoms (`.`, `[...]` with optional `^`
+// negation, or a literal char), each optionally quantified by `{m,n}`.
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    AnyChar,
+    Class { negated: bool, members: Vec<char> },
+    Literal(char),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        // `.` excludes newline, as in regex; classes may include anything.
+        const POOL_EXTRA: [char; 6] = ['\t', 'é', 'ß', '→', '日', '…'];
+        let draw_any = |rng: &mut TestRng, allow_control: bool| -> char {
+            match rng.next_below(8) {
+                0 if allow_control => ['\n', '\r', '\t'][rng.next_below(3) as usize],
+                1 => POOL_EXTRA[rng.next_below(POOL_EXTRA.len() as u64) as usize],
+                _ => char::from(0x20 + rng.next_below(0x5f) as u8), // printable ASCII
+            }
+        };
+        match self {
+            Atom::AnyChar => draw_any(rng, false),
+            Atom::Literal(c) => *c,
+            Atom::Class { negated: false, members } => {
+                members[rng.next_below(members.len() as u64) as usize]
+            }
+            Atom::Class { negated: true, members } => loop {
+                let c = draw_any(rng, true);
+                if !members.contains(&c) {
+                    return c;
+                }
+            },
+        }
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                i += 1;
+                let negated = chars.get(i) == Some(&'^');
+                if negated {
+                    i += 1;
+                }
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        // Escapes that survive Rust's own unescaping.
+                        i += 1;
+                        members.push(match chars[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            c => c,
+                        });
+                    } else {
+                        members.push(chars[i]);
+                    }
+                    i += 1;
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class { negated, members }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m,n} quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = body.split_once(',').expect("quantifier must be {m,n}");
+            i = close + 1;
+            (lo.parse::<usize>().unwrap(), hi.parse::<usize>().unwrap())
+        } else {
+            (1, 1)
+        };
+        let count = min + rng.next_below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unions (prop_oneof!) and collections.
+// ---------------------------------------------------------------------------
+
+/// Weighted union of strategies over a common value type; built by
+/// [`prop_oneof!`].
+pub struct Union<T: fmt::Debug> {
+    arms: Vec<(u32, Rc<dyn Strategy<Value = T>>)>,
+}
+
+impl<T: fmt::Debug> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self { arms: self.arms.clone() }
+    }
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Rc<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(arms.iter().any(|&(w, _)| w > 0), "all-zero union weights");
+        Self { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        let mut x = rng.next_below(total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if x < w {
+                return s.generate(rng);
+            }
+            x -= w;
+        }
+        unreachable!("weighted draw out of range")
+    }
+}
+
+/// Type-erases one `prop_oneof!` arm (helper for the macro's inference).
+pub fn union_arm<T, S>(weight: u32, strategy: S) -> (u32, Rc<dyn Strategy<Value = T>>)
+where
+    T: fmt::Debug,
+    S: Strategy<Value = T> + 'static,
+{
+    (weight, Rc::new(strategy))
+}
+
+/// `prop::collection` / `prop::...` namespace mirror.
+pub mod prop {
+    /// Collection strategies (`vec`, `btree_set`).
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Size bounds for generated collections.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            max_incl: usize,
+        }
+
+        impl SizeRange {
+            fn sample(self, rng: &mut TestRng) -> usize {
+                self.min + rng.next_below((self.max_incl - self.min + 1) as u64) as usize
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.end > r.start, "empty size range");
+                Self { min: r.start, max_incl: r.end - 1 }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                Self { min: *r.start(), max_incl: *r.end() }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { min: n, max_incl: n }
+            }
+        }
+
+        /// Strategy for `Vec`s of `element` values with length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet`s. Duplicates drawn from `element` are
+        /// collapsed, so the set may be smaller than the sampled size.
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size: size.into() }
+        }
+
+        /// Strategy returned by [`btree_set`].
+        #[derive(Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Weighted/unweighted union of strategies, as in proptest.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::union_arm($weight as u32, $strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::union_arm(1u32, $strat)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// input reporting) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),*)
+                        $(, &$arg)*
+                    );
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1,
+                            cfg.cases,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (5u64..=5).generate(&mut rng);
+            assert_eq!(y, 5);
+            let z = (-4i64..4).generate(&mut rng);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_respects_class_and_length() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let s = "[ \t\n]{0,5}".generate(&mut rng);
+            assert!(s.chars().count() <= 5);
+            assert!(s.chars().all(|c| c == ' ' || c == '\t' || c == '\n'));
+            let t = "[^\u{0}]{0,20}".generate(&mut rng);
+            assert!(t.chars().count() <= 20);
+            assert!(!t.contains('\u{0}'));
+        }
+    }
+
+    #[test]
+    fn union_weights_and_maps_compose() {
+        let strat = prop_oneof![
+            4 => (0u64..10).prop_map(|x| x as i64),
+            1 => Just(-1i64),
+        ];
+        let mut rng = TestRng::new(3);
+        let mut saw_neg = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == -1 || (0..10).contains(&v));
+            saw_neg |= v == -1;
+        }
+        assert!(saw_neg);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro pipeline itself: vec sizes honored, asserts work.
+        #[test]
+        fn macro_roundtrip(xs in prop::collection::vec(any::<u8>(), 0..7), n in 1usize..4) {
+            prop_assert!(xs.len() < 7, "len {}", xs.len());
+            prop_assert_eq!(n.min(3), n);
+            prop_assert_ne!(xs.len(), 100);
+        }
+    }
+}

@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 42,
         users: config.users,
         vocab: 16,
+        deadline_us: None,
     };
 
     // Unsharded baselines: the digests every sharded run must reproduce.

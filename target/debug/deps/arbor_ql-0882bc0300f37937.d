@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/arbor_ql-0882bc0300f37937.d: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs
+
+/root/repo/target/debug/deps/arbor_ql-0882bc0300f37937: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs
+
+crates/arborql/src/lib.rs:
+crates/arborql/src/ast.rs:
+crates/arborql/src/engine.rs:
+crates/arborql/src/exec.rs:
+crates/arborql/src/parser.rs:
+crates/arborql/src/plan.rs:
+crates/arborql/src/token.rs:

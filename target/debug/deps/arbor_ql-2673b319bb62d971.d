@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/arbor_ql-2673b319bb62d971.d: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs
+
+/root/repo/target/debug/deps/libarbor_ql-2673b319bb62d971.rlib: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs
+
+/root/repo/target/debug/deps/libarbor_ql-2673b319bb62d971.rmeta: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs
+
+crates/arborql/src/lib.rs:
+crates/arborql/src/ast.rs:
+crates/arborql/src/engine.rs:
+crates/arborql/src/exec.rs:
+crates/arborql/src/parser.rs:
+crates/arborql/src/plan.rs:
+crates/arborql/src/token.rs:

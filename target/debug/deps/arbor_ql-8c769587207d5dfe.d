@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/arbor_ql-8c769587207d5dfe.d: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbor_ql-8c769587207d5dfe.rmeta: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs Cargo.toml
+
+crates/arborql/src/lib.rs:
+crates/arborql/src/ast.rs:
+crates/arborql/src/engine.rs:
+crates/arborql/src/exec.rs:
+crates/arborql/src/parser.rs:
+crates/arborql/src/plan.rs:
+crates/arborql/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

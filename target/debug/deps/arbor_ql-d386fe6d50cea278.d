@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/arbor_ql-d386fe6d50cea278.d: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbor_ql-d386fe6d50cea278.rmeta: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs Cargo.toml
+
+crates/arborql/src/lib.rs:
+crates/arborql/src/ast.rs:
+crates/arborql/src/engine.rs:
+crates/arborql/src/exec.rs:
+crates/arborql/src/parser.rs:
+crates/arborql/src/plan.rs:
+crates/arborql/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/arbordb-194feaafdf3bac76.d: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbordb-194feaafdf3bac76.rmeta: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs Cargo.toml
+
+crates/arbordb/src/lib.rs:
+crates/arbordb/src/db.rs:
+crates/arbordb/src/dict.rs:
+crates/arbordb/src/error.rs:
+crates/arbordb/src/group.rs:
+crates/arbordb/src/import.rs:
+crates/arbordb/src/index.rs:
+crates/arbordb/src/records.rs:
+crates/arbordb/src/store/mod.rs:
+crates/arbordb/src/traversal.rs:
+crates/arbordb/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

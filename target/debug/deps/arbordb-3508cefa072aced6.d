@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/arbordb-3508cefa072aced6.d: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs
+
+/root/repo/target/debug/deps/arbordb-3508cefa072aced6: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs
+
+crates/arbordb/src/lib.rs:
+crates/arbordb/src/db.rs:
+crates/arbordb/src/dict.rs:
+crates/arbordb/src/error.rs:
+crates/arbordb/src/group.rs:
+crates/arbordb/src/import.rs:
+crates/arbordb/src/index.rs:
+crates/arbordb/src/records.rs:
+crates/arbordb/src/store/mod.rs:
+crates/arbordb/src/traversal.rs:
+crates/arbordb/src/txn.rs:

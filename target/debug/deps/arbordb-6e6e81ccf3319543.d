@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/arbordb-6e6e81ccf3319543.d: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs
+
+/root/repo/target/debug/deps/libarbordb-6e6e81ccf3319543.rlib: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs
+
+/root/repo/target/debug/deps/libarbordb-6e6e81ccf3319543.rmeta: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs
+
+crates/arbordb/src/lib.rs:
+crates/arbordb/src/db.rs:
+crates/arbordb/src/dict.rs:
+crates/arbordb/src/error.rs:
+crates/arbordb/src/group.rs:
+crates/arbordb/src/import.rs:
+crates/arbordb/src/index.rs:
+crates/arbordb/src/records.rs:
+crates/arbordb/src/store/mod.rs:
+crates/arbordb/src/traversal.rs:
+crates/arbordb/src/txn.rs:

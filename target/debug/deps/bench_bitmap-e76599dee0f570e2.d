@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_bitmap-e76599dee0f570e2.d: crates/bench/benches/bench_bitmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_bitmap-e76599dee0f570e2.rmeta: crates/bench/benches/bench_bitmap.rs Cargo.toml
+
+crates/bench/benches/bench_bitmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_coldcache-30b0c5b78b00f4cc.d: crates/bench/benches/bench_coldcache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_coldcache-30b0c5b78b00f4cc.rmeta: crates/bench/benches/bench_coldcache.rs Cargo.toml
+
+crates/bench/benches/bench_coldcache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

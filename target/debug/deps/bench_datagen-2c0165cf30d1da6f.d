@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_datagen-2c0165cf30d1da6f.d: crates/bench/benches/bench_datagen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_datagen-2c0165cf30d1da6f.rmeta: crates/bench/benches/bench_datagen.rs Cargo.toml
+
+crates/bench/benches/bench_datagen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

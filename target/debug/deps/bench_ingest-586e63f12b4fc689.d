@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_ingest-586e63f12b4fc689.d: crates/bench/benches/bench_ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_ingest-586e63f12b4fc689.rmeta: crates/bench/benches/bench_ingest.rs Cargo.toml
+
+crates/bench/benches/bench_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

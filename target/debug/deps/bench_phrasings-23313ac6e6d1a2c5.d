@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_phrasings-23313ac6e6d1a2c5.d: crates/bench/benches/bench_phrasings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_phrasings-23313ac6e6d1a2c5.rmeta: crates/bench/benches/bench_phrasings.rs Cargo.toml
+
+crates/bench/benches/bench_phrasings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_plancache-39dd4e454a973c10.d: crates/bench/benches/bench_plancache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_plancache-39dd4e454a973c10.rmeta: crates/bench/benches/bench_plancache.rs Cargo.toml
+
+crates/bench/benches/bench_plancache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_queries-d6ac55010c178e44.d: crates/bench/benches/bench_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_queries-d6ac55010c178e44.rmeta: crates/bench/benches/bench_queries.rs Cargo.toml
+
+crates/bench/benches/bench_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

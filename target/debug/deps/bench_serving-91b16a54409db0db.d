@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_serving-91b16a54409db0db.d: crates/bench/benches/bench_serving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_serving-91b16a54409db0db.rmeta: crates/bench/benches/bench_serving.rs Cargo.toml
+
+crates/bench/benches/bench_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_topn-1845d328a5e752ee.d: crates/bench/benches/bench_topn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_topn-1845d328a5e752ee.rmeta: crates/bench/benches/bench_topn.rs Cargo.toml
+
+crates/bench/benches/bench_topn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

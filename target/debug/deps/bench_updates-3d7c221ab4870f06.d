@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_updates-3d7c221ab4870f06.d: crates/bench/benches/bench_updates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_updates-3d7c221ab4870f06.rmeta: crates/bench/benches/bench_updates.rs Cargo.toml
+
+crates/bench/benches/bench_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

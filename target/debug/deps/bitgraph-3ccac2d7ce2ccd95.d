@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bitgraph-3ccac2d7ce2ccd95.d: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbitgraph-3ccac2d7ce2ccd95.rmeta: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs Cargo.toml
+
+crates/bitgraph/src/lib.rs:
+crates/bitgraph/src/bitmap.rs:
+crates/bitgraph/src/extent.rs:
+crates/bitgraph/src/graph.rs:
+crates/bitgraph/src/loader.rs:
+crates/bitgraph/src/objects.rs:
+crates/bitgraph/src/traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

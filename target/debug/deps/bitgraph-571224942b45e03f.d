@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bitgraph-571224942b45e03f.d: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs
+
+/root/repo/target/debug/deps/bitgraph-571224942b45e03f: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs
+
+crates/bitgraph/src/lib.rs:
+crates/bitgraph/src/bitmap.rs:
+crates/bitgraph/src/extent.rs:
+crates/bitgraph/src/graph.rs:
+crates/bitgraph/src/loader.rs:
+crates/bitgraph/src/objects.rs:
+crates/bitgraph/src/traversal.rs:

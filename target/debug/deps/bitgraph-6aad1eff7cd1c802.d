@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bitgraph-6aad1eff7cd1c802.d: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs
+
+/root/repo/target/debug/deps/libbitgraph-6aad1eff7cd1c802.rlib: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs
+
+/root/repo/target/debug/deps/libbitgraph-6aad1eff7cd1c802.rmeta: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs
+
+crates/bitgraph/src/lib.rs:
+crates/bitgraph/src/bitmap.rs:
+crates/bitgraph/src/extent.rs:
+crates/bitgraph/src/graph.rs:
+crates/bitgraph/src/loader.rs:
+crates/bitgraph/src/objects.rs:
+crates/bitgraph/src/traversal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_serving-5b9f46e5c5956d80.d: crates/integration/../../tests/chaos_serving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_serving-5b9f46e5c5956d80.rmeta: crates/integration/../../tests/chaos_serving.rs Cargo.toml
+
+crates/integration/../../tests/chaos_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

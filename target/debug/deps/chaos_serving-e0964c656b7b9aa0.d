@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_serving-e0964c656b7b9aa0.d: crates/integration/../../tests/chaos_serving.rs
+
+/root/repo/target/debug/deps/chaos_serving-e0964c656b7b9aa0: crates/integration/../../tests/chaos_serving.rs
+
+crates/integration/../../tests/chaos_serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/composite_query-26e01a5fe0cf616d.d: crates/integration/../../tests/composite_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomposite_query-26e01a5fe0cf616d.rmeta: crates/integration/../../tests/composite_query.rs Cargo.toml
+
+crates/integration/../../tests/composite_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

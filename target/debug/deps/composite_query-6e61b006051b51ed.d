@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composite_query-6e61b006051b51ed.d: crates/integration/../../tests/composite_query.rs
+
+/root/repo/target/debug/deps/composite_query-6e61b006051b51ed: crates/integration/../../tests/composite_query.rs
+
+crates/integration/../../tests/composite_query.rs:

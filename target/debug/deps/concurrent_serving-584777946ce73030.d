@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_serving-584777946ce73030.d: crates/integration/../../tests/concurrent_serving.rs
+
+/root/repo/target/debug/deps/concurrent_serving-584777946ce73030: crates/integration/../../tests/concurrent_serving.rs
+
+crates/integration/../../tests/concurrent_serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent_serving-d8343b5ee9b8d1d5.d: crates/integration/../../tests/concurrent_serving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_serving-d8343b5ee9b8d1d5.rmeta: crates/integration/../../tests/concurrent_serving.rs Cargo.toml
+
+crates/integration/../../tests/concurrent_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

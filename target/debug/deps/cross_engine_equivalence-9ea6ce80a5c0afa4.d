@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_engine_equivalence-9ea6ce80a5c0afa4.d: crates/integration/../../tests/cross_engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_engine_equivalence-9ea6ce80a5c0afa4.rmeta: crates/integration/../../tests/cross_engine_equivalence.rs Cargo.toml
+
+crates/integration/../../tests/cross_engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine_equivalence-f24dced4dfdb78ea.d: crates/integration/../../tests/cross_engine_equivalence.rs
+
+/root/repo/target/debug/deps/cross_engine_equivalence-f24dced4dfdb78ea: crates/integration/../../tests/cross_engine_equivalence.rs
+
+crates/integration/../../tests/cross_engine_equivalence.rs:

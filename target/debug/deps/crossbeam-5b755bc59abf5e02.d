@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-5b755bc59abf5e02.d: crates/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-5b755bc59abf5e02.rmeta: crates/crossbeam/src/lib.rs Cargo.toml
+
+crates/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

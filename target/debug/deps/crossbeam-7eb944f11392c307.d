@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-7eb944f11392c307.d: crates/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-7eb944f11392c307.rlib: crates/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-7eb944f11392c307.rmeta: crates/crossbeam/src/lib.rs
+
+crates/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-acf0f2ea0ec61863.d: crates/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-acf0f2ea0ec61863: crates/crossbeam/src/lib.rs
+
+crates/crossbeam/src/lib.rs:

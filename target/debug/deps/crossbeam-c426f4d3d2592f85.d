@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-c426f4d3d2592f85.d: crates/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-c426f4d3d2592f85.rmeta: crates/crossbeam/src/lib.rs Cargo.toml
+
+crates/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dense_groups-e3ad78a028931fa2.d: crates/arbordb/tests/dense_groups.rs
+
+/root/repo/target/debug/deps/dense_groups-e3ad78a028931fa2: crates/arbordb/tests/dense_groups.rs
+
+crates/arbordb/tests/dense_groups.rs:

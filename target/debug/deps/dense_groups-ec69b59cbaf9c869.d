@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dense_groups-ec69b59cbaf9c869.d: crates/arbordb/tests/dense_groups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdense_groups-ec69b59cbaf9c869.rmeta: crates/arbordb/tests/dense_groups.rs Cargo.toml
+
+crates/arbordb/tests/dense_groups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-0786314c32e9863c.d: crates/integration/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-0786314c32e9863c.rmeta: crates/integration/../../tests/end_to_end.rs Cargo.toml
+
+crates/integration/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

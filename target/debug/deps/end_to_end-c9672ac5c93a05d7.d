@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c9672ac5c93a05d7.d: crates/integration/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c9672ac5c93a05d7: crates/integration/../../tests/end_to_end.rs
+
+crates/integration/../../tests/end_to_end.rs:

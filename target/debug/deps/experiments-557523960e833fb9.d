@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-557523960e833fb9.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-557523960e833fb9: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

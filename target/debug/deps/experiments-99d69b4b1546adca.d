@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-99d69b4b1546adca.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-99d69b4b1546adca: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingest_pipeline-1cc332bb6daa3034.d: crates/integration/../../tests/ingest_pipeline.rs
+
+/root/repo/target/debug/deps/ingest_pipeline-1cc332bb6daa3034: crates/integration/../../tests/ingest_pipeline.rs
+
+crates/integration/../../tests/ingest_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest_pipeline-7cce8bccb4d49ea0.d: crates/integration/../../tests/ingest_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest_pipeline-7cce8bccb4d49ea0.rmeta: crates/integration/../../tests/ingest_pipeline.rs Cargo.toml
+
+crates/integration/../../tests/ingest_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/micrograph_bench-244cc9c57aa7e71e.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrograph_bench-244cc9c57aa7e71e.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/fixture.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micrograph_bench-8b3d890157f5976a.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmicrograph_bench-8b3d890157f5976a.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmicrograph_bench-8b3d890157f5976a.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/fixture.rs:
+crates/bench/src/report.rs:

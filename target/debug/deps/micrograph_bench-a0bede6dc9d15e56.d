@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/micrograph_bench-a0bede6dc9d15e56.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/micrograph_bench-a0bede6dc9d15e56: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/fixture.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/micrograph_common-26b897ce28c5f1a9.d: crates/common/src/lib.rs crates/common/src/csvio.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/tmpdir.rs crates/common/src/topn.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/micrograph_common-26b897ce28c5f1a9: crates/common/src/lib.rs crates/common/src/csvio.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/tmpdir.rs crates/common/src/topn.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/csvio.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/tmpdir.rs:
+crates/common/src/topn.rs:
+crates/common/src/value.rs:

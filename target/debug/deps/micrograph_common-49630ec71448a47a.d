@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/micrograph_common-49630ec71448a47a.d: crates/common/src/lib.rs crates/common/src/csvio.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/tmpdir.rs crates/common/src/topn.rs crates/common/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrograph_common-49630ec71448a47a.rmeta: crates/common/src/lib.rs crates/common/src/csvio.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/tmpdir.rs crates/common/src/topn.rs crates/common/src/value.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/csvio.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/tmpdir.rs:
+crates/common/src/topn.rs:
+crates/common/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/micrograph_core-752bc8c30dadf8f6.d: crates/core/src/lib.rs crates/core/src/adapters/mod.rs crates/core/src/adapters/arbor.rs crates/core/src/adapters/bit.rs crates/core/src/compose.rs crates/core/src/engine.rs crates/core/src/fault.rs crates/core/src/ingest.rs crates/core/src/runner.rs crates/core/src/schema.rs crates/core/src/serve.rs crates/core/src/shard.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrograph_core-752bc8c30dadf8f6.rmeta: crates/core/src/lib.rs crates/core/src/adapters/mod.rs crates/core/src/adapters/arbor.rs crates/core/src/adapters/bit.rs crates/core/src/compose.rs crates/core/src/engine.rs crates/core/src/fault.rs crates/core/src/ingest.rs crates/core/src/runner.rs crates/core/src/schema.rs crates/core/src/serve.rs crates/core/src/shard.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adapters/mod.rs:
+crates/core/src/adapters/arbor.rs:
+crates/core/src/adapters/bit.rs:
+crates/core/src/compose.rs:
+crates/core/src/engine.rs:
+crates/core/src/fault.rs:
+crates/core/src/ingest.rs:
+crates/core/src/runner.rs:
+crates/core/src/schema.rs:
+crates/core/src/serve.rs:
+crates/core/src/shard.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/micrograph_core-9d90e1b5c5c1977d.d: crates/core/src/lib.rs crates/core/src/adapters/mod.rs crates/core/src/adapters/arbor.rs crates/core/src/adapters/bit.rs crates/core/src/compose.rs crates/core/src/engine.rs crates/core/src/fault.rs crates/core/src/ingest.rs crates/core/src/runner.rs crates/core/src/schema.rs crates/core/src/serve.rs crates/core/src/shard.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/micrograph_core-9d90e1b5c5c1977d: crates/core/src/lib.rs crates/core/src/adapters/mod.rs crates/core/src/adapters/arbor.rs crates/core/src/adapters/bit.rs crates/core/src/compose.rs crates/core/src/engine.rs crates/core/src/fault.rs crates/core/src/ingest.rs crates/core/src/runner.rs crates/core/src/schema.rs crates/core/src/serve.rs crates/core/src/shard.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adapters/mod.rs:
+crates/core/src/adapters/arbor.rs:
+crates/core/src/adapters/bit.rs:
+crates/core/src/compose.rs:
+crates/core/src/engine.rs:
+crates/core/src/fault.rs:
+crates/core/src/ingest.rs:
+crates/core/src/runner.rs:
+crates/core/src/schema.rs:
+crates/core/src/serve.rs:
+crates/core/src/shard.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micrograph_datagen-0df8b05fd26c2919.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs
+
+/root/repo/target/debug/deps/micrograph_datagen-0df8b05fd26c2919: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/gen.rs:
+crates/datagen/src/stream.rs:
+crates/datagen/src/text.rs:

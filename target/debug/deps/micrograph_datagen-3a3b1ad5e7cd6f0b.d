@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/micrograph_datagen-3a3b1ad5e7cd6f0b.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrograph_datagen-3a3b1ad5e7cd6f0b.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/gen.rs:
+crates/datagen/src/stream.rs:
+crates/datagen/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/micrograph_datagen-92a2a7ecfd5589ba.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs
+
+/root/repo/target/debug/deps/libmicrograph_datagen-92a2a7ecfd5589ba.rlib: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs
+
+/root/repo/target/debug/deps/libmicrograph_datagen-92a2a7ecfd5589ba.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/gen.rs:
+crates/datagen/src/stream.rs:
+crates/datagen/src/text.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micrograph_integration-93dd67fff126324b.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/micrograph_integration-93dd67fff126324b: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micrograph_integration-a085b34940c5cb74.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libmicrograph_integration-a085b34940c5cb74.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libmicrograph_integration-a085b34940c5cb74.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micrograph_integration-cb88351c1c120d40.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrograph_integration-cb88351c1c120d40.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micrograph_integration-ff95e2e07ab3b293.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrograph_integration-ff95e2e07ab3b293.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/micrograph_pagestore-54be9fac758f16a8.d: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs
+
+/root/repo/target/debug/deps/libmicrograph_pagestore-54be9fac758f16a8.rlib: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs
+
+/root/repo/target/debug/deps/libmicrograph_pagestore-54be9fac758f16a8.rmeta: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs
+
+crates/pagestore/src/lib.rs:
+crates/pagestore/src/backend.rs:
+crates/pagestore/src/buffer.rs:
+crates/pagestore/src/page.rs:
+crates/pagestore/src/wal.rs:

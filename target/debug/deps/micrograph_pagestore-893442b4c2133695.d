@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micrograph_pagestore-893442b4c2133695.d: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs
+
+/root/repo/target/debug/deps/micrograph_pagestore-893442b4c2133695: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs
+
+crates/pagestore/src/lib.rs:
+crates/pagestore/src/backend.rs:
+crates/pagestore/src/buffer.rs:
+crates/pagestore/src/page.rs:
+crates/pagestore/src/wal.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/micrograph_pagestore-9002a253b6020b3a.d: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrograph_pagestore-9002a253b6020b3a.rmeta: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs Cargo.toml
+
+crates/pagestore/src/lib.rs:
+crates/pagestore/src/backend.rs:
+crates/pagestore/src/buffer.rs:
+crates/pagestore/src/page.rs:
+crates/pagestore/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/micrograph_pagestore-a551cf5648c2acba.d: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrograph_pagestore-a551cf5648c2acba.rmeta: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs Cargo.toml
+
+crates/pagestore/src/lib.rs:
+crates/pagestore/src/backend.rs:
+crates/pagestore/src/buffer.rs:
+crates/pagestore/src/page.rs:
+crates/pagestore/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_cache-64e4042ec5507b3e.d: crates/integration/../../tests/plan_cache.rs
+
+/root/repo/target/debug/deps/plan_cache-64e4042ec5507b3e: crates/integration/../../tests/plan_cache.rs
+
+crates/integration/../../tests/plan_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_cache-8c0cd0ad78d81725.d: crates/integration/../../tests/plan_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_cache-8c0cd0ad78d81725.rmeta: crates/integration/../../tests/plan_cache.rs Cargo.toml
+
+crates/integration/../../tests/plan_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

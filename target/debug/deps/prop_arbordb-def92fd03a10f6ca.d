@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_arbordb-def92fd03a10f6ca.d: crates/arbordb/tests/prop_arbordb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_arbordb-def92fd03a10f6ca.rmeta: crates/arbordb/tests/prop_arbordb.rs Cargo.toml
+
+crates/arbordb/tests/prop_arbordb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_arbordb-ef6cd5e506353646.d: crates/arbordb/tests/prop_arbordb.rs
+
+/root/repo/target/debug/deps/prop_arbordb-ef6cd5e506353646: crates/arbordb/tests/prop_arbordb.rs
+
+crates/arbordb/tests/prop_arbordb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_bitgraph-0853bd3cc74bd0c5.d: crates/bitgraph/tests/prop_bitgraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_bitgraph-0853bd3cc74bd0c5.rmeta: crates/bitgraph/tests/prop_bitgraph.rs Cargo.toml
+
+crates/bitgraph/tests/prop_bitgraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

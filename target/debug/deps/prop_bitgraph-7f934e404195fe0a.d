@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_bitgraph-7f934e404195fe0a.d: crates/bitgraph/tests/prop_bitgraph.rs
+
+/root/repo/target/debug/deps/prop_bitgraph-7f934e404195fe0a: crates/bitgraph/tests/prop_bitgraph.rs
+
+crates/bitgraph/tests/prop_bitgraph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_common-b609cb0387270e92.d: crates/common/tests/prop_common.rs
+
+/root/repo/target/debug/deps/prop_common-b609cb0387270e92: crates/common/tests/prop_common.rs
+
+crates/common/tests/prop_common.rs:

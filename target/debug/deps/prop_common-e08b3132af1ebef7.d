@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_common-e08b3132af1ebef7.d: crates/common/tests/prop_common.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_common-e08b3132af1ebef7.rmeta: crates/common/tests/prop_common.rs Cargo.toml
+
+crates/common/tests/prop_common.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

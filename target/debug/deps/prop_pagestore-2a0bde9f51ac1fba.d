@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_pagestore-2a0bde9f51ac1fba.d: crates/pagestore/tests/prop_pagestore.rs
+
+/root/repo/target/debug/deps/prop_pagestore-2a0bde9f51ac1fba: crates/pagestore/tests/prop_pagestore.rs
+
+crates/pagestore/tests/prop_pagestore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_pagestore-c907012d5c4f6c43.d: crates/pagestore/tests/prop_pagestore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_pagestore-c907012d5c4f6c43.rmeta: crates/pagestore/tests/prop_pagestore.rs Cargo.toml
+
+crates/pagestore/tests/prop_pagestore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_parser-555bfceabcaee35c.d: crates/arborql/tests/prop_parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_parser-555bfceabcaee35c.rmeta: crates/arborql/tests/prop_parser.rs Cargo.toml
+
+crates/arborql/tests/prop_parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

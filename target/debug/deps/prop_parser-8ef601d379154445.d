@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_parser-8ef601d379154445.d: crates/arborql/tests/prop_parser.rs
+
+/root/repo/target/debug/deps/prop_parser-8ef601d379154445: crates/arborql/tests/prop_parser.rs
+
+crates/arborql/tests/prop_parser.rs:

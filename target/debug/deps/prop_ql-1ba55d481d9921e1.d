@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_ql-1ba55d481d9921e1.d: crates/arborql/tests/prop_ql.rs
+
+/root/repo/target/debug/deps/prop_ql-1ba55d481d9921e1: crates/arborql/tests/prop_ql.rs
+
+crates/arborql/tests/prop_ql.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_ql-8897fb38615d1f3b.d: crates/arborql/tests/prop_ql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_ql-8897fb38615d1f3b.rmeta: crates/arborql/tests/prop_ql.rs Cargo.toml
+
+crates/arborql/tests/prop_ql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

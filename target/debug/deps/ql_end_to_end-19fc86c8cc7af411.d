@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ql_end_to_end-19fc86c8cc7af411.d: crates/arborql/tests/ql_end_to_end.rs
+
+/root/repo/target/debug/deps/ql_end_to_end-19fc86c8cc7af411: crates/arborql/tests/ql_end_to_end.rs
+
+crates/arborql/tests/ql_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ql_end_to_end-4a15cdb4cc71d8d2.d: crates/arborql/tests/ql_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libql_end_to_end-4a15cdb4cc71d8d2.rmeta: crates/arborql/tests/ql_end_to_end.rs Cargo.toml
+
+crates/arborql/tests/ql_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

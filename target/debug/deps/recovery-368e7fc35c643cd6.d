@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-368e7fc35c643cd6.d: crates/integration/../../tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-368e7fc35c643cd6: crates/integration/../../tests/recovery.rs
+
+crates/integration/../../tests/recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-b5d2d556d7ed436f.d: crates/integration/../../tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-b5d2d556d7ed436f.rmeta: crates/integration/../../tests/recovery.rs Cargo.toml
+
+crates/integration/../../tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/update_workload-645b02586695b972.d: crates/integration/../../tests/update_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libupdate_workload-645b02586695b972.rmeta: crates/integration/../../tests/update_workload.rs Cargo.toml
+
+crates/integration/../../tests/update_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/update_workload-f0b7aae724665fd8.d: crates/integration/../../tests/update_workload.rs
+
+/root/repo/target/debug/deps/update_workload-f0b7aae724665fd8: crates/integration/../../tests/update_workload.rs
+
+crates/integration/../../tests/update_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arborql_shell-5c3af631f6581706.d: crates/core/../../examples/arborql_shell.rs
+
+/root/repo/target/debug/examples/arborql_shell-5c3af631f6581706: crates/core/../../examples/arborql_shell.rs
+
+crates/core/../../examples/arborql_shell.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/arborql_shell-86e7042effc0fecb.d: crates/core/../../examples/arborql_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarborql_shell-86e7042effc0fecb.rmeta: crates/core/../../examples/arborql_shell.rs Cargo.toml
+
+crates/core/../../examples/arborql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_serving-21aa814eeeea0ae9.d: crates/core/../../examples/chaos_serving.rs
+
+/root/repo/target/debug/examples/chaos_serving-21aa814eeeea0ae9: crates/core/../../examples/chaos_serving.rs
+
+crates/core/../../examples/chaos_serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_serving-e876bc04c20468b8.d: crates/core/../../examples/chaos_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_serving-e876bc04c20468b8.rmeta: crates/core/../../examples/chaos_serving.rs Cargo.toml
+
+crates/core/../../examples/chaos_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/degrees_of_separation-3029761e9d4e8d6e.d: crates/core/../../examples/degrees_of_separation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdegrees_of_separation-3029761e9d4e8d6e.rmeta: crates/core/../../examples/degrees_of_separation.rs Cargo.toml
+
+crates/core/../../examples/degrees_of_separation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

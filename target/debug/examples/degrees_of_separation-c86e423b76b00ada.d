@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/degrees_of_separation-c86e423b76b00ada.d: crates/core/../../examples/degrees_of_separation.rs
+
+/root/repo/target/debug/examples/degrees_of_separation-c86e423b76b00ada: crates/core/../../examples/degrees_of_separation.rs
+
+crates/core/../../examples/degrees_of_separation.rs:

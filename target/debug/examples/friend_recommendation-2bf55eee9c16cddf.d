@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/friend_recommendation-2bf55eee9c16cddf.d: crates/core/../../examples/friend_recommendation.rs
+
+/root/repo/target/debug/examples/friend_recommendation-2bf55eee9c16cddf: crates/core/../../examples/friend_recommendation.rs
+
+crates/core/../../examples/friend_recommendation.rs:

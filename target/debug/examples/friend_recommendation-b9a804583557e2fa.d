@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/friend_recommendation-b9a804583557e2fa.d: crates/core/../../examples/friend_recommendation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfriend_recommendation-b9a804583557e2fa.rmeta: crates/core/../../examples/friend_recommendation.rs Cargo.toml
+
+crates/core/../../examples/friend_recommendation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

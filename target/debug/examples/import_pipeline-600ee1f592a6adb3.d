@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/import_pipeline-600ee1f592a6adb3.d: crates/core/../../examples/import_pipeline.rs
+
+/root/repo/target/debug/examples/import_pipeline-600ee1f592a6adb3: crates/core/../../examples/import_pipeline.rs
+
+crates/core/../../examples/import_pipeline.rs:

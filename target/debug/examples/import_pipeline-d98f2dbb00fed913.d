@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/import_pipeline-d98f2dbb00fed913.d: crates/core/../../examples/import_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimport_pipeline-d98f2dbb00fed913.rmeta: crates/core/../../examples/import_pipeline.rs Cargo.toml
+
+crates/core/../../examples/import_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/influence_analysis-934fd9128bb4a2e6.d: crates/core/../../examples/influence_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinfluence_analysis-934fd9128bb4a2e6.rmeta: crates/core/../../examples/influence_analysis.rs Cargo.toml
+
+crates/core/../../examples/influence_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/influence_analysis-cfeeeb0d91dc6adf.d: crates/core/../../examples/influence_analysis.rs
+
+/root/repo/target/debug/examples/influence_analysis-cfeeeb0d91dc6adf: crates/core/../../examples/influence_analysis.rs
+
+crates/core/../../examples/influence_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_updates-19b311f9f68991a6.d: crates/core/../../examples/live_updates.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_updates-19b311f9f68991a6.rmeta: crates/core/../../examples/live_updates.rs Cargo.toml
+
+crates/core/../../examples/live_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_updates-94c6f51bcaff60f9.d: crates/core/../../examples/live_updates.rs
+
+/root/repo/target/debug/examples/live_updates-94c6f51bcaff60f9: crates/core/../../examples/live_updates.rs
+
+crates/core/../../examples/live_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8b296b0175975bcb.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8b296b0175975bcb: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sharded_serving-342144fb6f5dfd7e.d: crates/core/../../examples/sharded_serving.rs
+
+/root/repo/target/debug/examples/sharded_serving-342144fb6f5dfd7e: crates/core/../../examples/sharded_serving.rs
+
+crates/core/../../examples/sharded_serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sharded_serving-e0f7d8cbcdb54ea8.d: crates/core/../../examples/sharded_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsharded_serving-e0f7d8cbcdb54ea8.rmeta: crates/core/../../examples/sharded_serving.rs Cargo.toml
+
+crates/core/../../examples/sharded_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

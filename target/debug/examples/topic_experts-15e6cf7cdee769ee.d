@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topic_experts-15e6cf7cdee769ee.d: crates/core/../../examples/topic_experts.rs
+
+/root/repo/target/debug/examples/topic_experts-15e6cf7cdee769ee: crates/core/../../examples/topic_experts.rs
+
+crates/core/../../examples/topic_experts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topic_experts-d20605bd9a1de01f.d: crates/core/../../examples/topic_experts.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopic_experts-d20605bd9a1de01f.rmeta: crates/core/../../examples/topic_experts.rs Cargo.toml
+
+crates/core/../../examples/topic_experts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

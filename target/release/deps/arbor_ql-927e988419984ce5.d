@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/arbor_ql-927e988419984ce5.d: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs
+
+/root/repo/target/release/deps/libarbor_ql-927e988419984ce5.rlib: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs
+
+/root/repo/target/release/deps/libarbor_ql-927e988419984ce5.rmeta: crates/arborql/src/lib.rs crates/arborql/src/ast.rs crates/arborql/src/engine.rs crates/arborql/src/exec.rs crates/arborql/src/parser.rs crates/arborql/src/plan.rs crates/arborql/src/token.rs
+
+crates/arborql/src/lib.rs:
+crates/arborql/src/ast.rs:
+crates/arborql/src/engine.rs:
+crates/arborql/src/exec.rs:
+crates/arborql/src/parser.rs:
+crates/arborql/src/plan.rs:
+crates/arborql/src/token.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/arbordb-1e511f4f9a977b30.d: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs
+
+/root/repo/target/release/deps/libarbordb-1e511f4f9a977b30.rlib: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs
+
+/root/repo/target/release/deps/libarbordb-1e511f4f9a977b30.rmeta: crates/arbordb/src/lib.rs crates/arbordb/src/db.rs crates/arbordb/src/dict.rs crates/arbordb/src/error.rs crates/arbordb/src/group.rs crates/arbordb/src/import.rs crates/arbordb/src/index.rs crates/arbordb/src/records.rs crates/arbordb/src/store/mod.rs crates/arbordb/src/traversal.rs crates/arbordb/src/txn.rs
+
+crates/arbordb/src/lib.rs:
+crates/arbordb/src/db.rs:
+crates/arbordb/src/dict.rs:
+crates/arbordb/src/error.rs:
+crates/arbordb/src/group.rs:
+crates/arbordb/src/import.rs:
+crates/arbordb/src/index.rs:
+crates/arbordb/src/records.rs:
+crates/arbordb/src/store/mod.rs:
+crates/arbordb/src/traversal.rs:
+crates/arbordb/src/txn.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bitgraph-c3cd17e8572ab8f2.d: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs
+
+/root/repo/target/release/deps/libbitgraph-c3cd17e8572ab8f2.rlib: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs
+
+/root/repo/target/release/deps/libbitgraph-c3cd17e8572ab8f2.rmeta: crates/bitgraph/src/lib.rs crates/bitgraph/src/bitmap.rs crates/bitgraph/src/extent.rs crates/bitgraph/src/graph.rs crates/bitgraph/src/loader.rs crates/bitgraph/src/objects.rs crates/bitgraph/src/traversal.rs
+
+crates/bitgraph/src/lib.rs:
+crates/bitgraph/src/bitmap.rs:
+crates/bitgraph/src/extent.rs:
+crates/bitgraph/src/graph.rs:
+crates/bitgraph/src/loader.rs:
+crates/bitgraph/src/objects.rs:
+crates/bitgraph/src/traversal.rs:

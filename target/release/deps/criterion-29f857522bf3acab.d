@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-29f857522bf3acab.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-29f857522bf3acab.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-29f857522bf3acab.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-b22245ea001fc6c0.d: crates/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b22245ea001fc6c0.rlib: crates/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b22245ea001fc6c0.rmeta: crates/crossbeam/src/lib.rs
+
+crates/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-18db9b8798a79963.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-18db9b8798a79963: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/micrograph_bench-c347573cd5c77359.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmicrograph_bench-c347573cd5c77359.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmicrograph_bench-c347573cd5c77359.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/fixture.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/fixture.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/micrograph_common-5dc2c1c20f1ad745.d: crates/common/src/lib.rs crates/common/src/csvio.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/tmpdir.rs crates/common/src/topn.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libmicrograph_common-5dc2c1c20f1ad745.rlib: crates/common/src/lib.rs crates/common/src/csvio.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/tmpdir.rs crates/common/src/topn.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libmicrograph_common-5dc2c1c20f1ad745.rmeta: crates/common/src/lib.rs crates/common/src/csvio.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/tmpdir.rs crates/common/src/topn.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/csvio.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/tmpdir.rs:
+crates/common/src/topn.rs:
+crates/common/src/value.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/micrograph_core-d6829161f2a3f765.d: crates/core/src/lib.rs crates/core/src/adapters/mod.rs crates/core/src/adapters/arbor.rs crates/core/src/adapters/bit.rs crates/core/src/compose.rs crates/core/src/engine.rs crates/core/src/fault.rs crates/core/src/ingest.rs crates/core/src/runner.rs crates/core/src/schema.rs crates/core/src/serve.rs crates/core/src/shard.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libmicrograph_core-d6829161f2a3f765.rlib: crates/core/src/lib.rs crates/core/src/adapters/mod.rs crates/core/src/adapters/arbor.rs crates/core/src/adapters/bit.rs crates/core/src/compose.rs crates/core/src/engine.rs crates/core/src/fault.rs crates/core/src/ingest.rs crates/core/src/runner.rs crates/core/src/schema.rs crates/core/src/serve.rs crates/core/src/shard.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libmicrograph_core-d6829161f2a3f765.rmeta: crates/core/src/lib.rs crates/core/src/adapters/mod.rs crates/core/src/adapters/arbor.rs crates/core/src/adapters/bit.rs crates/core/src/compose.rs crates/core/src/engine.rs crates/core/src/fault.rs crates/core/src/ingest.rs crates/core/src/runner.rs crates/core/src/schema.rs crates/core/src/serve.rs crates/core/src/shard.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adapters/mod.rs:
+crates/core/src/adapters/arbor.rs:
+crates/core/src/adapters/bit.rs:
+crates/core/src/compose.rs:
+crates/core/src/engine.rs:
+crates/core/src/fault.rs:
+crates/core/src/ingest.rs:
+crates/core/src/runner.rs:
+crates/core/src/schema.rs:
+crates/core/src/serve.rs:
+crates/core/src/shard.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/micrograph_datagen-0583ac79e2c2fd37.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs
+
+/root/repo/target/release/deps/libmicrograph_datagen-0583ac79e2c2fd37.rlib: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs
+
+/root/repo/target/release/deps/libmicrograph_datagen-0583ac79e2c2fd37.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/gen.rs crates/datagen/src/stream.rs crates/datagen/src/text.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/gen.rs:
+crates/datagen/src/stream.rs:
+crates/datagen/src/text.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/micrograph_integration-ff1ab8076f51bae8.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libmicrograph_integration-ff1ab8076f51bae8.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libmicrograph_integration-ff1ab8076f51bae8.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/micrograph_pagestore-c2d38b51942fa4a7.d: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs
+
+/root/repo/target/release/deps/libmicrograph_pagestore-c2d38b51942fa4a7.rlib: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs
+
+/root/repo/target/release/deps/libmicrograph_pagestore-c2d38b51942fa4a7.rmeta: crates/pagestore/src/lib.rs crates/pagestore/src/backend.rs crates/pagestore/src/buffer.rs crates/pagestore/src/page.rs crates/pagestore/src/wal.rs
+
+crates/pagestore/src/lib.rs:
+crates/pagestore/src/backend.rs:
+crates/pagestore/src/buffer.rs:
+crates/pagestore/src/page.rs:
+crates/pagestore/src/wal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-712688c4242ea1f8.d: crates/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-712688c4242ea1f8.rlib: crates/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-712688c4242ea1f8.rmeta: crates/parking_lot/src/lib.rs
+
+crates/parking_lot/src/lib.rs:

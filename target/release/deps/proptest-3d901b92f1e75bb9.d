@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-3d901b92f1e75bb9.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3d901b92f1e75bb9.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3d901b92f1e75bb9.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_serving-e4bd60d41affef0f.d: crates/core/../../examples/chaos_serving.rs
+
+/root/repo/target/release/examples/chaos_serving-e4bd60d41affef0f: crates/core/../../examples/chaos_serving.rs
+
+crates/core/../../examples/chaos_serving.rs:

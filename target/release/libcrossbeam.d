@@ -1,0 +1,1 @@
+/root/repo/target/release/libcrossbeam.rlib: /root/repo/crates/crossbeam/src/lib.rs

@@ -1,0 +1,223 @@
+//! Chaos serving: the fault-injection headline invariant and its edges.
+//!
+//! Under *transient* injected faults with retries enabled, every query's
+//! answer — and therefore the serving digest — is byte-identical to the
+//! fault-free run. Strict mode never degrades; Partial mode tags partial
+//! scatter coverage; deadlines bound virtual time with typed `Timeout`s;
+//! and every counter in the `ServeReport` is a pure function of
+//! (chaos seed, request seed), independent of reader thread count.
+
+use micrograph_core::engine::MicroblogEngine;
+use micrograph_core::fault::silence_injected_panics;
+use micrograph_core::ingest::{build_chaos_sharded_engines, build_sharded_engines};
+use micrograph_core::serve::{serve, ServeConfig, ServeReport};
+use micrograph_core::{DegradationMode, FaultPlan, RetryPolicy};
+use micrograph_datagen::{generate, Dataset, GenConfig};
+
+struct Guard(std::path::PathBuf);
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const USERS: u64 = 120;
+
+fn dataset(seed: u64, tag: &str) -> (Dataset, Guard) {
+    let mut cfg = GenConfig::unit();
+    cfg.seed = seed;
+    cfg.users = USERS;
+    cfg.poster_fraction = 0.3;
+    cfg.tweets_per_poster = 6;
+    cfg.mentions_per_tweet = 1.2;
+    cfg.tags_per_tweet = 0.8;
+    let dir = micrograph_common::unique_temp_dir(&format!("chaos-serving-{tag}-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    (generate(&cfg), Guard(dir))
+}
+
+fn config(threads: usize, deadline_us: Option<u64>) -> ServeConfig {
+    ServeConfig { threads, requests: 128, seed: 7, users: USERS, vocab: 16, deadline_us }
+}
+
+/// The tuple of everything a chaos run must keep deterministic.
+fn fingerprint(r: &ServeReport) -> (Vec<String>, u64, u64, String) {
+    (r.rendered.clone(), r.errors, r.degraded, r.faults.to_string())
+}
+
+#[test]
+fn transient_faults_are_fully_masked_by_retries() {
+    // The headline invariant: transient faults heal within the retry
+    // budget (burst 2 < max_attempts 4), so the served answers — and the
+    // digest over them — are byte-identical to the fault-free run.
+    silence_injected_panics();
+    let (ds, g) = dataset(61, "masked");
+    let (clean_arbor, clean_bit) = build_sharded_engines(&ds, &g.0.join("clean"), 2).unwrap();
+    let (chaos_arbor, chaos_bit) = build_chaos_sharded_engines(
+        &ds,
+        &g.0.join("chaos"),
+        2,
+        FaultPlan::transient(3),
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .unwrap();
+    let pairs: [(&dyn MicroblogEngine, &dyn MicroblogEngine); 2] =
+        [(&clean_arbor, &chaos_arbor), (&clean_bit, &chaos_bit)];
+    for (clean, chaos) in pairs {
+        let base = serve(clean, &config(1, None)).unwrap();
+        assert!(base.faults.is_zero(), "{}: fault-free run must report no faults", clean.name());
+        for threads in [1usize, 4] {
+            let report = serve(chaos, &config(threads, None)).unwrap();
+            assert_eq!(
+                report.rendered,
+                base.rendered,
+                "{} x{threads}: transient faults leaked into answers",
+                chaos.name()
+            );
+            assert_eq!(report.digest(), base.digest(), "{} digest", chaos.name());
+            assert_eq!(report.errors, 0, "retries must mask every transient fault");
+            assert_eq!(report.degraded, 0, "Strict mode must never degrade");
+            assert!(
+                report.faults.total_injected() > 0,
+                "{}: the plan injected nothing — test is vacuous",
+                chaos.name()
+            );
+            assert!(report.faults.retries > 0, "recovery must have spent retries");
+        }
+    }
+}
+
+#[test]
+fn chaos_reports_are_thread_count_invariant() {
+    // Same chaos seed + same request seed => same rendered output and the
+    // same retry/error/degraded/fault counters at ANY reader thread count.
+    silence_injected_panics();
+    let (ds, g) = dataset(62, "threads");
+    let (chaos_arbor, _chaos_bit) = build_chaos_sharded_engines(
+        &ds,
+        &g.0.join("chaos"),
+        4,
+        FaultPlan::hostile(11),
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .unwrap();
+    let base = fingerprint(&serve(&chaos_arbor, &config(1, None)).unwrap());
+    for threads in [2usize, 4] {
+        let got = fingerprint(&serve(&chaos_arbor, &config(threads, None)).unwrap());
+        assert_eq!(got, base, "chaos run diverged at {threads} reader threads");
+    }
+}
+
+#[test]
+fn hostile_faults_surface_as_typed_errors_in_strict_mode() {
+    // Permanent faults never heal: retries exhaust, the request renders as
+    // a typed `<error:…>` marker — and the process never aborts, even
+    // though some injected faults are panics.
+    silence_injected_panics();
+    let (ds, g) = dataset(63, "strict");
+    let (chaos_arbor, _chaos_bit) = build_chaos_sharded_engines(
+        &ds,
+        &g.0.join("chaos"),
+        2,
+        FaultPlan::hostile(5),
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .unwrap();
+    let report = serve(&chaos_arbor, &config(4, None)).unwrap();
+    assert!(report.errors > 0, "hostile plan should defeat the retry budget somewhere");
+    assert_eq!(report.degraded, 0, "Strict mode must never partially answer");
+    assert!(report.faults.exhausted > 0, "exhausted retry budgets must be counted");
+    assert!(report.faults.injected_panics > 0, "plan should have injected panics too");
+    assert!(report.faults.panics_caught > 0, "injected panics must be caught, not aborted");
+    assert!(
+        report.rendered.iter().any(|r| r.starts_with("<error:unavailable")),
+        "failed requests must carry the typed error marker"
+    );
+    assert!(
+        report.rendered.iter().all(|r| !r.contains("<coverage:")),
+        "Strict mode must not emit coverage tags"
+    );
+    let text = report.render();
+    assert!(text.contains("faults:"), "report must surface fault counters: {text}");
+}
+
+#[test]
+fn partial_mode_degrades_scatter_queries_with_coverage_tags() {
+    // Partial mode trades completeness for availability: a scatter query
+    // that loses shards still answers, tagged with its coverage fraction.
+    silence_injected_panics();
+    let (ds, g) = dataset(64, "partial");
+    let (chaos_arbor, _chaos_bit) = build_chaos_sharded_engines(
+        &ds,
+        &g.0.join("chaos"),
+        4,
+        FaultPlan::hostile(5),
+        RetryPolicy::default(),
+        DegradationMode::Partial,
+    )
+    .unwrap();
+    let report = serve(&chaos_arbor, &config(2, None)).unwrap();
+    assert!(report.degraded > 0, "hostile plan should force partial answers");
+    let tagged: Vec<_> = report.rendered.iter().filter(|r| r.contains("<coverage:")).collect();
+    assert_eq!(tagged.len() as u64, report.degraded, "every degraded answer must be tagged");
+    assert!(
+        tagged.iter().all(|r| !r.starts_with("<error:")),
+        "degraded answers are answers, not errors"
+    );
+    // Determinism holds in Partial mode too.
+    let again = serve(&chaos_arbor, &config(4, None)).unwrap();
+    assert_eq!(fingerprint(&again), fingerprint(&report));
+}
+
+#[test]
+fn deadlines_bound_virtual_time_with_typed_timeouts() {
+    // The deadline budget is virtual microseconds, charged per chaos call —
+    // a tight budget times out deterministically, with no wall clock.
+    silence_injected_panics();
+    let (ds, g) = dataset(65, "deadline");
+    let (chaos_arbor, _chaos_bit) = build_chaos_sharded_engines(
+        &ds,
+        &g.0.join("chaos"),
+        2,
+        FaultPlan::transient(9),
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .unwrap();
+    let relaxed = serve(&chaos_arbor, &config(1, None)).unwrap();
+    assert_eq!(relaxed.errors, 0, "without a deadline the transient plan is fully masked");
+    let tight = serve(&chaos_arbor, &config(1, Some(40))).unwrap();
+    assert!(tight.errors > 0, "a 40us budget cannot cover a multi-call scatter");
+    assert!(
+        tight.rendered.iter().any(|r| r.starts_with("<error:timeout")),
+        "deadline exhaustion must surface as the typed Timeout error"
+    );
+    assert_eq!(tight.deadline_us, Some(40));
+    // Thread-count invariance holds under deadlines as well.
+    let tight4 = serve(&chaos_arbor, &config(4, Some(40))).unwrap();
+    assert_eq!(fingerprint(&tight4), fingerprint(&tight));
+}
+
+#[test]
+fn retries_are_what_mask_the_faults() {
+    // Control experiment: the same transient plan with retries disabled
+    // leaks faults into answers — proving the headline invariant is earned
+    // by the retry layer, not by accident.
+    silence_injected_panics();
+    let (ds, g) = dataset(66, "control");
+    let (chaos_arbor, _chaos_bit) = build_chaos_sharded_engines(
+        &ds,
+        &g.0.join("chaos"),
+        2,
+        FaultPlan::transient(3),
+        RetryPolicy::none(),
+        DegradationMode::Strict,
+    )
+    .unwrap();
+    let report = serve(&chaos_arbor, &config(1, None)).unwrap();
+    assert!(report.errors > 0, "without retries, transient faults must surface");
+    assert_eq!(report.faults.retries, 0, "RetryPolicy::none() must never retry");
+}

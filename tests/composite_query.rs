@@ -20,7 +20,7 @@ fn engines() -> (micrograph_core::ArborEngine, micrograph_core::BitEngine, Guard
     cfg.tags_per_tweet = 1.0;
     cfg.with_retweets = true;
     cfg.retweet_fraction = 0.4;
-    let dir = std::env::temp_dir().join(format!("composite-{}", std::process::id()));
+    let dir = micrograph_common::unique_temp_dir("composite");
     let _ = std::fs::remove_dir_all(&dir);
     let files = generate(&cfg).write_csv(&dir).unwrap();
     let (a, b, _) = build_engines(&files).unwrap();

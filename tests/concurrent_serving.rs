@@ -29,10 +29,7 @@ fn engines(seed: u64) -> (ArborEngine, BitEngine, Dataset, Guard) {
     cfg.tweets_per_poster = 6;
     cfg.mentions_per_tweet = 1.2;
     cfg.tags_per_tweet = 0.8;
-    let dir = std::env::temp_dir().join(format!(
-        "concurrent-serving-{seed}-{}",
-        std::process::id()
-    ));
+    let dir = micrograph_common::unique_temp_dir(&format!("concurrent-serving-{seed}"));
     let _ = std::fs::remove_dir_all(&dir);
     let dataset = generate(&cfg);
     let files = dataset.write_csv(&dir).unwrap();
@@ -41,7 +38,7 @@ fn engines(seed: u64) -> (ArborEngine, BitEngine, Dataset, Guard) {
 }
 
 fn config(threads: usize) -> ServeConfig {
-    ServeConfig { threads, requests: 128, seed: 7, users: USERS, vocab: 16 }
+    ServeConfig { threads, requests: 128, seed: 7, users: USERS, vocab: 16, deadline_us: None }
 }
 
 #[test]

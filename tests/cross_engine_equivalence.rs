@@ -38,10 +38,7 @@ fn base_config(seed: u64, users: u64) -> GenConfig {
 }
 
 fn engines(seed: u64, users: u64) -> (ArborEngine, BitEngine, Guard) {
-    let dir = std::env::temp_dir().join(format!(
-        "xengine-{seed}-{users}-{}",
-        std::process::id()
-    ));
+    let dir = micrograph_common::unique_temp_dir(&format!("xengine-{seed}-{users}"));
     let _ = std::fs::remove_dir_all(&dir);
     let files = generate(&base_config(seed, users)).write_csv(&dir).unwrap();
     let (a, b, _) = build_engines(&files).unwrap();
@@ -68,10 +65,7 @@ impl Matrix {
 
 fn matrix(seed: u64, users: u64) -> Matrix {
     let cfg = base_config(seed, users);
-    let dir = std::env::temp_dir().join(format!(
-        "xmatrix-{seed}-{users}-{}",
-        std::process::id()
-    ));
+    let dir = micrograph_common::unique_temp_dir(&format!("xmatrix-{seed}-{users}"));
     let _ = std::fs::remove_dir_all(&dir);
     let dataset = generate(&cfg);
     let files = dataset.write_csv(&dir).unwrap();
@@ -272,6 +266,85 @@ fn update_events_agree_through_the_trait() {
     for th in [0, 1, 3, 10] {
         agree(&es, &format!("post-update Q1.1 threshold {th}"), |e| {
             e.users_with_followers_over(th).unwrap()
+        });
+    }
+}
+
+#[test]
+fn error_paths_agree_across_the_matrix() {
+    use micrograph_core::CoreError;
+    use micrograph_datagen::UpdateEvent;
+
+    /// Classifies a result by error kind — error-path parity is about the
+    /// *typed* error surface, not message strings.
+    fn kind<T>(r: &Result<T, CoreError>) -> &'static str {
+        match r {
+            Ok(_) => "ok",
+            Err(CoreError::NotFound(_)) => "not_found",
+            Err(CoreError::Unavailable(_)) => "unavailable",
+            Err(CoreError::Timeout(_)) => "timeout",
+            Err(_) => "engine_error",
+        }
+    }
+
+    let m = matrix(23, 60);
+    let es = m.refs();
+
+    // Missing entities surface as typed NotFound — identically on the
+    // monoliths and every sharded composition.
+    let k = agree(&es, "poster_of missing tid", |e| kind(&e.poster_of(9_999_999)));
+    assert_eq!(k, "not_found");
+    let k = agree(&es, "bad follower", |e| {
+        kind(&e.apply_event(&UpdateEvent::NewFollow { follower: 9_999_990, followee: 1 }))
+    });
+    assert_eq!(k, "not_found");
+    let k = agree(&es, "bad followee", |e| {
+        kind(&e.apply_event(&UpdateEvent::NewFollow { follower: 1, followee: 9_999_991 }))
+    });
+    assert_eq!(k, "not_found");
+    let k = agree(&es, "bad poster", |e| {
+        kind(&e.apply_event(&UpdateEvent::NewTweet {
+            tid: 8_000_001,
+            uid: 9_999_992,
+            text: "t".into(),
+            mentions: vec![],
+            tags: vec![],
+        }))
+    });
+    assert_eq!(k, "not_found");
+    let k = agree(&es, "bad mention", |e| {
+        kind(&e.apply_event(&UpdateEvent::NewTweet {
+            tid: 8_000_002,
+            uid: 1,
+            text: "t".into(),
+            mentions: vec![2, 9_999_993],
+            tags: vec![],
+        }))
+    });
+    assert_eq!(k, "not_found");
+    let k = agree(&es, "bad hashtag", |e| {
+        kind(&e.apply_event(&UpdateEvent::NewTweet {
+            tid: 8_000_003,
+            uid: 1,
+            text: "t".into(),
+            mentions: vec![2],
+            tags: vec!["no-such-tag".into()],
+        }))
+    });
+    assert_eq!(k, "not_found");
+
+    // Failed events must leave NO trace — pins the bitgraph adapter's
+    // validate-before-mutate path (a half-created tweet would make
+    // poster_of succeed on one engine only).
+    for tid in [8_000_001i64, 8_000_002, 8_000_003] {
+        let k = agree(&es, &format!("failed tweet {tid} absent"), |e| kind(&e.poster_of(tid)));
+        assert_eq!(k, "not_found");
+    }
+    agree(&es, "post-error Q1", |e| e.users_with_followers_over(0).unwrap());
+    for uid in [1i64, 2] {
+        agree(&es, &format!("post-error Q2.1 uid {uid}"), |e| e.followees(uid).unwrap());
+        agree(&es, &format!("post-error Q3.1 uid {uid}"), |e| {
+            e.co_mentioned_users(uid, 10).unwrap()
         });
     }
 }

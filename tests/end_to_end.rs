@@ -22,7 +22,7 @@ fn setup() -> (Dataset, micrograph_core::ArborEngine, micrograph_core::BitEngine
     cfg.mentions_per_tweet = 1.0;
     cfg.tags_per_tweet = 0.7;
     let dataset = generate(&cfg);
-    let dir = std::env::temp_dir().join(format!("e2e-{}", std::process::id()));
+    let dir = micrograph_common::unique_temp_dir("e2e");
     let _ = std::fs::remove_dir_all(&dir);
     let files = dataset.write_csv(&dir).unwrap();
     let (a, b, reports) = build_engines(&files).unwrap();

@@ -18,7 +18,7 @@ fn bundle(tag: &str) -> (micrograph_datagen::CsvFiles, Guard) {
     cfg.users = 400;
     cfg.poster_fraction = 0.2;
     cfg.tweets_per_poster = 5;
-    let dir = std::env::temp_dir().join(format!("ingestpipe-{tag}-{}", std::process::id()));
+    let dir = micrograph_common::unique_temp_dir(&format!("ingestpipe-{tag}"));
     let _ = std::fs::remove_dir_all(&dir);
     let files = generate(&cfg).write_csv(&dir).unwrap();
     (files, Guard(dir))

@@ -22,7 +22,7 @@ fn setup(
     cfg.poster_fraction = 0.3;
     cfg.tweets_per_poster = 4;
     let dataset = generate(&cfg);
-    let dir = std::env::temp_dir().join(format!("updates-{seed}-{}", std::process::id()));
+    let dir = micrograph_common::unique_temp_dir(&format!("updates-{seed}"));
     let _ = std::fs::remove_dir_all(&dir);
     let files = dataset.write_csv(&dir).unwrap();
     let (arbor, bit, _) = build_engines(&files).unwrap();
@@ -109,6 +109,49 @@ fn follower_counts_stay_consistent() {
     let via_q1 = arbor.users_with_followers_over(0).unwrap();
     assert!(via_q1.contains(&uid));
     assert!(gain > 0);
+}
+
+#[test]
+fn out_of_order_follow_before_new_user() {
+    // Regression: in a sharded replay, the owner-shard half of a
+    // cross-shard follow (`bump_followers`) can arrive before the owner
+    // saw the `new user` event. Both adapters must upsert a placeholder,
+    // and the late `NewUser` must fill the name WITHOUT resetting the
+    // accumulated follower count.
+    let (arbor, bit, _events, _g) = setup(81, 50);
+    let fresh: u64 = 9_000_001;
+    for engine in [&arbor as &dyn MicroblogEngine, &bit] {
+        // Two followers counted before the user exists.
+        engine.bump_followers(fresh as i64, 1).unwrap();
+        engine.bump_followers(fresh as i64, 1).unwrap();
+        assert!(engine.has_user(fresh as i64).unwrap(), "placeholder must exist");
+        // The late NewUser event must not error and must keep the count.
+        engine
+            .apply_event(&UpdateEvent::NewUser { uid: fresh, name: "late".into() })
+            .unwrap();
+        let over_1 = engine.users_with_followers_over(1).unwrap();
+        assert!(
+            over_1.contains(&(fresh as i64)),
+            "{}: follower count reset by late NewUser",
+            engine.name()
+        );
+        // And the upsert is stable: a replayed NewUser changes nothing.
+        engine
+            .apply_event(&UpdateEvent::NewUser { uid: fresh, name: "late".into() })
+            .unwrap();
+        assert_eq!(
+            engine.users_with_followers_over(1).unwrap(),
+            over_1,
+            "{}: NewUser replay must be idempotent",
+            engine.name()
+        );
+    }
+    // Cross-engine agreement on the full Q1 surface afterwards.
+    assert_eq!(
+        arbor.users_with_followers_over(-1).unwrap(),
+        bit.users_with_followers_over(-1).unwrap(),
+        "engines disagree after out-of-order replay"
+    );
 }
 
 #[test]
