@@ -2,7 +2,10 @@
 //! stream at 1/2/4 reader threads over each shared engine — the
 //! multi-client axis single-query latency benches (Figure 4) leave open —
 //! plus a shard-count axis (1/2/4 shards at a fixed 4 readers) over the
-//! hash-partitioned `ShardedEngine` composition of each backend.
+//! hash-partitioned `ShardedEngine` composition of each backend, each
+//! shard count measured in both scatter modes (`_seq` sequential oracle
+//! vs `_par` worker-pool fan-out — byte-identical answers, different
+//! wall-clock).
 //!
 //! Scale via `MICROGRAPH_SCALE=unit|small|medium` (default unit).
 
@@ -11,7 +14,7 @@ use micrograph_bench::{fixture, Scale};
 use micrograph_core::engine::MicroblogEngine;
 use micrograph_core::ingest::build_sharded_engines;
 use micrograph_core::serve::{serve, ServeConfig};
-use micrograph_core::ShardedEngine;
+use micrograph_core::{ScatterMode, ShardedEngine};
 
 const REQUESTS: usize = 64;
 
@@ -55,11 +58,14 @@ fn bench_serving(c: &mut Criterion) {
         } else {
             "bitgraph_sharded"
         };
-        g.bench_with_input(
-            BenchmarkId::new(name, axis),
-            &config,
-            |b, config| b.iter(|| serve(engine, config).unwrap()),
-        );
+        for mode in [ScatterMode::Sequential, ScatterMode::Parallel] {
+            assert!(engine.set_scatter_mode(mode));
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{axis}_{}", mode.label())),
+                &config,
+                |b, config| b.iter(|| serve(engine, config).unwrap()),
+            );
+        }
     }
     g.finish();
 }

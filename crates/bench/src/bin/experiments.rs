@@ -12,6 +12,8 @@
 //!   ablations     §4 discussion items D1–D6
 //!   updates       §5 future-work update workload (FW1)
 //!   serving       §5 concurrent multi-reader serving throughput (FW2)
+//!                 (--json also writes BENCH_serving.json: seq-vs-par
+//!                 scatter throughput per shard count)
 //!   chaos         §5 fault-injection robustness (retries/deadlines/degradation)
 //!   summary       §3.2 import/size headline comparison
 //!   all           everything above, in paper order
@@ -127,7 +129,18 @@ fn main() {
         }
         "ablations" => print!("{}", figures::ablations(f)),
         "updates" => print!("{}", figures::update_throughput(f)),
-        "serving" => print!("{}", figures::serving(f)),
+        "serving" => {
+            print!("{}", figures::serving(f));
+            if args.rest.iter().any(|a| a == "--json") {
+                let scale = format!("{:?}", args.scale).to_ascii_lowercase();
+                let json = figures::serving_json(f, &scale);
+                let path = PathBuf::from("BENCH_serving.json");
+                match std::fs::write(&path, &json) {
+                    Ok(()) => eprintln!("# wrote {}", path.display()),
+                    Err(e) => eprintln!("# {} write failed: {e}", path.display()),
+                }
+            }
+        }
         "chaos" => print!("{}", figures::chaos(f)),
         "summary" => print!("{}", figures::import_summary(f)),
         "all" => {

@@ -533,6 +533,116 @@ pub fn serving(f: &Fixture) -> String {
         out.push_str(&report.render());
         out.push('\n');
     }
+    // Scatter-execution axis: the Sequential oracle vs the parallel worker
+    // pool (DESIGN.md §4e), one reader so the only concurrency is the
+    // scatter fan-out itself. Digest equality across modes is asserted
+    // inside scatter_axis; only wall-clock may differ.
+    out.push_str("-- Scatter execution: sequential vs parallel (1 reader) --\n\n");
+    let rows = scatter_axis(f);
+    for pair in rows.chunks(2) {
+        let (seq, par) = (&pair[0], &pair[1]);
+        out.push_str(&format!(
+            "{} x{}: seq {:.0} q/s, par {:.0} q/s ({:.2}x), par p50/p95/p99 {:.3}/{:.3}/{:.3} ms\n",
+            seq.engine,
+            seq.shards,
+            seq.qps,
+            par.qps,
+            par.qps / seq.qps.max(f64::MIN_POSITIVE),
+            par.p50_ms,
+            par.p95_ms,
+            par.p99_ms,
+        ));
+    }
+    out
+}
+
+/// One measurement on the scatter-execution axis of [`serving`].
+pub struct ScatterRow {
+    /// Engine name (includes the shard count).
+    pub engine: &'static str,
+    /// Hash-partition count.
+    pub shards: usize,
+    /// Scatter execution mode this row measured.
+    pub mode: micrograph_core::ScatterMode,
+    /// Aggregate throughput (requests/s).
+    pub qps: f64,
+    /// Median request latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile request latency (ms).
+    pub p99_ms: f64,
+}
+
+/// Measures the scatter-mode axis: both sharded backends at 1/2/4 shards,
+/// Sequential then Parallel over the same stream, single reader. Asserts
+/// the mode flip never changes the serving digest. Rows come out in
+/// (shards, backend, mode) order — consecutive pairs are (seq, par).
+pub fn scatter_axis(f: &Fixture) -> Vec<ScatterRow> {
+    use micrograph_core::ingest::build_sharded_engines;
+    use micrograph_core::ScatterMode;
+    let users = f.dataset.users.len() as u64;
+    let config =
+        ServeConfig { threads: 1, requests: 128, seed: 42, users, vocab: 16, deadline_us: None };
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (sharded_arbor, sharded_bit) =
+            build_sharded_engines(&f.dataset, &f.dir.join(format!("scatter-axis-{shards}")), shards)
+                .expect("build sharded engines");
+        for engine in [&sharded_arbor as &dyn MicroblogEngine, &sharded_bit] {
+            let mut digest = None;
+            for mode in [ScatterMode::Sequential, ScatterMode::Parallel] {
+                assert!(engine.set_scatter_mode(mode));
+                let report = serve(engine, &config).expect("serve");
+                let d = report.digest();
+                assert_eq!(
+                    *digest.get_or_insert(d),
+                    d,
+                    "{} answers changed with scatter mode",
+                    engine.name()
+                );
+                rows.push(ScatterRow {
+                    engine: report.engine,
+                    shards,
+                    mode,
+                    qps: report.qps,
+                    p50_ms: report.p50_ms,
+                    p95_ms: report.p95_ms,
+                    p99_ms: report.p99_ms,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the scatter-mode axis as the `BENCH_serving.json` artifact:
+/// sequential vs parallel throughput and latency percentiles per backend
+/// and shard count, one reader thread.
+pub fn serving_json(f: &Fixture, scale: &str) -> String {
+    let rows = scatter_axis(f);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"serving_scatter_modes\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str("  \"threads\": 1,\n");
+    out.push_str("  \"requests\": 128,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"shards\": {}, \"mode\": \"{}\", \"qps\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}{comma}\n",
+            r.engine,
+            r.shards,
+            r.mode.label(),
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+        ));
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

@@ -255,6 +255,20 @@ pub trait MicroblogEngine: Send + Sync {
     fn fault_stats(&self) -> crate::fault::FaultStats {
         crate::fault::FaultStats::default()
     }
+
+    /// The scatter execution mode, when this engine is (or wraps) a sharded
+    /// composition — `None` for monolithic engines, which have no scatter
+    /// path. Wrappers delegate to their inner engine.
+    fn scatter_mode(&self) -> Option<crate::shard::ScatterMode> {
+        None
+    }
+
+    /// Switches the scatter execution mode, returning `false` when the
+    /// engine has no scatter path (monoliths). `&self` like every other
+    /// method — benches flip one built engine between modes mid-run.
+    fn set_scatter_mode(&self, _mode: crate::shard::ScatterMode) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

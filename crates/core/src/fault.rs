@@ -397,6 +397,8 @@ thread_local! {
     static BUDGET: Cell<Option<i64>> = const { Cell::new(None) };
     /// (answered, attempted) scatter shard calls of the in-flight request.
     static COVERAGE: Cell<(u32, u32)> = const { Cell::new((0, 0)) };
+    /// Largest single scatter fan-out of the in-flight request.
+    static MAX_FANOUT: Cell<u32> = const { Cell::new(0) };
 }
 
 /// The ambient retry attempt ([`FaultPlan::transient_burst`] reads it).
@@ -445,30 +447,48 @@ pub fn remaining_budget_us() -> Option<u64> {
     BUDGET.with(Cell::get).map(|b| b.max(0) as u64)
 }
 
+/// What one request accumulated in its ambient scope: scatter coverage plus
+/// the widest single fan-out it issued (how many shards one scatter
+/// addressed at once — the parallelism the scatter executor can exploit).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Scatter shard-call coverage over the whole request.
+    pub coverage: Coverage,
+    /// Largest single scatter fan-out of the request.
+    pub max_fanout: u32,
+}
+
 /// Runs one request under a fresh deadline budget and coverage scope,
-/// returning `f`'s result plus the scatter [`Coverage`] it accumulated.
+/// returning `f`'s result plus the [`RequestStats`] it accumulated.
 /// Previous ambient state is saved and restored, so nested/concurrent
 /// requests never interfere. This is the serving layer's per-request entry
 /// point.
-pub fn with_request_budget<R>(deadline_us: Option<u64>, f: impl FnOnce() -> R) -> (R, Coverage) {
+pub fn with_request_budget<R>(
+    deadline_us: Option<u64>,
+    f: impl FnOnce() -> R,
+) -> (R, RequestStats) {
     struct Restore {
         budget: Option<i64>,
         cov: (u32, u32),
+        fanout: u32,
     }
     impl Drop for Restore {
         fn drop(&mut self) {
             BUDGET.with(|b| b.set(self.budget));
             COVERAGE.with(|c| c.set(self.cov));
+            MAX_FANOUT.with(|m| m.set(self.fanout));
         }
     }
     let guard = Restore {
         budget: BUDGET.with(|b| b.replace(deadline_us.map(|d| d.min(i64::MAX as u64) as i64))),
         cov: COVERAGE.with(|c| c.replace((0, 0))),
+        fanout: MAX_FANOUT.with(|m| m.replace(0)),
     };
     let out = f();
     let (answered, total) = COVERAGE.with(Cell::get);
+    let max_fanout = MAX_FANOUT.with(Cell::get);
     drop(guard);
-    (out, Coverage { answered, total })
+    (out, RequestStats { coverage: Coverage { answered, total }, max_fanout })
 }
 
 /// Installs `deadline_us` as the budget only when no ambient budget is
@@ -502,6 +522,79 @@ pub fn note_shard(answered: bool) {
         let (a, t) = c.get();
         c.set((a + answered as u32, t + 1));
     });
+}
+
+/// Records a scatter fan-out width into the ambient max-fanout tracker.
+pub fn note_fanout(shards: u32) {
+    MAX_FANOUT.with(|m| m.set(m.get().max(shards)));
+}
+
+// ---- worker-side ambient state (parallel scatter) -------------------------
+
+/// What one parallel shard call consumed and observed on its worker thread,
+/// shipped back to the gathering caller so ambient accounting stays
+/// identical to the sequential path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSpend {
+    /// Virtual µs consumed from the budget snapshot the worker was handed.
+    pub spent_us: u64,
+    /// Nested scatter shard calls that answered on the worker.
+    pub answered: u32,
+    /// Nested scatter shard calls attempted on the worker.
+    pub total: u32,
+    /// Largest nested scatter fan-out issued on the worker.
+    pub max_fanout: u32,
+}
+
+/// Runs one shard call on a worker thread under a **snapshot** of the
+/// caller's remaining deadline budget, returning `f`'s result plus the
+/// [`WorkerSpend`] the call accumulated. Each concurrent worker gets the
+/// same snapshot; the caller then charges the **max** spend across workers
+/// to its own ambient budget — fan-out latency is the slowest shard, not
+/// the sum. `snapshot == None` (no ambient budget) makes charging free on
+/// the worker too, and `spent_us` reports 0.
+///
+/// Worker thread-locals are saved and restored, so persistent pool workers
+/// never leak one call's state into the next.
+pub fn with_worker_budget<R>(snapshot: Option<u64>, f: impl FnOnce() -> R) -> (R, WorkerSpend) {
+    struct Restore {
+        budget: Option<i64>,
+        cov: (u32, u32),
+        fanout: u32,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.budget));
+            COVERAGE.with(|c| c.set(self.cov));
+            MAX_FANOUT.with(|m| m.set(self.fanout));
+        }
+    }
+    let installed = snapshot.map(|d| d.min(i64::MAX as u64) as i64);
+    let guard = Restore {
+        budget: BUDGET.with(|b| b.replace(installed)),
+        cov: COVERAGE.with(|c| c.replace((0, 0))),
+        fanout: MAX_FANOUT.with(|m| m.replace(0)),
+    };
+    let out = f();
+    let remaining = BUDGET.with(Cell::get).unwrap_or(0).max(0) as u64;
+    let spent_us = installed.map_or(0, |start| start as u64 - remaining);
+    let (answered, total) = COVERAGE.with(Cell::get);
+    let max_fanout = MAX_FANOUT.with(Cell::get);
+    drop(guard);
+    (out, WorkerSpend { spent_us, answered, total, max_fanout })
+}
+
+/// Folds a worker's nested coverage and fan-out observations into the
+/// caller's ambient scope (the virtual-time spend is charged separately,
+/// as a max across workers). Called during the in-shard-order gather, so
+/// the fold order — like everything else about the merge — is independent
+/// of worker interleaving.
+pub fn absorb_worker_spend(spend: &WorkerSpend) {
+    COVERAGE.with(|c| {
+        let (a, t) = c.get();
+        c.set((a + spend.answered, t + spend.total));
+    });
+    note_fanout(spend.max_fanout);
 }
 
 // ---- the chaos wrapper ----------------------------------------------------
@@ -746,6 +839,15 @@ impl MicroblogEngine for ChaosEngine {
     fn fault_stats(&self) -> FaultStats {
         self.counters.snapshot().plus(&self.inner.fault_stats())
     }
+
+    fn scatter_mode(&self) -> Option<crate::shard::ScatterMode> {
+        self.inner.scatter_mode()
+    }
+
+    fn set_scatter_mode(&self, mode: crate::shard::ScatterMode) -> bool {
+        // Ungated, like the other instrumentation passthroughs.
+        self.inner.set_scatter_mode(mode)
+    }
 }
 
 #[cfg(test)]
@@ -825,7 +927,7 @@ mod tests {
 
     #[test]
     fn budget_charges_and_times_out() {
-        let ((), cov) = with_request_budget(Some(100), || {
+        let ((), stats) = with_request_budget(Some(100), || {
             assert_eq!(remaining_budget_us(), Some(100));
             charge(60).unwrap();
             assert_eq!(remaining_budget_us(), Some(40));
@@ -837,7 +939,7 @@ mod tests {
             assert!(charge(1).is_err());
             assert!(charge(0).is_ok(), "zero-cost charges still pass");
         });
-        assert_eq!(cov, Coverage::default());
+        assert_eq!(stats, RequestStats::default());
         // Outside the scope the budget is gone and charging is free.
         assert_eq!(remaining_budget_us(), None);
         charge(u64::MAX).unwrap();
@@ -845,22 +947,60 @@ mod tests {
 
     #[test]
     fn request_scope_saves_and_restores_ambient_state() {
-        let (inner_cov, outer_cov) = with_request_budget(Some(1_000), || {
+        let (inner, outer) = with_request_budget(Some(1_000), || {
             note_shard(true);
             note_shard(false);
+            note_fanout(4);
             // A nested request gets a fresh scope...
-            let ((), cov) = with_request_budget(Some(5), || {
+            let ((), stats) = with_request_budget(Some(5), || {
                 note_shard(true);
+                note_fanout(2);
                 assert_eq!(remaining_budget_us(), Some(5));
             });
             // ...and the outer scope comes back untouched.
             assert_eq!(remaining_budget_us(), Some(1_000));
-            cov
+            stats
         });
-        assert_eq!(inner_cov, Coverage { answered: 1, total: 1 });
-        assert_eq!(outer_cov, Coverage { answered: 1, total: 2 });
-        assert!(outer_cov.is_partial());
-        assert_eq!(outer_cov.to_string(), "1/2");
+        assert_eq!(inner.coverage, Coverage { answered: 1, total: 1 });
+        assert_eq!(inner.max_fanout, 2);
+        assert_eq!(outer.coverage, Coverage { answered: 1, total: 2 });
+        assert_eq!(outer.max_fanout, 4, "nested scope must not clobber the outer max");
+        assert!(outer.coverage.is_partial());
+        assert_eq!(outer.coverage.to_string(), "1/2");
+    }
+
+    #[test]
+    fn worker_budget_reports_spend_and_restores() {
+        let ((), outer) = with_request_budget(Some(1_000), || {
+            note_shard(true);
+            // A worker scope starts from a snapshot and meters its own use.
+            let ((), spend) = with_worker_budget(Some(200), || {
+                charge(30).unwrap();
+                note_shard(true);
+                note_shard(false);
+                note_fanout(3);
+                charge(15).unwrap();
+            });
+            assert_eq!(spend.spent_us, 45);
+            assert_eq!((spend.answered, spend.total), (1, 2));
+            assert_eq!(spend.max_fanout, 3);
+            // The caller's own budget is untouched until it absorbs/charges.
+            assert_eq!(remaining_budget_us(), Some(1_000));
+            absorb_worker_spend(&spend);
+        });
+        assert_eq!(outer.coverage, Coverage { answered: 2, total: 3 });
+        assert_eq!(outer.max_fanout, 3);
+    }
+
+    #[test]
+    fn worker_budget_exhaustion_spends_exactly_the_snapshot() {
+        let (r, spend) = with_worker_budget(Some(40), || charge(100));
+        assert!(matches!(r, Err(CoreError::Timeout(_))));
+        assert_eq!(spend.spent_us, 40, "a timed-out worker consumed its whole snapshot");
+        // Without a snapshot (no ambient budget), charging is free.
+        let (r, spend) = with_worker_budget(None, || charge(u64::MAX));
+        assert!(r.is_ok());
+        assert_eq!(spend.spent_us, 0);
     }
 
     #[test]

@@ -297,7 +297,9 @@ pub fn build_engines(files: &CsvFiles) -> Result<(ArborEngine, BitEngine, Ingest
 /// [`crate::shard`]), writes each partition's CSV bundle under
 /// `dir/shard-N`, ingests every partition into BOTH backends with default
 /// settings, and returns one [`ShardedEngine`] per backend
-/// (arbordb-backed, bitgraph-backed).
+/// (arbordb-backed, bitgraph-backed). The engines run with the default
+/// [`crate::shard::ScatterMode::Parallel`]; flip one with
+/// `set_scatter_mode` (answers are byte-identical either way).
 pub fn build_sharded_engines(
     dataset: &Dataset,
     dir: &Path,
@@ -321,7 +323,10 @@ pub fn build_sharded_engines(
 /// in a [`ChaosEngine`] under `plan` (salted by shard index, so shards
 /// fault independently), and configures the sharded facades with `policy`
 /// and `mode`. This is the chaos-serving test/bench entry point: same
-/// partitions, same data, faults injected at the shard boundary.
+/// partitions, same data, faults injected at the shard boundary. Scatter
+/// execution defaults to parallel here too — fault decisions are pure per
+/// `(shard, method, args, attempt)`, so chaos digests match the sequential
+/// oracle.
 pub fn build_chaos_sharded_engines(
     dataset: &Dataset,
     dir: &Path,

@@ -26,7 +26,11 @@
 //! * [`shard`] — the scale-out composition: [`shard::ShardedEngine`]
 //!   hash-partitions users across N inner engines and answers every
 //!   workload query byte-identically to an unsharded engine via
-//!   shard-local kernels plus engine-agnostic merges.
+//!   shard-local kernels plus engine-agnostic merges. Scatter fan-outs run
+//!   concurrently by default ([`shard::ScatterMode`]) on a work-stealing
+//!   worker pool the caller participates in, with in-shard-order gathers
+//!   and max-latency fault accounting keeping every answer
+//!   interleaving-independent.
 //! * [`ingest`] — drives both bulk loaders over the same CSV sources
 //!   (§3.2), capturing the Figure 2/3 progress curves; also builds
 //!   sharded engine pairs from a partitioned dataset.
@@ -56,7 +60,7 @@ pub mod workload;
 pub use adapters::{ArborEngine, BitEngine};
 pub use engine::{CoreError, MicroblogEngine, Ranked};
 pub use fault::{ChaosEngine, Coverage, DegradationMode, FaultPlan, FaultStats, RetryPolicy};
-pub use shard::ShardedEngine;
+pub use shard::{ScatterMode, ShardedEngine};
 pub use serve::{ServeConfig, ServeReport};
 pub use micrograph_common::Value;
 

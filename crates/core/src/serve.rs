@@ -131,6 +131,9 @@ pub struct QuerySummary {
     pub p99_ms: f64,
     /// Slowest request (ms).
     pub max_ms: f64,
+    /// Widest single scatter fan-out any request of this query issued
+    /// (shards addressed by one scatter; 0 on unsharded engines).
+    pub max_fanout: u32,
 }
 
 /// The result of one serving run.
@@ -146,6 +149,14 @@ pub struct ServeReport {
     pub wall_ms: f64,
     /// Aggregate throughput (requests per second).
     pub qps: f64,
+    /// Scatter execution mode of the engine (`None` for monoliths).
+    pub scatter_mode: Option<crate::shard::ScatterMode>,
+    /// Overall latency percentiles across every request (ms).
+    pub p50_ms: f64,
+    /// 95th percentile across every request (ms).
+    pub p95_ms: f64,
+    /// 99th percentile across every request (ms).
+    pub p99_ms: f64,
     /// Per-query latency summaries, Table 2 order (only queries present in
     /// the stream).
     pub per_query: Vec<QuerySummary>,
@@ -186,23 +197,28 @@ impl ServeReport {
 
     /// Renders the report as an aligned text table.
     pub fn render(&self) -> String {
+        let mode = self
+            .scatter_mode
+            .map(|m| format!(", scatter {}", m.label()))
+            .unwrap_or_default();
         let mut out = format!(
-            "== serving: {} — {} requests / {} thread(s): {:.0} req/s (wall {:.1} ms) ==\n",
-            self.engine, self.requests, self.threads, self.qps, self.wall_ms
+            "== serving: {} — {} requests / {} thread(s){}: {:.0} req/s (wall {:.1} ms) ==\n",
+            self.engine, self.requests, self.threads, mode, self.qps, self.wall_ms
         );
         out.push_str(&format!(
-            "{:<6} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
-            "query", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"
+            "{:<6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>7}\n",
+            "query", "count", "p50 ms", "p95 ms", "p99 ms", "max ms", "maxfan"
         ));
         for q in &self.per_query {
             out.push_str(&format!(
-                "{:<6} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                "{:<6} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>7}\n",
                 q.query.label(),
                 q.count,
                 q.p50_ms,
                 q.p95_ms,
                 q.p99_ms,
-                q.max_ms
+                q.max_ms,
+                q.max_fanout
             ));
         }
         if self.errors > 0 || self.degraded > 0 || !self.faults.is_zero() {
@@ -223,6 +239,7 @@ struct Sample {
     rendered: String,
     errored: bool,
     degraded: bool,
+    fanout: u32,
 }
 
 /// Drives a deterministic mixed Q1–Q6 stream from `config.threads` reader
@@ -256,9 +273,10 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(req) = requests.get(i) else { break };
                     let t = Timer::start();
-                    let (result, coverage) = fault::with_request_budget(config.deadline_us, || {
+                    let (result, stats) = fault::with_request_budget(config.deadline_us, || {
                         execute_rendered(engine, req)
                     });
+                    let coverage = stats.coverage;
                     let (rendered, errored, degraded) = match result {
                         Ok(s) if coverage.is_partial() => {
                             (format!("{s} <coverage:{coverage}>"), false, true)
@@ -273,6 +291,7 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
                         rendered,
                         errored,
                         degraded,
+                        fanout: stats.max_fanout,
                     });
                 }
                 local
@@ -288,10 +307,15 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
 
     let mut rendered: Vec<Option<String>> = (0..requests.len()).map(|_| None).collect();
     let mut latencies: HashMap<QueryId, Vec<f64>> = HashMap::new();
+    let mut fanouts: HashMap<QueryId, u32> = HashMap::new();
+    let mut all_ms: Vec<f64> = Vec::with_capacity(requests.len());
     let (mut errors, mut degraded) = (0u64, 0u64);
     for thread_samples in per_thread {
         for sample in thread_samples {
             latencies.entry(sample.query).or_default().push(sample.ms);
+            let fan = fanouts.entry(sample.query).or_default();
+            *fan = (*fan).max(sample.fanout);
+            all_ms.push(sample.ms);
             errors += sample.errored as u64;
             degraded += sample.degraded as u64;
             rendered[sample.index] = Some(sample.rendered);
@@ -312,6 +336,7 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
                 p95_ms: percentile(lat, 95.0),
                 p99_ms: percentile(lat, 99.0),
                 max_ms: lat.iter().copied().fold(0.0, f64::max),
+                max_fanout: fanouts.get(&query).copied().unwrap_or(0),
             })
         })
         .collect();
@@ -321,6 +346,10 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
         requests: requests.len(),
         wall_ms,
         qps: requests.len() as f64 / (wall_ms / 1_000.0).max(1e-9),
+        scatter_mode: engine.scatter_mode(),
+        p50_ms: percentile(&all_ms, 50.0),
+        p95_ms: percentile(&all_ms, 95.0),
+        p99_ms: percentile(&all_ms, 99.0),
         per_query,
         rendered,
         deadline_us: config.deadline_us,

@@ -24,10 +24,22 @@
 //! and `tests/concurrent_serving.rs`: a `ShardedEngine` over either backend
 //! at any shard count answers every workload query **byte-identically** to
 //! the unsharded engine.
+//!
+//! Scatter fan-outs execute either sequentially or concurrently
+//! ([`ScatterMode`], DESIGN.md §4e): a persistent work-stealing pool sized
+//! to the spare cores, with the caller claiming and running any slot the
+//! workers have not picked up yet. Both paths gather partials **in shard
+//! order** and run every merge on the caller thread, so the answer bytes
+//! never depend on thread interleaving; the parallel path charges the
+//! **max** virtual latency across concurrent shard calls (plus merge
+//! cost) instead of the sum.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
 
+use crossbeam::channel;
 use micrograph_common::topn::{merge_top_n, Counted};
 use micrograph_datagen::{Dataset, Tweet, User};
 
@@ -162,14 +174,34 @@ fn merge_recommend(
 }
 
 /// Sums per-shard `(key, count)` partials into one ascending count list.
+/// Pre-sizes from the partial lengths and merges adjacent runs of one flat
+/// sort instead of paying a tree-map allocation per key.
 fn sum_counts<K: Ord>(parts: Vec<Vec<(K, u64)>>) -> Vec<(K, u64)> {
-    let mut totals: BTreeMap<K, u64> = BTreeMap::new();
+    let mut all: Vec<(K, u64)> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
     for part in parts {
-        for (k, c) in part {
-            *totals.entry(k).or_insert(0) += c;
+        all.extend(part);
+    }
+    all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(K, u64)> = Vec::with_capacity(all.len());
+    for (k, c) in all {
+        match out.last_mut() {
+            Some(last) if last.0 == k => last.1 += c,
+            _ => out.push((k, c)),
         }
     }
-    totals.into_iter().collect()
+    out
+}
+
+/// Concatenates disjoint per-shard partials into one pre-sized ascending
+/// list — the merge for every scatter whose per-shard answers cannot
+/// overlap (ownership-filtered or edge-disjoint).
+fn concat_sorted<T: Ord>(parts: Vec<Vec<T>>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        out.extend(part);
+    }
+    out.sort_unstable();
+    out
 }
 
 /// Renders a caught panic payload for an `Unavailable` message.
@@ -179,6 +211,156 @@ fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
         .cloned()
         .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
         .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// How [`ShardedEngine`] executes scatter fan-outs.
+///
+/// Both modes gather partials in shard order and merge on the caller
+/// thread, so they produce byte-identical answers; `Sequential` is kept as
+/// the oracle the equivalence tests compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScatterMode {
+    /// Visit selected shards one at a time on the caller thread. Virtual
+    /// fan-out latency is the **sum** of per-shard costs.
+    Sequential,
+    /// Fan out to the persistent worker pool: every selected shard call
+    /// (retries included) runs under a snapshot of the caller's deadline
+    /// budget, workers and the caller *compete* to claim slots (the caller
+    /// steals unclaimed work inline, in shard order, so a slow wakeup
+    /// never costs more than running sequentially), and the caller charges
+    /// the **max** spend across the concurrent calls. The default.
+    #[default]
+    Parallel,
+}
+
+impl ScatterMode {
+    /// Short label for reports/benches ("seq" / "par").
+    pub fn label(self) -> &'static str {
+        match self {
+            ScatterMode::Sequential => "seq",
+            ScatterMode::Parallel => "par",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        if v == 0 { ScatterMode::Sequential } else { ScatterMode::Parallel }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ScatterMode::Sequential => 0,
+            ScatterMode::Parallel => 1,
+        }
+    }
+}
+
+/// One unit of work shipped to the pool: a claim-guarded shard call plus
+/// result delivery, with all captures (engine `Arc` included) owned.
+type Task = Box<dyn FnOnce() + Send>;
+
+/// A small pool of persistent worker threads behind one shared MPMC
+/// channel. Sized to the spare cores (`available_parallelism - 1`, capped
+/// at the shard count) rather than one-per-shard: the scatter caller
+/// participates in its own fan-out by stealing unclaimed slots, so the
+/// pool only needs to cover the *other* cores — oversubscribing them just
+/// adds wakeups and context switches.
+struct WorkerPool {
+    sender: Option<channel::Sender<Task>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(max_workers: usize) -> Self {
+        let spare = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2) - 1;
+        let workers = spare.max(1).min(max_workers.max(1));
+        let (tx, rx) = channel::unbounded::<Task>();
+        let handles = (0..workers)
+            .map(|k| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("scatter-worker-{k}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            // Tasks catch their own panics (the retry
+                            // boundary); this guard only keeps a
+                            // pathological escape from killing the worker
+                            // and deadlocking later gathers.
+                            let _ = catch_unwind(AssertUnwindSafe(task));
+                        }
+                    })
+                    .expect("spawn scatter worker")
+            })
+            .collect();
+        WorkerPool { sender: Some(tx), handles }
+    }
+
+    /// Enqueues a task; false when every worker is gone (the caller then
+    /// runs the slot inline via the claim pass).
+    fn submit(&self, task: Task) -> bool {
+        match &self.sender {
+            Some(tx) => tx.send(task).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect first (workers drain, then exit), then join.
+        self.sender = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One shard call under `policy`. Panics are caught and converted to
+/// [`CoreError::Unavailable`]; retryable errors retry up to `max_attempts`
+/// with exponential backoff charged to the ambient budget; semantic errors
+/// and timeouts propagate immediately. Free-standing so both the caller
+/// thread (sequential scatter, point calls) and pool workers (parallel
+/// scatter) run the identical loop.
+///
+/// The fault-injection layer gates *before* touching the inner engine, so
+/// retrying a write through here never double-applies it.
+fn retry_call<T>(
+    shard: usize,
+    engine: &dyn MicroblogEngine,
+    policy: &RetryPolicy,
+    counters: &FaultCounters,
+    mut op: impl FnMut(&dyn MicroblogEngine) -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        // AssertUnwindSafe: on unwind the closure's captures are either
+        // dropped (locals) or `&dyn` shared state whose engines guarantee
+        // no torn writes (chaos faults fire before the inner call; inner
+        // locks are not poisoned).
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            fault::with_attempt(attempt, || op(engine))
+        }))
+        .unwrap_or_else(|payload| {
+            counters.note_panic_caught();
+            Err(CoreError::Unavailable(format!(
+                "shard {shard} panicked: {}",
+                panic_payload(payload.as_ref())
+            )))
+        });
+        match result {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
+                counters.note_retry();
+                fault::charge(policy.backoff_us(attempt))?;
+                attempt += 1;
+            }
+            Err(e) => {
+                if e.is_retryable() {
+                    counters.note_exhausted();
+                }
+                return Err(e);
+            }
+        }
+    }
 }
 
 /// N inner engines behind one [`MicroblogEngine`] facade.
@@ -200,17 +382,21 @@ fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
 /// cross-engine equivalence matrix holds for default-configured sharded
 /// engines.
 pub struct ShardedEngine {
-    shards: Vec<Box<dyn MicroblogEngine>>,
+    shards: Vec<Arc<dyn MicroblogEngine>>,
     name: &'static str,
     policy: RetryPolicy,
     mode: DegradationMode,
-    counters: FaultCounters,
+    scatter_mode: AtomicU8,
+    counters: Arc<FaultCounters>,
+    pool: WorkerPool,
 }
 
 impl ShardedEngine {
     /// Wraps `shards` inner engines (typically all of the same backend,
     /// each ingested from one [`partition_dataset`] part), with the default
-    /// [`RetryPolicy`] and [`DegradationMode::Strict`].
+    /// [`RetryPolicy`], [`DegradationMode::Strict`] and
+    /// [`ScatterMode::Parallel`]. Spawns the persistent scatter worker
+    /// pool (spare cores, capped at the shard count; joined on drop).
     ///
     /// # Panics
     /// Panics when `shards` is empty.
@@ -220,12 +406,17 @@ impl ShardedEngine {
         // construction is bounded by the number of engines built.
         let name: &'static str =
             Box::leak(format!("sharded[{}/{}]", shards[0].name(), shards.len()).into_boxed_str());
+        let shards: Vec<Arc<dyn MicroblogEngine>> =
+            shards.into_iter().map(Arc::from).collect();
+        let pool = WorkerPool::new(shards.len());
         ShardedEngine {
             shards,
             name,
             policy: RetryPolicy::default(),
             mode: DegradationMode::Strict,
-            counters: FaultCounters::default(),
+            scatter_mode: AtomicU8::new(ScatterMode::default().to_u8()),
+            counters: Arc::new(FaultCounters::default()),
+            pool,
         }
     }
 
@@ -238,6 +429,12 @@ impl ShardedEngine {
     /// Builder: sets the degradation mode for scatter queries.
     pub fn with_degradation(mut self, mode: DegradationMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Builder: sets the scatter execution mode.
+    pub fn with_scatter_mode(self, mode: ScatterMode) -> Self {
+        self.scatter_mode.store(mode.to_u8(), Ordering::Relaxed);
         self
     }
 
@@ -256,6 +453,10 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    fn load_scatter_mode(&self) -> ScatterMode {
+        ScatterMode::from_u8(self.scatter_mode.load(Ordering::Relaxed))
+    }
+
     /// Buckets uids by owning shard (index = shard index).
     fn route(&self, uids: &[i64]) -> Vec<Vec<i64>> {
         let mut buckets = vec![Vec::new(); self.shards.len()];
@@ -272,50 +473,13 @@ impl ShardedEngine {
         fault::with_fallback_budget(self.policy.deadline_us, f)
     }
 
-    /// One shard call under the retry policy. Panics are caught and
-    /// converted to [`CoreError::Unavailable`]; retryable errors retry up
-    /// to `max_attempts` with exponential backoff charged to the ambient
-    /// budget; semantic errors and timeouts propagate immediately.
-    ///
-    /// The fault-injection layer gates *before* touching the inner engine,
-    /// so retrying a write through here never double-applies it.
+    /// One shard call under the retry policy, on the caller thread.
     fn retrying<T>(
         &self,
         shard: usize,
-        mut op: impl FnMut(&dyn MicroblogEngine) -> Result<T>,
+        op: impl FnMut(&dyn MicroblogEngine) -> Result<T>,
     ) -> Result<T> {
-        let engine = self.shards[shard].as_ref();
-        let mut attempt = 0u32;
-        loop {
-            // AssertUnwindSafe: on unwind the closure's captures are either
-            // dropped (locals) or `&self`/`&dyn` shared state whose engines
-            // guarantee no torn writes (chaos faults fire before the inner
-            // call; inner locks are not poisoned).
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                fault::with_attempt(attempt, || op(engine))
-            }))
-            .unwrap_or_else(|payload| {
-                self.counters.note_panic_caught();
-                Err(CoreError::Unavailable(format!(
-                    "shard {shard} panicked: {}",
-                    panic_payload(payload.as_ref())
-                )))
-            });
-            match result {
-                Ok(v) => return Ok(v),
-                Err(e) if e.is_retryable() && attempt + 1 < self.policy.max_attempts => {
-                    self.counters.note_retry();
-                    fault::charge(self.policy.backoff_us(attempt))?;
-                    attempt += 1;
-                }
-                Err(e) => {
-                    if e.is_retryable() {
-                        self.counters.note_exhausted();
-                    }
-                    return Err(e);
-                }
-            }
-        }
+        retry_call(shard, self.shards[shard].as_ref(), &self.policy, &self.counters, op)
     }
 
     /// Point lookup/write on the owner shard — never degrades: a single
@@ -324,22 +488,155 @@ impl ShardedEngine {
         self.retrying(shard_of(uid, self.shards.len()), op)
     }
 
-    /// Scatter fan-out: runs `op` on every shard selected by `include`,
-    /// in shard order, collecting the partials. Strict mode propagates the
-    /// first failure; Partial mode skips shards that stay `Unavailable`
-    /// after retries (recording lost coverage) — but a `Timeout` always
-    /// propagates, because the whole request is out of budget.
-    fn scatter<T>(
+    /// Shard indices of non-empty routing buckets — the selection for a
+    /// routed (rather than broadcast) scatter.
+    fn non_empty(buckets: &[Vec<i64>]) -> Vec<usize> {
+        buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Runs `op` on every shard, gathering partials in shard order.
+    fn broadcast<T: Send + 'static>(
         &self,
-        include: impl Fn(usize) -> bool,
-        mut op: impl FnMut(usize, &dyn MicroblogEngine) -> Result<T>,
+        op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T> + Send + Sync + 'static,
     ) -> Result<Vec<T>> {
-        let mut parts = Vec::new();
-        for i in 0..self.shards.len() {
-            if !include(i) {
-                continue;
-            }
+        self.scatter((0..self.shards.len()).collect(), op)
+    }
+
+    /// Scatter fan-out: runs `op` on every shard in `selected` (ascending
+    /// shard indices), collecting the partials **in shard order**. Strict
+    /// mode propagates the first failure in shard order; Partial mode skips
+    /// shards that stay `Unavailable` after retries (recording lost
+    /// coverage) — but a `Timeout` always propagates, because the whole
+    /// request is out of budget.
+    ///
+    /// Execution follows the engine's [`ScatterMode`]; single-shard
+    /// selections always run inline (nothing to overlap). Because per-shard
+    /// fault decisions are pure functions of `(plan, shard, method, args,
+    /// attempt)` and the gather order is fixed, both modes produce the same
+    /// partials, the same coverage tape and the same first error.
+    fn scatter<T: Send + 'static>(
+        &self,
+        selected: Vec<usize>,
+        op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T> + Send + Sync + 'static,
+    ) -> Result<Vec<T>> {
+        fault::note_fanout(selected.len() as u32);
+        match self.load_scatter_mode() {
+            ScatterMode::Parallel if selected.len() > 1 => self.scatter_parallel(selected, op),
+            _ => self.scatter_sequential(&selected, op),
+        }
+    }
+
+    fn scatter_sequential<T>(
+        &self,
+        selected: &[usize],
+        op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T>,
+    ) -> Result<Vec<T>> {
+        let mut parts = Vec::with_capacity(selected.len());
+        for &i in selected {
             match self.retrying(i, |e| op(i, e)) {
+                Ok(v) => {
+                    fault::note_shard(true);
+                    parts.push(v);
+                }
+                Err(CoreError::Unavailable(_)) if self.mode == DegradationMode::Partial => {
+                    fault::note_shard(false);
+                }
+                Err(e) => {
+                    fault::note_shard(false);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(parts)
+    }
+
+    /// The parallel path: publish one claim-guarded task per selected
+    /// shard to the shared pool, each running the full retry loop under a
+    /// **snapshot** of the caller's remaining budget, then *steal* — the
+    /// caller claims every still-unclaimed slot in shard order and runs it
+    /// inline, so when the pool is busy (or wakeups are slow) the fan-out
+    /// degrades gracefully to sequential cost instead of stalling behind a
+    /// handoff. Finally gather the worker-claimed slots, charge the max
+    /// spend once, and replay outcomes in shard order. Which thread ran a
+    /// slot is the only race — every decision that shapes the answer
+    /// (fault schedule, retry counts, budget snapshot, merge order,
+    /// first-error choice) is interleaving-independent.
+    fn scatter_parallel<T: Send + 'static>(
+        &self,
+        selected: Vec<usize>,
+        op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T> + Send + Sync + 'static,
+    ) -> Result<Vec<T>> {
+        let snapshot = fault::remaining_budget_us();
+        // The shard call itself — identical wherever it runs.
+        let exec = {
+            let op = Arc::new(op);
+            let policy = self.policy;
+            let counters = Arc::clone(&self.counters);
+            Arc::new(move |i: usize, engine: &dyn MicroblogEngine| {
+                fault::with_worker_budget(snapshot, || {
+                    retry_call(i, engine, &policy, &counters, |e| op(i, e))
+                })
+            })
+        };
+        let claims: Arc<Vec<AtomicBool>> =
+            Arc::new(selected.iter().map(|_| AtomicBool::new(false)).collect());
+        let (tx, rx) = channel::unbounded::<(usize, Result<T>, fault::WorkerSpend)>();
+        for (slot, &i) in selected.iter().enumerate() {
+            let exec = Arc::clone(&exec);
+            let claims = Arc::clone(&claims);
+            let engine = Arc::clone(&self.shards[i]);
+            let tx_task = tx.clone();
+            let task: Task = Box::new(move || {
+                if claims[slot].swap(true, Ordering::AcqRel) {
+                    return; // the caller already stole this slot
+                }
+                let (result, spend) = exec(i, engine.as_ref());
+                let _ = tx_task.send((slot, result, spend));
+            });
+            // A failed submit (pool gone) is fine: the slot stays
+            // unclaimed and the steal pass below runs it inline.
+            let _ = self.pool.submit(task);
+        }
+        drop(tx);
+        let mut slots: Vec<Option<(Result<T>, fault::WorkerSpend)>> =
+            (0..selected.len()).map(|_| None).collect();
+        // Steal pass: run whatever no worker has picked up yet.
+        for (slot, &i) in selected.iter().enumerate() {
+            if !claims[slot].swap(true, Ordering::AcqRel) {
+                slots[slot] = Some(exec(i, self.shards[i].as_ref()));
+            }
+        }
+        // Gather the worker-claimed slots. Every pending task holds a
+        // sender clone, so recv() can only disconnect once all tasks have
+        // run or been dropped — a lost worker surfaces as a `None` slot.
+        while slots.iter().any(Option::is_none) {
+            match rx.recv() {
+                Ok((slot, result, spend)) => slots[slot] = Some((result, spend)),
+                Err(_) => break,
+            }
+        }
+        // Fan-out virtual latency = the slowest shard call, not the sum.
+        // Cannot overdraw: each worker's spend is capped by the snapshot,
+        // which is exactly what the caller still has.
+        let max_spent = slots
+            .iter()
+            .flatten()
+            .map(|(_, spend)| spend.spent_us)
+            .max()
+            .unwrap_or(0);
+        fault::charge(max_spent)?;
+        let mut parts = Vec::with_capacity(selected.len());
+        for slot in &mut slots {
+            let (result, spend) = slot.take().unwrap_or_else(|| {
+                (Err(CoreError::Unavailable("shard worker lost".into())), Default::default())
+            });
+            fault::absorb_worker_spend(&spend);
+            match result {
                 Ok(v) => {
                     fault::note_shard(true);
                     parts.push(v);
@@ -368,18 +665,13 @@ impl MicroblogEngine for ShardedEngine {
         // duplicate). Owned sets are disjoint, so concat + sort is exact.
         self.q(|| {
             let n = self.shards.len();
-            let parts = self.scatter(
-                |_| true,
-                |i, s| {
-                    Ok(s.users_with_followers_over(threshold)?
-                        .into_iter()
-                        .filter(|&uid| shard_of(uid, n) == i)
-                        .collect::<Vec<_>>())
-                },
-            )?;
-            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
-            out.sort_unstable();
-            Ok(out)
+            let parts = self.broadcast(move |i, s| {
+                Ok(s.users_with_followers_over(threshold)?
+                    .into_iter()
+                    .filter(|&uid| shard_of(uid, n) == i)
+                    .collect::<Vec<_>>())
+            })?;
+            Ok(concat_sorted(parts))
         })
     }
 
@@ -394,13 +686,10 @@ impl MicroblogEngine for ShardedEngine {
         self.q(|| {
             let frontier = self.point(uid, |s| s.followees(uid))?;
             let buckets = self.route(&frontier);
-            let parts = self.scatter(
-                |i| !buckets[i].is_empty(),
-                |i, s| s.posted_tweets_kernel(&buckets[i]),
-            )?;
-            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
-            out.sort_unstable();
-            Ok(out)
+            let selected = Self::non_empty(&buckets);
+            let parts =
+                self.scatter(selected, move |i, s| s.posted_tweets_kernel(&buckets[i]))?;
+            Ok(concat_sorted(parts))
         })
     }
 
@@ -408,8 +697,8 @@ impl MicroblogEngine for ShardedEngine {
         self.q(|| {
             let frontier = self.point(uid, |s| s.followees(uid))?;
             let buckets = self.route(&frontier);
-            let parts = self
-                .scatter(|i| !buckets[i].is_empty(), |i, s| s.hashtags_kernel(&buckets[i]))?;
+            let selected = Self::non_empty(&buckets);
+            let parts = self.scatter(selected, move |i, s| s.hashtags_kernel(&buckets[i]))?;
             let tags: BTreeSet<String> = parts.into_iter().flatten().collect();
             Ok(tags.into_iter().collect())
         })
@@ -420,16 +709,17 @@ impl MicroblogEngine for ShardedEngine {
         // tweet), so the merge needs the FULL per-shard count maps — the
         // untruncated kernels — before ranking.
         self.q(|| {
-            let parts = self
-                .scatter(|_| true, |_, s| Ok(counted(s.co_mention_counts_kernel(uid)?)))?;
+            let parts =
+                self.broadcast(move |_, s| Ok(counted(s.co_mention_counts_kernel(uid)?)))?;
             Ok(to_ranked(merge_top_n(parts, n)))
         })
     }
 
     fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
         self.q(|| {
+            let tag = tag.to_owned();
             let parts =
-                self.scatter(|_| true, |_, s| Ok(counted(s.co_tag_counts_kernel(tag)?)))?;
+                self.broadcast(move |_, s| Ok(counted(s.co_tag_counts_kernel(&tag)?)))?;
             Ok(to_ranked(merge_top_n(parts, n)))
         })
     }
@@ -441,10 +731,9 @@ impl MicroblogEngine for ShardedEngine {
         self.q(|| {
             let followed = self.point(uid, |s| s.followees(uid))?;
             let buckets = self.route(&followed);
-            let parts = self.scatter(
-                |i| !buckets[i].is_empty(),
-                |i, s| s.count_followees_kernel(&buckets[i]),
-            )?;
+            let selected = Self::non_empty(&buckets);
+            let parts =
+                self.scatter(selected, move |i, s| s.count_followees_kernel(&buckets[i]))?;
             Ok(merge_recommend(uid, &followed, parts, n))
         })
     }
@@ -454,11 +743,12 @@ impl MicroblogEngine for ShardedEngine {
         // frontier is BROADCAST; every `follows` edge is stored exactly
         // once globally, so summing per-shard counts is exact.
         self.q(|| {
-            let followed = self.point(uid, |s| s.followees(uid))?;
+            let followed = Arc::new(self.point(uid, |s| s.followees(uid))?);
             if followed.is_empty() {
                 return Ok(Vec::new());
             }
-            let parts = self.scatter(|_| true, |_, s| s.count_followers_kernel(&followed))?;
+            let shared = Arc::clone(&followed);
+            let parts = self.broadcast(move |_, s| s.count_followers_kernel(&shared))?;
             Ok(merge_recommend(uid, &followed, parts, n))
         })
     }
@@ -468,31 +758,25 @@ impl MicroblogEngine for ShardedEngine {
         // needs — are all on p's shard, so per-shard candidate sets are
         // DISJOINT and merging the truncated per-shard top-n is exact.
         self.q(|| {
-            let parts = self.scatter(
-                |_| true,
-                |_, s| {
-                    Ok(counted(
-                        s.current_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
-                    ))
-                },
-            )?;
+            let parts = self.broadcast(move |_, s| {
+                Ok(counted(
+                    s.current_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
+                ))
+            })?;
             Ok(to_ranked(merge_top_n(parts, n)))
         })
     }
 
     fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         self.q(|| {
-            let parts = self.scatter(
-                |_| true,
-                |_, s| {
-                    Ok(counted(
-                        s.potential_influence(uid, n)?
-                            .into_iter()
-                            .map(|r| (r.key, r.count))
-                            .collect(),
-                    ))
-                },
-            )?;
+            let parts = self.broadcast(move |_, s| {
+                Ok(counted(
+                    s.potential_influence(uid, n)?
+                        .into_iter()
+                        .map(|r| (r.key, r.count))
+                        .collect(),
+                ))
+            })?;
             Ok(to_ranked(merge_top_n(parts, n)))
         })
     }
@@ -513,18 +797,24 @@ impl MicroblogEngine for ShardedEngine {
                 return Ok(Some(0));
             }
             let mut visited: BTreeSet<i64> = BTreeSet::from([a]);
-            let mut frontier = vec![a];
+            let mut frontier = Arc::new(vec![a]);
             for depth in 1..=max_hops {
-                let parts =
-                    self.scatter(|_| true, |_, s| s.follow_frontier_kernel(&frontier))?;
+                let shared = Arc::clone(&frontier);
+                let parts = self.broadcast(move |_, s| s.follow_frontier_kernel(&shared))?;
                 let next: BTreeSet<i64> = parts.into_iter().flatten().collect();
                 if next.contains(&b) {
                     return Ok(Some(depth));
                 }
-                frontier = next.into_iter().filter(|&u| visited.insert(u)).collect();
-                if frontier.is_empty() {
+                // Reuse the frontier allocation across rounds when the
+                // workers have released their handles (opportunistic — a
+                // straggler drop just costs one fresh Vec).
+                let mut buf = Arc::try_unwrap(frontier).unwrap_or_default();
+                buf.clear();
+                buf.extend(next.into_iter().filter(|&u| visited.insert(u)));
+                if buf.is_empty() {
                     return Ok(None);
                 }
+                frontier = Arc::new(buf);
             }
             Ok(None)
         })
@@ -533,10 +823,9 @@ impl MicroblogEngine for ShardedEngine {
     fn tweets_with_hashtag(&self, tag: &str) -> Result<Vec<i64>> {
         // `tags` edges live only on the owning tweet's shard — disjoint.
         self.q(|| {
-            let parts = self.scatter(|_| true, |_, s| s.tweets_with_hashtag(tag))?;
-            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
-            out.sort_unstable();
-            Ok(out)
+            let tag = tag.to_owned();
+            let parts = self.broadcast(move |_, s| s.tweets_with_hashtag(&tag))?;
+            Ok(concat_sorted(parts))
         })
     }
 
@@ -544,7 +833,7 @@ impl MicroblogEngine for ShardedEngine {
         // Each retweet edge is stored once (at the retweeting poster's
         // shard); shards without the tweet report 0.
         self.q(|| {
-            let parts = self.scatter(|_| true, |_, s| s.retweet_count(tid))?;
+            let parts = self.broadcast(move |_, s| s.retweet_count(tid))?;
             Ok(parts.into_iter().sum())
         })
     }
@@ -587,21 +876,18 @@ impl MicroblogEngine for ShardedEngine {
     fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
         self.q(|| {
             let buckets = self.route(uids);
-            let parts = self.scatter(
-                |i| !buckets[i].is_empty(),
-                |i, s| s.posted_tweets_kernel(&buckets[i]),
-            )?;
-            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
-            out.sort_unstable();
-            Ok(out)
+            let selected = Self::non_empty(&buckets);
+            let parts =
+                self.scatter(selected, move |i, s| s.posted_tweets_kernel(&buckets[i]))?;
+            Ok(concat_sorted(parts))
         })
     }
 
     fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
         self.q(|| {
             let buckets = self.route(uids);
-            let parts = self
-                .scatter(|i| !buckets[i].is_empty(), |i, s| s.hashtags_kernel(&buckets[i]))?;
+            let selected = Self::non_empty(&buckets);
+            let parts = self.scatter(selected, move |i, s| s.hashtags_kernel(&buckets[i]))?;
             let tags: BTreeSet<String> = parts.into_iter().flatten().collect();
             Ok(tags.into_iter().collect())
         })
@@ -610,38 +896,40 @@ impl MicroblogEngine for ShardedEngine {
     fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
         self.q(|| {
             let buckets = self.route(uids);
-            let parts = self.scatter(
-                |i| !buckets[i].is_empty(),
-                |i, s| s.count_followees_kernel(&buckets[i]),
-            )?;
+            let selected = Self::non_empty(&buckets);
+            let parts =
+                self.scatter(selected, move |i, s| s.count_followees_kernel(&buckets[i]))?;
             Ok(sum_counts(parts))
         })
     }
 
     fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
         self.q(|| {
-            let parts = self.scatter(|_| true, |_, s| s.count_followers_kernel(uids))?;
+            let uids = uids.to_vec();
+            let parts = self.broadcast(move |_, s| s.count_followers_kernel(&uids))?;
             Ok(sum_counts(parts))
         })
     }
 
     fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>> {
         self.q(|| {
-            let parts = self.scatter(|_| true, |_, s| s.co_mention_counts_kernel(uid))?;
+            let parts = self.broadcast(move |_, s| s.co_mention_counts_kernel(uid))?;
             Ok(sum_counts(parts))
         })
     }
 
     fn co_tag_counts_kernel(&self, tag: &str) -> Result<Vec<(String, u64)>> {
         self.q(|| {
-            let parts = self.scatter(|_| true, |_, s| s.co_tag_counts_kernel(tag))?;
+            let tag = tag.to_owned();
+            let parts = self.broadcast(move |_, s| s.co_tag_counts_kernel(&tag))?;
             Ok(sum_counts(parts))
         })
     }
 
     fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
         self.q(|| {
-            let parts = self.scatter(|_| true, |_, s| s.follow_frontier_kernel(uids))?;
+            let uids = uids.to_vec();
+            let parts = self.broadcast(move |_, s| s.follow_frontier_kernel(&uids))?;
             let next: BTreeSet<i64> = parts.into_iter().flatten().collect();
             Ok(next.into_iter().collect())
         })
@@ -736,6 +1024,15 @@ impl MicroblogEngine for ShardedEngine {
         self.shards
             .iter()
             .fold(self.counters.snapshot(), |acc, s| acc.plus(&s.fault_stats()))
+    }
+
+    fn scatter_mode(&self) -> Option<ScatterMode> {
+        Some(self.load_scatter_mode())
+    }
+
+    fn set_scatter_mode(&self, mode: ScatterMode) -> bool {
+        self.scatter_mode.store(mode.to_u8(), Ordering::Relaxed);
+        true
     }
 }
 

@@ -1,11 +1,19 @@
 //! Offline workspace shim for the `crossbeam` crate.
 //!
 //! The container this workspace builds in has no crates.io access, so the
-//! workspace pins `crossbeam` to this local path crate (DESIGN.md §5). Only
-//! the `thread::scope` API the serving layer uses is provided, implemented
-//! over `std::thread::scope` (stable since 1.63) with crossbeam's calling
-//! convention: the spawn closure receives the scope as an argument and
-//! `scope` returns `Err` instead of unwinding when a spawned thread panics.
+//! workspace pins `crossbeam` to this local path crate (DESIGN.md §5). Two
+//! APIs are provided, with crossbeam's calling conventions:
+//!
+//! * [`thread::scope`] — scoped threads over `std::thread::scope` (stable
+//!   since 1.63): the spawn closure receives the scope as an argument and
+//!   `scope` returns `Err` instead of unwinding when a spawned thread
+//!   panics. Used by the serving layer's reader threads.
+//! * [`channel::unbounded`] — an unbounded MPMC channel (`Sender` and
+//!   `Receiver` are both `Clone` and `Sync`, unlike `std::sync::mpsc`),
+//!   implemented as a `Mutex<VecDeque>` + `Condvar`. Used by the sharded
+//!   engine's per-shard worker pool. Disconnection follows crossbeam:
+//!   `recv` drains queued messages before reporting disconnect, `send`
+//!   fails only when every receiver is gone.
 
 #![forbid(unsafe_code)]
 
@@ -54,6 +62,120 @@ pub mod thread {
         F: FnOnce(&Scope<'_, 'env>) -> R,
     {
         catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope(s)))))
+    }
+}
+
+/// Unbounded MPMC channels with crossbeam's API shape.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message back, as in crossbeam.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half: `Clone` and `Sync`, usable from `&self` across
+    /// threads.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// The receiving half: `Clone` (MPMC) and blocking.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, waking one blocked receiver. Fails (returning
+        /// the message) only when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel lock");
+            st.senders -= 1;
+            let disconnected = st.senders == 0;
+            drop(st);
+            if disconnected {
+                // Blocked receivers must observe the disconnect.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives. Queued messages are drained
+        /// before a disconnect is reported, so no send is ever lost.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).expect("channel wait");
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().expect("channel lock").receivers -= 1;
+        }
     }
 }
 

@@ -3,10 +3,11 @@
 //!
 //! Builds `ShardedEngine`s over both backends at 1, 2 and 4 shards from
 //! one generated dataset, serves the same deterministic request stream
-//! against each (4 reader threads), prints the per-query latency
-//! percentiles, and verifies every sharded run is byte-identical to the
-//! unsharded engine — the invariant that makes the sharded numbers
-//! comparable at all.
+//! against each (4 reader threads) in both scatter modes — the parallel
+//! worker-pool default and the sequential oracle — prints the per-query
+//! latency percentiles, and verifies every sharded run, in every mode, is
+//! byte-identical to the unsharded engine — the invariant that makes the
+//! sharded numbers comparable at all.
 //!
 //! ```sh
 //! cargo run --release --example sharded_serving
@@ -15,6 +16,7 @@
 use micrograph_core::engine::MicroblogEngine;
 use micrograph_core::ingest::{build_engines, build_sharded_engines};
 use micrograph_core::serve::{serve, ServeConfig};
+use micrograph_core::ScatterMode;
 use micrograph_datagen::{generate, GenConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -49,19 +51,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             build_sharded_engines(&dataset, &dir.join(format!("shards-{shards}")), shards)?;
         let pair = [&sharded_arbor as &dyn MicroblogEngine, &sharded_bit];
         for (i, engine) in pair.into_iter().enumerate() {
-            let report = serve(engine, &serve_config)?;
-            println!("{}", report.render());
-            assert_eq!(
-                report.digest(),
-                baselines[i],
-                "{}: sharded results diverged from the unsharded engine",
-                engine.name()
-            );
+            // Sequential oracle first, then the parallel default — same
+            // stream, same digest, different wall-clock.
+            for mode in [ScatterMode::Sequential, ScatterMode::Parallel] {
+                assert!(engine.set_scatter_mode(mode));
+                let report = serve(engine, &serve_config)?;
+                println!("{}", report.render());
+                assert_eq!(
+                    report.digest(),
+                    baselines[i],
+                    "{}: sharded results ({mode:?}) diverged from the unsharded engine",
+                    engine.name()
+                );
+            }
         }
     }
     println!(
         "All sharded runs byte-identical to the unsharded engines \
-         ({} requests each, 4 reader threads).",
+         ({} requests each, 4 reader threads, both scatter modes).",
         serve_config.requests
     );
     Ok(())
