@@ -29,7 +29,7 @@ fn bench_serving(c: &mut Criterion) {
     g.throughput(Throughput::Elements(REQUESTS as u64));
     for (name, engine) in engines {
         for threads in [1usize, 2, 4] {
-            let config = ServeConfig { threads, requests: REQUESTS, seed: 7, users, vocab: 16, deadline_us: None };
+            let config = ServeConfig { threads, requests: REQUESTS, seed: 7, users, vocab: 16, ..Default::default() };
             g.bench_with_input(
                 BenchmarkId::new(name, format!("{threads}_readers")),
                 &config,
@@ -52,7 +52,7 @@ fn bench_serving(c: &mut Criterion) {
         sharded.push((format!("{shards}_shards"), bit));
     }
     for (axis, engine) in &sharded {
-        let config = ServeConfig { threads: 4, requests: REQUESTS, seed: 7, users, vocab: 16, deadline_us: None };
+        let config = ServeConfig { threads: 4, requests: REQUESTS, seed: 7, users, vocab: 16, ..Default::default() };
         let name = if engine.name().contains("arbordb") {
             "arbordb_sharded"
         } else {

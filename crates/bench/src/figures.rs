@@ -11,6 +11,7 @@
 //! | §5 FW1   | [`update_throughput`] (the future-work update workload) |
 //! | §5 FW2   | [`serving`] (concurrent multi-reader throughput) |
 //! | §5 FW3   | [`chaos`] (fault-injection robustness, DESIGN.md §4d) |
+//! | §5 FW4   | [`tail_axis`]/[`tail_json`] (tail latency: pushdown × hedging, DESIGN.md §4f) |
 
 use arbor_ql::EngineOptions;
 use arbor_ql::plan::PlannerOptions;
@@ -500,7 +501,7 @@ pub fn serving(f: &Fixture) -> String {
     for engine in [&f.arbor as &dyn MicroblogEngine, &f.bit] {
         let mut digest = None;
         for threads in [1usize, 2, 4] {
-            let config = ServeConfig { threads, requests: 128, seed: 42, users, vocab: 16, deadline_us: None };
+            let config = ServeConfig { threads, requests: 128, seed: 42, users, vocab: 16, ..Default::default() };
             let report = serve(engine, &config).expect("serve");
             // The rendered results must not depend on the thread count.
             let d = report.digest();
@@ -513,7 +514,7 @@ pub fn serving(f: &Fixture) -> String {
     // compositions of both backends, pinned byte-identical to the
     // unsharded engines above (the ShardedEngine correctness invariant,
     // exercised here so the CI smoke run covers the merge layer too).
-    let config = ServeConfig { threads: 4, requests: 128, seed: 42, users, vocab: 16, deadline_us: None };
+    let config = ServeConfig { threads: 4, requests: 128, seed: 42, users, vocab: 16, ..Default::default() };
     let (sharded_arbor, sharded_bit) =
         build_sharded_engines(&f.dataset, &f.dir.join("serving-shards-2"), 2)
             .expect("build sharded engines");
@@ -583,7 +584,7 @@ pub fn scatter_axis(f: &Fixture) -> Vec<ScatterRow> {
     use micrograph_core::ScatterMode;
     let users = f.dataset.users.len() as u64;
     let config =
-        ServeConfig { threads: 1, requests: 128, seed: 42, users, vocab: 16, deadline_us: None };
+        ServeConfig { threads: 1, requests: 128, seed: 42, users, vocab: 16, ..Default::default() };
     let mut rows = Vec::new();
     for shards in [1usize, 2, 4] {
         let (sharded_arbor, sharded_bit) =
@@ -646,6 +647,209 @@ pub fn serving_json(f: &Fixture, scale: &str) -> String {
     out
 }
 
+/// One measurement on the tail-latency axis ([`tail_axis`]): a serving run
+/// with the per-shard top-n pushdown and deterministic hedging toggles in
+/// one of their four combinations (DESIGN.md §4f).
+pub struct TailRow {
+    /// Engine name (includes the shard count).
+    pub engine: &'static str,
+    /// Hash-partition count.
+    pub shards: usize,
+    /// Whether Q3/Q4/Q5 merges ran over the bounded pushdown kernels.
+    pub pushdown: bool,
+    /// Whether scatter hedging was armed (threshold [`TAIL_HEDGE_US`]).
+    pub hedge: bool,
+    /// Aggregate throughput (requests/s).
+    pub qps: f64,
+    /// Median request latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile request latency (ms).
+    pub p99_ms: f64,
+}
+
+impl TailRow {
+    /// The tail-compression headline: p99 as a multiple of p50.
+    pub fn tail_ratio(&self) -> f64 {
+        self.p99_ms / self.p50_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Straggler threshold (virtual us) the tail axis arms hedging with.
+pub const TAIL_HEDGE_US: u64 = 25;
+
+/// Measures the tail-latency axis: both sharded backends at 1/2/4 shards,
+/// all four {pushdown off/on} × {hedge off/on} combinations over the same
+/// single-reader stream, under a generous virtual deadline so hedging is
+/// armed. Asserts that no toggle combination moves the serving digest.
+/// Rows come out in (shards, backend, pushdown, hedge) order.
+pub fn tail_axis(f: &Fixture) -> Vec<TailRow> {
+    use micrograph_core::ingest::build_sharded_engines;
+    let users = f.dataset.users.len() as u64;
+    let config = ServeConfig {
+        threads: 1,
+        requests: 128,
+        seed: 42,
+        users,
+        vocab: 16,
+        deadline_us: Some(50_000_000),
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (sharded_arbor, sharded_bit) =
+            build_sharded_engines(&f.dataset, &f.dir.join(format!("tail-axis-{shards}")), shards)
+                .expect("build sharded engines");
+        for engine in [&sharded_arbor, &sharded_bit] {
+            // One unmeasured pass absorbs cold-cache first-touches, so the
+            // four toggle rows compare warm-path tails fairly.
+            serve(engine, &config).expect("warmup");
+            let mut digest = None;
+            for pushdown in [false, true] {
+                for hedge in [false, true] {
+                    engine.set_pushdown(pushdown);
+                    engine.set_hedging(hedge.then_some(TAIL_HEDGE_US));
+                    let report = serve(engine, &config).expect("serve");
+                    let d = report.digest();
+                    assert_eq!(
+                        *digest.get_or_insert(d),
+                        d,
+                        "{} answers changed with pushdown={pushdown} hedge={hedge}",
+                        engine.name()
+                    );
+                    rows.push(TailRow {
+                        engine: report.engine,
+                        shards,
+                        pushdown,
+                        hedge,
+                        qps: report.qps,
+                        p50_ms: report.p50_ms,
+                        p95_ms: report.p95_ms,
+                        p99_ms: report.p99_ms,
+                    });
+                }
+            }
+            engine.set_pushdown(true);
+            engine.set_hedging(None);
+        }
+    }
+    rows
+}
+
+/// Renders the tail axis as a text section of the serving experiment.
+pub fn tail_report(rows: &[TailRow]) -> String {
+    let mut out = String::new();
+    out.push_str("-- Tail latency: top-n pushdown x hedging (1 reader, DESIGN.md 4f) --\n\n");
+    out.push_str(&format!(
+        "{:<22} {:>6} {:>9} {:>6} {:>9} {:>9} {:>9} {:>8}\n",
+        "engine", "shards", "pushdown", "hedge", "qps", "p50 ms", "p99 ms", "p99/p50"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>6} {:>9} {:>6} {:>9.0} {:>9.3} {:>9.3} {:>8.2}\n",
+            r.engine,
+            r.shards,
+            if r.pushdown { "on" } else { "off" },
+            if r.hedge { "on" } else { "off" },
+            r.qps,
+            r.p50_ms,
+            r.p99_ms,
+            r.tail_ratio(),
+        ));
+    }
+    out.push_str(
+        "\n(all four toggle combinations are digest-identical; hedging is virtual-time\n\
+         keyed, so its wall-clock effect on clean engines is nil by design)\n\n",
+    );
+    out
+}
+
+/// Renders the tail axis as the `BENCH_tail.json` artifact: p50/p99 and
+/// the p99/p50 tail ratio per engine × shard count × pushdown × hedging,
+/// plus a chaos section demonstrating hedge counters under a transient
+/// plan (answers pinned byte-identical to the fault-free run throughout).
+pub fn tail_json(f: &Fixture, scale: &str, rows: &[TailRow]) -> String {
+    use micrograph_core::fault::silence_injected_panics;
+    use micrograph_core::ingest::{build_chaos_sharded_engines, build_sharded_engines};
+    use micrograph_core::{DegradationMode, FaultPlan, RetryPolicy};
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"serving_tail_latency\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str("  \"threads\": 1,\n");
+    out.push_str("  \"requests\": 128,\n");
+    out.push_str(&format!("  \"hedge_threshold_us\": {TAIL_HEDGE_US},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"shards\": {}, \"pushdown\": {}, \"hedge\": {}, \
+             \"qps\": {:.1}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"p99_over_p50\": {:.3}}}{comma}\n",
+            r.engine,
+            r.shards,
+            r.pushdown,
+            r.hedge,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.tail_ratio(),
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // Chaos section: under a transient plan the hedge counters move (and
+    // hedges win against faulted retry ladders), while the digest stays
+    // pinned to the fault-free run with hedging on or off.
+    silence_injected_panics();
+    let users = f.dataset.users.len() as u64;
+    let config = ServeConfig {
+        threads: 1,
+        requests: 128,
+        seed: 42,
+        users,
+        vocab: 16,
+        deadline_us: Some(50_000_000),
+        ..Default::default()
+    };
+    let (clean, _) = build_sharded_engines(&f.dataset, &f.dir.join("tail-chaos-clean"), 4)
+        .expect("build clean");
+    let baseline = serve(&clean, &config).expect("serve baseline");
+    let (chaos, _) = build_chaos_sharded_engines(
+        &f.dataset,
+        &f.dir.join("tail-chaos"),
+        4,
+        FaultPlan::transient(3),
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .expect("build chaos");
+    out.push_str("  \"chaos\": {\"plan\": \"transient\", \"shards\": 4, \"legs\": [\n");
+    for hedge in [false, true] {
+        chaos.set_hedging(hedge.then_some(TAIL_HEDGE_US));
+        let report = serve(&chaos, &config).expect("serve chaos");
+        assert_eq!(
+            report.digest(),
+            baseline.digest(),
+            "transient faults leaked into answers (hedge={hedge})"
+        );
+        let comma = if hedge { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"hedge\": {hedge}, \"injected\": {}, \"retries\": {}, \"hedges\": {}, \
+             \"hedge_wins\": {}, \"digest_matches_clean\": true}}{comma}\n",
+            report.faults.total_injected(),
+            report.faults.retries,
+            report.faults.hedges,
+            report.faults.hedge_wins,
+        ));
+    }
+    chaos.set_hedging(None);
+    out.push_str("  ]}\n}\n");
+    out
+}
+
 /// The chaos-serving experiment: deterministic fault injection against the
 /// sharded composition (DESIGN.md §4d). Three regimes over a 2-shard
 /// chaos-wrapped engine: transient faults fully masked by retries (digest
@@ -658,7 +862,7 @@ pub fn chaos(f: &Fixture) -> String {
     use micrograph_core::{DegradationMode, FaultPlan, RetryPolicy};
     silence_injected_panics();
     let users = f.dataset.users.len() as u64;
-    let config = ServeConfig { threads: 4, requests: 128, seed: 42, users, vocab: 16, deadline_us: None };
+    let config = ServeConfig { threads: 4, requests: 128, seed: 42, users, vocab: 16, ..Default::default() };
     let mut out = String::new();
     out.push_str("== Chaos serving (seeded fault injection, sharded stack) ==\n\n");
 

@@ -127,6 +127,45 @@ pub fn merge_top_n<K: Ord>(parts: Vec<Vec<Counted<K>>>, limit: usize) -> Vec<Cou
     top.into_sorted_vec()
 }
 
+/// A shard-local top-k partial for threshold-algorithm (TA) merging: the
+/// `k` best local entries plus an upper `bound` on the local count of any
+/// key *not* in `top`.
+///
+/// `bound == 0` means the partial is exhaustive — `top` holds every key
+/// this shard counted, so an unseen key has local count 0. Otherwise
+/// `bound` is the k-th retained count: the local list is count-desc /
+/// ascending-key ordered, so every truncated-away entry counts at most
+/// that much. The TA merge in the sharded query layer sums these bounds to
+/// decide whether an unseen key could still enter the global top-n.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopKPartial<K> {
+    /// The best `k` local entries, count descending, ties ascending key.
+    pub top: Vec<Counted<K>>,
+    /// Upper bound on the local count of any key absent from `top`
+    /// (0 when `top` is the complete local count list).
+    pub bound: u64,
+}
+
+/// Builds a [`TopKPartial`] from a full local count list: sorts by the
+/// global ordering (count desc, ties ascending key), keeps the best `k`,
+/// and records the threshold bound for what was cut.
+///
+/// When nothing is cut the bound is 0 (exhaustive partial). The degenerate
+/// `k == 0` keeps nothing and bounds by the best local count.
+pub fn topk_partial<K: Ord>(mut items: Vec<Counted<K>>, k: usize) -> TopKPartial<K> {
+    items.sort_by(|a, b| b.cmp(a));
+    let truncated = items.len() > k;
+    let bound = if !truncated {
+        0
+    } else if k == 0 {
+        items.first().map(|c| c.count).unwrap_or(0)
+    } else {
+        items[k - 1].count
+    };
+    items.truncate(k);
+    TopKPartial { top: items, bound }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +257,44 @@ mod tests {
     fn merge_handles_empty_and_zero_limit() {
         assert_eq!(merge_top_n::<u64>(vec![], 5), vec![]);
         assert_eq!(merge_top_n(vec![counted(&[(1, 1)])], 0), vec![]);
+    }
+
+    #[test]
+    fn topk_partial_with_k_larger_than_candidates_is_exhaustive() {
+        // Satellite-6 edge: k exceeding the candidate set must yield
+        // bound 0 (nothing was cut), so a TA merge can stop immediately.
+        let p = topk_partial(counted(&[(3, 5), (1, 2)]), 10);
+        assert_eq!(p.top, counted(&[(3, 5), (1, 2)]));
+        assert_eq!(p.bound, 0, "nothing truncated => exhaustive partial");
+        let empty = topk_partial(Vec::<Counted<u64>>::new(), 4);
+        assert_eq!(empty.top, vec![]);
+        assert_eq!(empty.bound, 0);
+    }
+
+    #[test]
+    fn topk_partial_bound_is_kth_count_under_equal_count_boundary() {
+        // Satellite-6 edge: equal-count candidates straddle the cut. The
+        // bound must equal the k-th retained count (not the first cut
+        // count minus one), so a tied unseen key is still considered live
+        // by the TA merge — protecting the ascending-key tie order.
+        let p = topk_partial(counted(&[(9, 4), (3, 4), (5, 4), (7, 4)]), 2);
+        // Ties order ascending by key: 3, 5 retained; 7, 9 cut.
+        assert_eq!(p.top, counted(&[(3, 4), (5, 4)]));
+        assert_eq!(p.bound, 4, "cut entries tie the boundary — bound must cover them");
+    }
+
+    #[test]
+    fn topk_partial_zero_k_bounds_by_best_count() {
+        let p = topk_partial(counted(&[(1, 7), (2, 3)]), 0);
+        assert_eq!(p.top, vec![]);
+        assert_eq!(p.bound, 7, "k=0 keeps nothing; the bound is the best local count");
+    }
+
+    #[test]
+    fn topk_partial_orders_by_global_invariant() {
+        let p = topk_partial(counted(&[(5, 1), (2, 9), (8, 9), (1, 3)]), 3);
+        assert_eq!(p.top, counted(&[(2, 9), (8, 9), (1, 3)]));
+        assert_eq!(p.bound, 3);
     }
 
     #[test]

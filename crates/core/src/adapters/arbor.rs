@@ -19,7 +19,7 @@ use arbor_ql::{EngineOptions, QueryEngine};
 use arbordb::db::GraphDb;
 use arbordb::traversal::{shortest_path, Traversal};
 use arbordb::{Direction, NodeId, Value};
-use micrograph_common::topn::{merge_top_n, Counted};
+use micrograph_common::topn::{merge_top_n, Counted, TopKPartial};
 
 use crate::engine::{MicroblogEngine, Ranked};
 use crate::{CoreError, Result};
@@ -115,6 +115,24 @@ const K_CO_TAG: &str =
     "MATCH (g:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(h:hashtag) \
      WHERE h.tag <> $tag \
      RETURN h.tag, count(*) AS c ORDER BY h.tag ASC";
+
+// Bounded (pushdown) kernel texts: identical patterns, but the LIMIT is
+// pushed into the engine's sort operator — the shard ships k+1 rows instead
+// of its full count map, and the (k+1)-th row is the threshold bound
+// (DESIGN.md §4f). Q5's pushdown reuses the monolithic Q5_1/Q5_2 texts,
+// which already carry a LIMIT; Q4's topn kernels keep the trait defaults,
+// since their counts accumulate client-side across per-source queries and
+// there is nothing engine-native to prune.
+
+const K_CO_MENTION_TOPN: &str =
+    "MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)-[:mentions]->(b:user) \
+     WHERE b.uid <> $uid \
+     RETURN b.uid, count(*) AS c ORDER BY c DESC, b.uid ASC LIMIT $k";
+
+const K_CO_TAG_TOPN: &str =
+    "MATCH (g:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(h:hashtag) \
+     WHERE h.tag <> $tag \
+     RETURN h.tag, count(*) AS c ORDER BY c DESC, h.tag ASC LIMIT $k";
 
 /// The declarative adapter over [`GraphDb`].
 pub struct ArborEngine {
@@ -408,6 +426,59 @@ impl MicroblogEngine for ArborEngine {
             next.extend(self.int_column(K_IN, &[("uid", Value::Int(uid))])?);
         }
         Ok(next.into_iter().collect())
+    }
+
+    // ---- top-n pushdown kernels: LIMIT pushed into the sort operator -------
+
+    fn co_mention_topn_kernel(&self, uid: i64, k: usize) -> Result<TopKPartial<i64>> {
+        // LIMIT k+1: when a (k+1)-th row comes back, its count is the
+        // threshold bound on everything the sort operator cut.
+        let r = self.ql.query(
+            K_CO_MENTION_TOPN,
+            &[("uid", Value::Int(uid)), ("k", Value::Int(k as i64 + 1))],
+        )?;
+        let mut top: Vec<Counted<i64>> = r
+            .rows
+            .iter()
+            .map(|row| Counted {
+                key: row[0].as_int().expect("uid"),
+                count: row[1].as_int().expect("count") as u64,
+            })
+            .collect();
+        let bound = if top.len() > k { top[k].count } else { 0 };
+        top.truncate(k);
+        Ok(TopKPartial { top, bound })
+    }
+
+    fn co_tag_topn_kernel(&self, tag: &str, k: usize) -> Result<TopKPartial<String>> {
+        let r = self.ql.query(
+            K_CO_TAG_TOPN,
+            &[("tag", Value::from(tag)), ("k", Value::Int(k as i64 + 1))],
+        )?;
+        let mut top: Vec<Counted<String>> = r
+            .rows
+            .iter()
+            .map(|row| Counted {
+                key: row[0].as_str().expect("tag").to_owned(),
+                count: row[1].as_int().expect("count") as u64,
+            })
+            .collect();
+        let bound = if top.len() > k { top[k].count } else { 0 };
+        top.truncate(k);
+        Ok(TopKPartial { top, bound })
+    }
+
+    fn influence_topn_kernel(&self, uid: i64, current: bool, k: usize) -> Result<TopKPartial<i64>> {
+        // Q5's monolithic texts already carry the LIMIT; ask for k+1 rows
+        // and read the bound off the extra one.
+        let text = if current { Q5_1 } else { Q5_2 };
+        let ranked =
+            self.ranked_ints(text, &[("uid", Value::Int(uid)), ("n", Value::Int(k as i64 + 1))])?;
+        let mut top: Vec<Counted<i64>> =
+            ranked.into_iter().map(|r| Counted { key: r.key, count: r.count }).collect();
+        let bound = if top.len() > k { top[k].count } else { 0 };
+        top.truncate(k);
+        Ok(TopKPartial { top, bound })
     }
 
     fn ensure_user(&self, uid: i64) -> Result<()> {

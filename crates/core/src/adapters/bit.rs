@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use bitgraph::graph::{Condition, EdgesDirection, Graph, Oid};
 use bitgraph::traversal::single_pair_shortest_path_bfs;
-use micrograph_common::topn::{merge_top_n, Counted};
+use micrograph_common::topn::{merge_top_n, Counted, TopKPartial, TopN};
 use micrograph_common::Value;
 use parking_lot::{RwLock, RwLockReadGuard};
 
@@ -46,6 +46,25 @@ struct Handles {
 pub struct BitEngine {
     g: RwLock<Graph>,
     h: Handles,
+}
+
+/// Bounded top-k with a threshold bound — the adapter's client-side answer
+/// to the `LIMIT` the navigation API lacks (§3.3): the full count stream
+/// still flows through, but only a `k`-entry heap is retained, and the k-th
+/// retained count bounds whatever was cut.
+fn topk_bounded<K: Ord>(entries: Vec<Counted<K>>, k: usize) -> TopKPartial<K> {
+    let offered = entries.len();
+    if k == 0 {
+        let bound = entries.iter().map(|c| c.count).max().unwrap_or(0);
+        return TopKPartial { top: Vec::new(), bound };
+    }
+    let mut top = TopN::new(k);
+    for c in entries {
+        top.offer(c.key, c.count);
+    }
+    let top = top.into_sorted_vec();
+    let bound = if offered > k { top.last().map(|c| c.count).unwrap_or(0) } else { 0 };
+    TopKPartial { top, bound }
 }
 
 impl BitEngine {
@@ -136,6 +155,25 @@ impl BitEngine {
             out.push((self.uid_of(g, oid)?, count));
         }
         out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Maps an oid-keyed count map to [`Counted`] uid entries, dropping
+    /// every uid in `exclude` (ascending-sorted) — the pre-truncation
+    /// filter the pushdown kernels need.
+    fn counted_uids(
+        &self,
+        g: &Graph,
+        counts: HashMap<Oid, u64>,
+        exclude: &[i64],
+    ) -> Result<Vec<Counted<i64>>> {
+        let mut out = Vec::with_capacity(counts.len());
+        for (oid, count) in counts {
+            let uid = self.uid_of(g, oid)?;
+            if exclude.binary_search(&uid).is_err() {
+                out.push(Counted { key: uid, count });
+            }
+        }
         Ok(out)
     }
 
@@ -428,6 +466,120 @@ impl MicroblogEngine for BitEngine {
         Ok(next.into_iter().collect())
     }
 
+    // ---- top-n pushdown kernels: full count stream, bounded retention ------
+
+    fn co_mention_topn_kernel(&self, uid: i64, k: usize) -> Result<TopKPartial<i64>> {
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else {
+            return Ok(TopKPartial { top: Vec::new(), bound: 0 });
+        };
+        let counts = self.co_mention_counts(&g, a)?;
+        Ok(topk_bounded(self.counted_uids(&g, counts, &[])?, k))
+    }
+
+    fn co_mention_counts_for_kernel(&self, uid: i64, keys: &[i64]) -> Result<Vec<(i64, u64)>> {
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
+        let counts = self.co_mention_counts(&g, a)?;
+        let mut out = Vec::new();
+        for (oid, count) in counts {
+            let b = self.uid_of(&g, oid)?;
+            if keys.binary_search(&b).is_ok() {
+                out.push((b, count));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn co_tag_topn_kernel(&self, tag: &str, k: usize) -> Result<TopKPartial<String>> {
+        let g = self.g.read();
+        let Some(g0) = self.tag_oid(&g, tag)? else {
+            return Ok(TopKPartial { top: Vec::new(), bound: 0 });
+        };
+        let counts = self.co_tag_counts(&g, g0)?;
+        let mut entries = Vec::with_capacity(counts.len());
+        for (oid, count) in counts {
+            entries.push(Counted { key: self.tag_of(&g, oid)?, count });
+        }
+        Ok(topk_bounded(entries, k))
+    }
+
+    fn co_tag_counts_for_kernel(&self, tag: &str, keys: &[String]) -> Result<Vec<(String, u64)>> {
+        let g = self.g.read();
+        let Some(g0) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
+        let mut out = Vec::new();
+        for (oid, count) in self.co_tag_counts(&g, g0)? {
+            let t = self.tag_of(&g, oid)?;
+            if keys.binary_search(&t).is_ok() {
+                out.push((t, count));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn count_followees_topn_kernel(
+        &self,
+        uids: &[i64],
+        exclude: &[i64],
+        k: usize,
+    ) -> Result<TopKPartial<i64>> {
+        let g = self.g.read();
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for &uid in uids {
+            let Some(u) = self.user_oid(&g, uid)? else { continue };
+            for r in g.neighbors(u, self.h.follows, EdgesDirection::Outgoing)?.iter() {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        Ok(topk_bounded(self.counted_uids(&g, counts, exclude)?, k))
+    }
+
+    fn count_followees_counts_for_kernel(
+        &self,
+        uids: &[i64],
+        keys: &[i64],
+    ) -> Result<Vec<(i64, u64)>> {
+        let full = self.count_followees_kernel(uids)?;
+        Ok(full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect())
+    }
+
+    fn count_followers_topn_kernel(
+        &self,
+        uids: &[i64],
+        exclude: &[i64],
+        k: usize,
+    ) -> Result<TopKPartial<i64>> {
+        let g = self.g.read();
+        let mut counts: HashMap<Oid, u64> = HashMap::new();
+        for &uid in uids {
+            let Some(u) = self.user_oid(&g, uid)? else { continue };
+            for r in g.neighbors(u, self.h.follows, EdgesDirection::Ingoing)?.iter() {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        Ok(topk_bounded(self.counted_uids(&g, counts, exclude)?, k))
+    }
+
+    fn count_followers_counts_for_kernel(
+        &self,
+        uids: &[i64],
+        keys: &[i64],
+    ) -> Result<Vec<(i64, u64)>> {
+        let full = self.count_followers_kernel(uids)?;
+        Ok(full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect())
+    }
+
+    fn influence_topn_kernel(&self, uid: i64, current: bool, k: usize) -> Result<TopKPartial<i64>> {
+        let g = self.g.read();
+        let Some(a) = self.user_oid(&g, uid)? else {
+            return Ok(TopKPartial { top: Vec::new(), bound: 0 });
+        };
+        let counts = self.influence_counts(&g, a, current)?;
+        Ok(topk_bounded(self.counted_uids(&g, counts, &[])?, k))
+    }
+
     fn ensure_user(&self, uid: i64) -> Result<()> {
         let mut g = self.g.write();
         if g.find_object(self.h.uid, &Value::Int(uid))?.is_some() {
@@ -646,8 +798,12 @@ impl BitEngine {
         Ok(n)
     }
 
-    fn influence(&self, g: &Graph, uid: i64, n: usize, follows_a: bool) -> Result<Vec<Ranked<i64>>> {
-        let Some(a) = self.user_oid(g, uid)? else { return Ok(Vec::new()) };
+    fn influence_counts(
+        &self,
+        g: &Graph,
+        a: Oid,
+        follows_a: bool,
+    ) -> Result<HashMap<Oid, u64>> {
         // "Finding the users who mentioned A, and removing (or retaining)
         // the users who are already following A."
         let mut counts: HashMap<Oid, u64> = HashMap::new();
@@ -663,6 +819,12 @@ impl BitEngine {
                 }
             }
         }
+        Ok(counts)
+    }
+
+    fn influence(&self, g: &Graph, uid: i64, n: usize, follows_a: bool) -> Result<Vec<Ranked<i64>>> {
+        let Some(a) = self.user_oid(g, uid)? else { return Ok(Vec::new()) };
+        let counts = self.influence_counts(g, a, follows_a)?;
         self.top_uids(g, counts, n)
     }
 }

@@ -98,6 +98,7 @@ impl From<bitgraph::BitError> for CoreError {
 }
 
 use crate::Result;
+use micrograph_common::topn::{topk_partial, Counted, TopKPartial};
 
 /// The microblogging query workload (Table 2) over any graph engine.
 ///
@@ -174,11 +175,12 @@ pub trait MicroblogEngine: Send + Sync {
     // ---- shard-local kernels (scale-out; DESIGN.md §4c) ---------------------
     //
     // [`crate::shard::ShardedEngine`] executes Q1–Q6 as per-shard partial
-    // kernels plus engine-agnostic merges. The kernels are deliberately
-    // *raw*: each reports exactly what this engine stores locally — no
-    // global filtering, no top-n truncation — so the merge layer in
-    // `shard.rs` owns all cross-shard semantics. On an unsharded engine
-    // they simply describe the whole graph.
+    // kernels plus engine-agnostic merges. The kernels in this section are
+    // deliberately *raw*: each reports exactly what this engine stores
+    // locally — no global filtering, no top-n truncation — so the merge
+    // layer in `shard.rs` owns all cross-shard semantics. On an unsharded
+    // engine they simply describe the whole graph. (The *bounded* pushdown
+    // variants live in the next section.)
 
     /// True when a user node with this uid exists in this engine.
     fn has_user(&self, uid: i64) -> Result<bool>;
@@ -214,6 +216,130 @@ pub trait MicroblogEngine: Send + Sync {
     /// (either direction), ascending. May include the inputs themselves
     /// when cycles exist; the BFS driver filters visited nodes.
     fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>>;
+
+    // ---- top-n pushdown kernels (tail latency; DESIGN.md §4f) ---------------
+    //
+    // Bounded variants of the counting kernels above: instead of shipping
+    // the full local count map, a shard returns its `k` best entries plus a
+    // threshold bound on anything it cut ([`TopKPartial`]). The sharded
+    // merge layer runs a threshold-algorithm (TA) loop over these, fetching
+    // exact counts for candidate keys via the `*_counts_for_kernel` twins
+    // only while the summed bounds could still change the global top-n.
+    // Every local list follows the global ordering invariant (count desc,
+    // ties ascending key), so pushdown never perturbs tie order. Default
+    // implementations derive both shapes from the full kernels — adapters
+    // override where the engine can prune natively (e.g. a `LIMIT` the
+    // declarative engine pushes into its sort operator).
+
+    /// Q3.1 pushdown kernel — the `k` heaviest local co-mention partners of
+    /// `uid` plus the threshold bound for cut keys.
+    fn co_mention_topn_kernel(&self, uid: i64, k: usize) -> Result<TopKPartial<i64>> {
+        let full = self.co_mention_counts_kernel(uid)?;
+        Ok(topk_partial(full.into_iter().map(|(key, count)| Counted { key, count }).collect(), k))
+    }
+
+    /// Q3.1 candidate-count kernel — exact local co-mention counts for the
+    /// given (ascending-sorted) candidate uids; absent keys are omitted.
+    fn co_mention_counts_for_kernel(&self, uid: i64, keys: &[i64]) -> Result<Vec<(i64, u64)>> {
+        let full = self.co_mention_counts_kernel(uid)?;
+        Ok(full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect())
+    }
+
+    /// Q3.2 pushdown kernel — the `k` heaviest local co-occurring hashtags
+    /// of `tag` plus the threshold bound for cut keys.
+    fn co_tag_topn_kernel(&self, tag: &str, k: usize) -> Result<TopKPartial<String>> {
+        let full = self.co_tag_counts_kernel(tag)?;
+        Ok(topk_partial(full.into_iter().map(|(key, count)| Counted { key, count }).collect(), k))
+    }
+
+    /// Q3.2 candidate-count kernel — exact local co-occurrence counts for
+    /// the given (ascending-sorted) candidate tags; absent keys are omitted.
+    fn co_tag_counts_for_kernel(&self, tag: &str, keys: &[String]) -> Result<Vec<(String, u64)>> {
+        let full = self.co_tag_counts_kernel(tag)?;
+        Ok(full
+            .into_iter()
+            .filter(|(key, _)| keys.binary_search_by(|probe| probe.as_str().cmp(key)).is_ok())
+            .collect())
+    }
+
+    /// Q4.1 pushdown kernel — the `k` heaviest local followee-count targets
+    /// for the given source users, with every uid in `exclude` (ascending-
+    /// sorted: the recommendee and their existing followees) filtered out
+    /// *before* truncation, plus the threshold bound for cut keys.
+    fn count_followees_topn_kernel(
+        &self,
+        uids: &[i64],
+        exclude: &[i64],
+        k: usize,
+    ) -> Result<TopKPartial<i64>> {
+        let full = self.count_followees_kernel(uids)?;
+        Ok(topk_partial(
+            full.into_iter()
+                .filter(|(key, _)| exclude.binary_search(key).is_err())
+                .map(|(key, count)| Counted { key, count })
+                .collect(),
+            k,
+        ))
+    }
+
+    /// Q4.1 candidate-count kernel — exact local followee counts for the
+    /// given (ascending-sorted) candidate uids; absent keys are omitted.
+    fn count_followees_counts_for_kernel(
+        &self,
+        uids: &[i64],
+        keys: &[i64],
+    ) -> Result<Vec<(i64, u64)>> {
+        let full = self.count_followees_kernel(uids)?;
+        Ok(full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect())
+    }
+
+    /// Q4.2 pushdown kernel — the `k` heaviest local follower-count sources
+    /// for the given target users, `exclude` filtered before truncation,
+    /// plus the threshold bound for cut keys.
+    fn count_followers_topn_kernel(
+        &self,
+        uids: &[i64],
+        exclude: &[i64],
+        k: usize,
+    ) -> Result<TopKPartial<i64>> {
+        let full = self.count_followers_kernel(uids)?;
+        Ok(topk_partial(
+            full.into_iter()
+                .filter(|(key, _)| exclude.binary_search(key).is_err())
+                .map(|(key, count)| Counted { key, count })
+                .collect(),
+            k,
+        ))
+    }
+
+    /// Q4.2 candidate-count kernel — exact local follower counts for the
+    /// given (ascending-sorted) candidate uids; absent keys are omitted.
+    fn count_followers_counts_for_kernel(
+        &self,
+        uids: &[i64],
+        keys: &[i64],
+    ) -> Result<Vec<(i64, u64)>> {
+        let full = self.count_followers_kernel(uids)?;
+        Ok(full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect())
+    }
+
+    /// Q5 pushdown kernel — the `k` heaviest local mentioners of `uid`
+    /// (current influence when `current`, potential otherwise) plus the
+    /// threshold bound. A mentioner's tweets all live on its poster's
+    /// shard, so per-shard keys are disjoint and a single merge round of
+    /// these partials is already exact.
+    fn influence_topn_kernel(&self, uid: i64, current: bool, k: usize) -> Result<TopKPartial<i64>> {
+        let ranked = if current {
+            self.current_influence(uid, k.saturating_add(1))?
+        } else {
+            self.potential_influence(uid, k.saturating_add(1))?
+        };
+        let mut items: Vec<Counted<i64>> =
+            ranked.into_iter().map(|r| Counted { key: r.key, count: r.count }).collect();
+        let bound = if items.len() > k { items[k].count } else { 0 };
+        items.truncate(k);
+        Ok(TopKPartial { top: items, bound })
+    }
 
     /// Creates a bare user node for `uid` when absent — a ghost replica
     /// used as the local endpoint of a cross-shard edge (`followers`

@@ -78,6 +78,10 @@ pub(crate) fn key_slice(xs: &[i64]) -> u64 {
     xs.iter().fold(0x51AF_D0A3_BAAD_F00Du64, |acc, &x| mix(acc ^ x as u64))
 }
 
+pub(crate) fn key_str_slice(xs: &[String]) -> u64 {
+    xs.iter().fold(0x6B5F_23C1_0DDB_A11Cu64, |acc, x| mix(acc ^ fnv(x)))
+}
+
 pub(crate) fn key2(a: u64, b: u64) -> u64 {
     mix(a ^ mix(b))
 }
@@ -208,6 +212,14 @@ pub struct FaultStats {
     pub panics_caught: u64,
     /// Shard calls that exhausted their retry budget.
     pub exhausted: u64,
+    /// Hedged (re-issued) shard calls: the primary exceeded the virtual
+    /// straggler threshold, so a backup attempt was raced against it.
+    pub hedges: u64,
+    /// Hedges whose backup attempt finished first (in virtual time).
+    pub hedge_wins: u64,
+    /// Scatter shard calls shed at a deadline in `Partial` mode (counted
+    /// as unanswered coverage instead of failing the whole query).
+    pub shed: u64,
 }
 
 impl FaultStats {
@@ -219,6 +231,9 @@ impl FaultStats {
             retries: self.retries + other.retries,
             panics_caught: self.panics_caught + other.panics_caught,
             exhausted: self.exhausted + other.exhausted,
+            hedges: self.hedges + other.hedges,
+            hedge_wins: self.hedge_wins + other.hedge_wins,
+            shed: self.shed + other.shed,
         }
     }
 
@@ -231,6 +246,9 @@ impl FaultStats {
             retries: self.retries.saturating_sub(earlier.retries),
             panics_caught: self.panics_caught.saturating_sub(earlier.panics_caught),
             exhausted: self.exhausted.saturating_sub(earlier.exhausted),
+            hedges: self.hedges.saturating_sub(earlier.hedges),
+            hedge_wins: self.hedge_wins.saturating_sub(earlier.hedge_wins),
+            shed: self.shed.saturating_sub(earlier.shed),
         }
     }
 
@@ -249,8 +267,16 @@ impl fmt::Display for FaultStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "injected {} errors + {} panics, {} retries, {} panics caught, {} exhausted",
-            self.injected_errors, self.injected_panics, self.retries, self.panics_caught, self.exhausted
+            "injected {} errors + {} panics, {} retries, {} panics caught, {} exhausted, \
+             {} hedges ({} won), {} shed",
+            self.injected_errors,
+            self.injected_panics,
+            self.retries,
+            self.panics_caught,
+            self.exhausted,
+            self.hedges,
+            self.hedge_wins,
+            self.shed
         )
     }
 }
@@ -265,6 +291,9 @@ pub struct FaultCounters {
     retries: AtomicU64,
     panics_caught: AtomicU64,
     exhausted: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl FaultCounters {
@@ -293,6 +322,21 @@ impl FaultCounters {
         self.exhausted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a hedged (re-issued) shard call.
+    pub fn note_hedge(&self) {
+        self.hedges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a hedge whose backup attempt won the virtual-time race.
+    pub fn note_hedge_win(&self) {
+        self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a scatter shard call shed at a deadline in `Partial` mode.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads all counters.
     pub fn snapshot(&self) -> FaultStats {
         FaultStats {
@@ -301,6 +345,9 @@ impl FaultCounters {
             retries: self.retries.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             exhausted: self.exhausted.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -801,6 +848,91 @@ impl MicroblogEngine for ChaosEngine {
         self.inner.follow_frontier_kernel(uids)
     }
 
+    fn co_mention_topn_kernel(
+        &self,
+        uid: i64,
+        k: usize,
+    ) -> Result<micrograph_common::topn::TopKPartial<i64>> {
+        self.gate("co_mention_topn_kernel", key2(key_i64(uid), k as u64))?;
+        self.inner.co_mention_topn_kernel(uid, k)
+    }
+
+    fn co_mention_counts_for_kernel(&self, uid: i64, keys: &[i64]) -> Result<Vec<(i64, u64)>> {
+        self.gate("co_mention_counts_for_kernel", key2(key_i64(uid), key_slice(keys)))?;
+        self.inner.co_mention_counts_for_kernel(uid, keys)
+    }
+
+    fn co_tag_topn_kernel(
+        &self,
+        tag: &str,
+        k: usize,
+    ) -> Result<micrograph_common::topn::TopKPartial<String>> {
+        self.gate("co_tag_topn_kernel", key2(key_str(tag), k as u64))?;
+        self.inner.co_tag_topn_kernel(tag, k)
+    }
+
+    fn co_tag_counts_for_kernel(&self, tag: &str, keys: &[String]) -> Result<Vec<(String, u64)>> {
+        self.gate("co_tag_counts_for_kernel", key2(key_str(tag), key_str_slice(keys)))?;
+        self.inner.co_tag_counts_for_kernel(tag, keys)
+    }
+
+    fn count_followees_topn_kernel(
+        &self,
+        uids: &[i64],
+        exclude: &[i64],
+        k: usize,
+    ) -> Result<micrograph_common::topn::TopKPartial<i64>> {
+        self.gate(
+            "count_followees_topn_kernel",
+            key2(key_slice(uids), key2(key_slice(exclude), k as u64)),
+        )?;
+        self.inner.count_followees_topn_kernel(uids, exclude, k)
+    }
+
+    fn count_followees_counts_for_kernel(
+        &self,
+        uids: &[i64],
+        keys: &[i64],
+    ) -> Result<Vec<(i64, u64)>> {
+        self.gate("count_followees_counts_for_kernel", key2(key_slice(uids), key_slice(keys)))?;
+        self.inner.count_followees_counts_for_kernel(uids, keys)
+    }
+
+    fn count_followers_topn_kernel(
+        &self,
+        uids: &[i64],
+        exclude: &[i64],
+        k: usize,
+    ) -> Result<micrograph_common::topn::TopKPartial<i64>> {
+        self.gate(
+            "count_followers_topn_kernel",
+            key2(key_slice(uids), key2(key_slice(exclude), k as u64)),
+        )?;
+        self.inner.count_followers_topn_kernel(uids, exclude, k)
+    }
+
+    fn count_followers_counts_for_kernel(
+        &self,
+        uids: &[i64],
+        keys: &[i64],
+    ) -> Result<Vec<(i64, u64)>> {
+        self.gate("count_followers_counts_for_kernel", key2(key_slice(uids), key_slice(keys)))?;
+        self.inner.count_followers_counts_for_kernel(uids, keys)
+    }
+
+    fn influence_topn_kernel(
+        &self,
+        uid: i64,
+        current: bool,
+        k: usize,
+    ) -> Result<micrograph_common::topn::TopKPartial<i64>> {
+        self.gate(
+            "influence_topn_kernel",
+            key2(key_i64(uid), key2(current as u64, k as u64)),
+        )?;
+        self.inner.influence_topn_kernel(uid, current, k)
+    }
+
     fn ensure_user(&self, uid: i64) -> Result<()> {
         self.gate("ensure_user", key_i64(uid))?;
         self.inner.ensure_user(uid)
@@ -1042,14 +1174,37 @@ mod tests {
 
     #[test]
     fn stats_arithmetic() {
-        let a = FaultStats { injected_errors: 3, injected_panics: 1, retries: 5, panics_caught: 1, exhausted: 0 };
-        let b = FaultStats { injected_errors: 1, injected_panics: 0, retries: 2, panics_caught: 0, exhausted: 0 };
+        let a = FaultStats {
+            injected_errors: 3,
+            injected_panics: 1,
+            retries: 5,
+            panics_caught: 1,
+            exhausted: 0,
+            hedges: 4,
+            hedge_wins: 2,
+            shed: 1,
+        };
+        let b = FaultStats {
+            injected_errors: 1,
+            injected_panics: 0,
+            retries: 2,
+            panics_caught: 0,
+            exhausted: 0,
+            hedges: 1,
+            hedge_wins: 1,
+            shed: 0,
+        };
         assert_eq!(a.plus(&b).injected_errors, 4);
+        assert_eq!(a.plus(&b).hedges, 5);
         assert_eq!(a.since(&b).retries, 3);
+        assert_eq!(a.since(&b).hedge_wins, 1);
+        assert_eq!(a.since(&b).shed, 1);
         assert_eq!(a.total_injected(), 4);
         assert!(!a.is_zero());
         assert!(FaultStats::default().is_zero());
         assert!(a.to_string().contains("3 errors"));
+        assert!(a.to_string().contains("4 hedges (2 won)"));
+        assert!(a.to_string().contains("1 shed"));
     }
 
     #[test]

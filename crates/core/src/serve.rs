@@ -22,7 +22,7 @@ use micrograph_common::stats::{percentile, Timer};
 
 use crate::engine::MicroblogEngine;
 use crate::fault::{self, FaultStats};
-use crate::workload::{QueryId, QueryParams};
+use crate::workload::{QueryClass, QueryId, QueryParams};
 use crate::Result;
 
 // Compile-time Send + Sync guarantees. The serving layer shares one engine
@@ -91,6 +91,37 @@ pub fn execute_rendered(engine: &dyn MicroblogEngine, req: &Request) -> Result<S
     })
 }
 
+/// Optional per-query-class virtual deadline overrides in µs (DESIGN.md
+/// §4f). A class left `None` falls back to the run's blanket
+/// `deadline_us`, so the common configurations stay one-liners: all-`None`
+/// reproduces the single-deadline behavior exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassDeadlines {
+    /// Deadline for [`QueryClass::Point`] requests.
+    pub point_us: Option<u64>,
+    /// Deadline for [`QueryClass::Scatter`] requests.
+    pub scatter_us: Option<u64>,
+    /// Deadline for [`QueryClass::Traversal`] requests.
+    pub traversal_us: Option<u64>,
+}
+
+impl ClassDeadlines {
+    /// The override for `class`, if any.
+    pub fn for_class(&self, class: QueryClass) -> Option<u64> {
+        match class {
+            QueryClass::Point => self.point_us,
+            QueryClass::Scatter => self.scatter_us,
+            QueryClass::Traversal => self.traversal_us,
+        }
+    }
+
+    /// The deadline `class` actually runs under: its override, else the
+    /// blanket `fallback`.
+    pub fn effective(&self, class: QueryClass, fallback: Option<u64>) -> Option<u64> {
+        self.for_class(class).or(fallback)
+    }
+}
+
 /// Serving-harness configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -108,11 +139,25 @@ pub struct ServeConfig {
     /// `crate::fault`): `None` disables deadlines. Only engines that charge
     /// the budget (chaos wrappers, retry backoff) consume it.
     pub deadline_us: Option<u64>,
+    /// Per-query-class deadline overrides; classes left `None` use
+    /// `deadline_us`. Lets an overloaded server keep point lookups on a
+    /// tight budget while giving traversals room (or vice versa), and —
+    /// combined with `DegradationMode::Partial` — shed scatter stragglers
+    /// instead of queueing behind them.
+    pub class_deadlines: ClassDeadlines,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { threads: 4, requests: 256, seed: 42, users: 100, vocab: 16, deadline_us: None }
+        ServeConfig {
+            threads: 4,
+            requests: 256,
+            seed: 42,
+            users: 100,
+            vocab: 16,
+            deadline_us: None,
+            class_deadlines: ClassDeadlines::default(),
+        }
     }
 }
 
@@ -134,6 +179,24 @@ pub struct QuerySummary {
     /// Widest single scatter fan-out any request of this query issued
     /// (shards addressed by one scatter; 0 on unsharded engines).
     pub max_fanout: u32,
+}
+
+/// Latency summary for one [`QueryClass`] within a serving run — the
+/// granularity per-class deadlines are tuned at (DESIGN.md §4f).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassSummary {
+    /// The class.
+    pub class: QueryClass,
+    /// Requests of this class in the stream.
+    pub count: u64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// The virtual deadline requests of this class ran under.
+    pub deadline_us: Option<u64>,
 }
 
 /// The result of one serving run.
@@ -160,6 +223,9 @@ pub struct ServeReport {
     /// Per-query latency summaries, Table 2 order (only queries present in
     /// the stream).
     pub per_query: Vec<QuerySummary>,
+    /// Per-class latency summaries (point/scatter/traversal; only classes
+    /// present in the stream), each tagged with its effective deadline.
+    pub per_class: Vec<ClassSummary>,
     /// Rendered result per request, in stream order — identical across
     /// thread counts by construction. Failed requests render as
     /// `<error:…>`, degraded ones carry a `<coverage:a/t>` suffix, so the
@@ -221,6 +287,21 @@ impl ServeReport {
                 q.max_fanout
             ));
         }
+        out.push_str(&format!(
+            "{:<9} {:>6} {:>10} {:>10} {:>10} {:>12}\n",
+            "class", "count", "p50 ms", "p95 ms", "p99 ms", "deadline us"
+        ));
+        for c in &self.per_class {
+            out.push_str(&format!(
+                "{:<9} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>12}\n",
+                c.class.label(),
+                c.count,
+                c.p50_ms,
+                c.p95_ms,
+                c.p99_ms,
+                c.deadline_us.map_or_else(|| "-".into(), |d| d.to_string()),
+            ));
+        }
         if self.errors > 0 || self.degraded > 0 || !self.faults.is_zero() {
             out.push_str(&format!(
                 "faults: {} — {} request(s) errored, {} degraded\n",
@@ -273,7 +354,10 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(req) = requests.get(i) else { break };
                     let t = Timer::start();
-                    let (result, stats) = fault::with_request_budget(config.deadline_us, || {
+                    let deadline = config
+                        .class_deadlines
+                        .effective(req.query.class(), config.deadline_us);
+                    let (result, stats) = fault::with_request_budget(deadline, || {
                         execute_rendered(engine, req)
                     });
                     let coverage = stats.coverage;
@@ -340,6 +424,27 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
             })
         })
         .collect();
+    let per_class = QueryClass::ALL
+        .iter()
+        .filter_map(|&class| {
+            let lat: Vec<f64> = latencies
+                .iter()
+                .filter(|(q, _)| q.class() == class)
+                .flat_map(|(_, l)| l.iter().copied())
+                .collect();
+            if lat.is_empty() {
+                return None;
+            }
+            Some(ClassSummary {
+                class,
+                count: lat.len() as u64,
+                p50_ms: percentile(&lat, 50.0),
+                p95_ms: percentile(&lat, 95.0),
+                p99_ms: percentile(&lat, 99.0),
+                deadline_us: config.class_deadlines.effective(class, config.deadline_us),
+            })
+        })
+        .collect();
     Ok(ServeReport {
         engine: engine.name(),
         threads: config.threads,
@@ -351,6 +456,7 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
         p95_ms: percentile(&all_ms, 95.0),
         p99_ms: percentile(&all_ms, 99.0),
         per_query,
+        per_class,
         rendered,
         deadline_us: config.deadline_us,
         errors,
@@ -371,6 +477,15 @@ mod tests {
         assert_eq!(a, b);
         let c = request_stream(8, 64, 100, 16);
         assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn class_deadlines_fall_back_to_blanket() {
+        let d = ClassDeadlines { scatter_us: Some(40), ..Default::default() };
+        assert_eq!(d.effective(QueryClass::Scatter, Some(100)), Some(40));
+        assert_eq!(d.effective(QueryClass::Point, Some(100)), Some(100));
+        assert_eq!(d.effective(QueryClass::Traversal, None), None);
+        assert_eq!(ClassDeadlines::default().effective(QueryClass::Scatter, None), None);
     }
 
     #[test]

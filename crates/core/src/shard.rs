@@ -33,14 +33,23 @@
 //! never depend on thread interleaving; the parallel path charges the
 //! **max** virtual latency across concurrent shard calls (plus merge
 //! cost) instead of the sum.
+//!
+//! Tail latency (DESIGN.md §4f) is engineered with two answer-neutral
+//! levers: **deterministic hedged requests** ([`hedged_call`] — a scatter
+//! shard call whose virtual spend exceeds the armed threshold races a
+//! re-issued copy, and the winner's *time* is charged while the primary's
+//! *bytes* stand) and **per-shard top-n pushdown** ([`pushdown_top_n`] — a
+//! threshold-algorithm merge over bounded `*_topn_kernel` partials that
+//! replaces full per-shard count maps for Q3/Q4/Q5). Both are on/off
+//! togglable at runtime and flipping either never moves a digest.
 
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel;
-use micrograph_common::topn::{merge_top_n, Counted};
+use micrograph_common::topn::{merge_top_n, Counted, TopKPartial};
 use micrograph_datagen::{Dataset, Tweet, User};
 
 use crate::engine::{MicroblogEngine, Ranked};
@@ -171,6 +180,69 @@ fn merge_recommend(
         })
         .collect();
     to_ranked(merge_top_n(kept, n))
+}
+
+/// Q4's kernel-side exclusion set: the subject plus everyone they already
+/// follow, sorted ascending (the `*_topn_kernel` contract) and deduped.
+fn exclusion_list(uid: i64, followed: &[i64]) -> Vec<i64> {
+    let mut exclude: Vec<i64> = followed.iter().copied().chain([uid]).collect();
+    exclude.sort_unstable();
+    exclude.dedup();
+    exclude
+}
+
+/// Threshold-algorithm (TA) top-n merge over bounded per-shard partials
+/// (DESIGN.md §4f). Round-trips the shards with doubling `k` until the
+/// summed truncation bounds prove no unseen key can alter the top-n:
+///
+/// * `bound_sum == 0` — every answering shard sent its complete (filtered)
+///   count list, so the count-sum merge of the partials is exact.
+/// * Otherwise fetch exact global counts for the candidate union and stop
+///   once the n-th candidate **strictly** exceeds `bound_sum`: an unseen
+///   key's global count is at most the sum of per-shard bounds, and the
+///   strict inequality protects the ascending-key tie order (a tied
+///   unseen key with a smaller key would rank ahead of a seen one).
+///
+/// Termination: `k` doubles each round, so the bounds reach 0 once `k`
+/// covers the largest shard-local candidate list. Under Partial
+/// degradation lost shards simply contribute no partial (and no bound) —
+/// the loop still terminates and degrades exactly like the full-map path:
+/// best effort over the shards that answered.
+///
+/// The opening `k = max(4n, 16)` is deliberately deep: a shard whose list
+/// fits inside it answers exhaustively (bound 0), so the common small-map
+/// case settles in ONE fan-out — the same dispatch count as the full-map
+/// merge with a fraction of its merge work — and only genuinely heavy
+/// candidate sets pay the extra exact-count round.
+fn pushdown_top_n<K: Ord + Clone>(
+    n: usize,
+    mut topn_fetch: impl FnMut(usize) -> Result<Vec<TopKPartial<K>>>,
+    mut counts_fetch: impl FnMut(Arc<Vec<K>>) -> Result<Vec<Vec<(K, u64)>>>,
+) -> Result<Vec<Counted<K>>> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut k = n.saturating_mul(4).max(16);
+    loop {
+        let partials = topn_fetch(k)?;
+        let bound_sum = partials.iter().fold(0u64, |a, p| a.saturating_add(p.bound));
+        let tops: Vec<Vec<Counted<K>>> = partials.into_iter().map(|p| p.top).collect();
+        if bound_sum == 0 {
+            return Ok(merge_top_n(tops, n));
+        }
+        // Phase 2: exact global counts for every candidate any shard
+        // surfaced (the kernels expect the keys sorted ascending).
+        let mut keys: Vec<K> =
+            tops.iter().flat_map(|t| t.iter().map(|c| c.key.clone())).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let counts = counts_fetch(Arc::new(keys))?;
+        let merged = merge_top_n(counts.into_iter().map(counted).collect(), n);
+        if merged.len() == n && merged[n - 1].count > bound_sum {
+            return Ok(merged);
+        }
+        k = k.saturating_mul(2);
+    }
 }
 
 /// Sums per-shard `(key, count)` partials into one ascending count list.
@@ -328,6 +400,21 @@ fn retry_call<T>(
     engine: &dyn MicroblogEngine,
     policy: &RetryPolicy,
     counters: &FaultCounters,
+    op: impl FnMut(&dyn MicroblogEngine) -> Result<T>,
+) -> Result<T> {
+    retry_call_from(shard, engine, policy, counters, 0, op)
+}
+
+/// [`retry_call`] with the ambient attempt index offset by `base_attempt`.
+/// The local loop still counts `0..max_attempts` for backoff and give-up
+/// purposes; only what the fault schedule *sees* is shifted — the hook
+/// hedged requests use to look like a fresh request rather than a replay.
+fn retry_call_from<T>(
+    shard: usize,
+    engine: &dyn MicroblogEngine,
+    policy: &RetryPolicy,
+    counters: &FaultCounters,
+    base_attempt: u32,
     mut op: impl FnMut(&dyn MicroblogEngine) -> Result<T>,
 ) -> Result<T> {
     let mut attempt = 0u32;
@@ -337,7 +424,7 @@ fn retry_call<T>(
         // no torn writes (chaos faults fire before the inner call; inner
         // locks are not poisoned).
         let result = catch_unwind(AssertUnwindSafe(|| {
-            fault::with_attempt(attempt, || op(engine))
+            fault::with_attempt(base_attempt + attempt, || op(engine))
         }))
         .unwrap_or_else(|payload| {
             counters.note_panic_caught();
@@ -361,6 +448,90 @@ fn retry_call<T>(
             }
         }
     }
+}
+
+/// Attempt-index offset for hedge ladders: past any plausible retry count,
+/// so `FaultPlan::decide` treats the hedge as a *fresh* request — transient
+/// bursts (which fail the first `transient_burst` attempts) look healthy,
+/// modelling a re-issue that lands on a replica that is not mid-hiccup.
+/// Permanent faults ignore the attempt index, so a hedge never masks them.
+const HEDGE_ATTEMPT_BASE: u32 = 32;
+
+/// One scatter shard call with **deterministic hedging** (DESIGN.md §4f).
+///
+/// The primary retry ladder runs first, metered against (a snapshot of)
+/// the ambient virtual budget. If its spend stays within `threshold_us`,
+/// the meter is simply replayed onto the ambient budget — bit-identical to
+/// an unhedged call. Otherwise the call is a *virtual straggler*: a hedge
+/// ladder is raced, starting `threshold_us` later on the virtual clock
+/// (so its budget is the remainder) and with attempt indices offset by
+/// [`HEDGE_ATTEMPT_BASE`]. The race is decided purely in virtual time.
+///
+/// Outcome selection is byte-stable: the primary's bytes stand unless the
+/// hedge **alone** succeeded (the availability rescue). Both ladders run
+/// the same pure per-shard computation, so when both succeed the hedge can
+/// only win *time*, never change bytes; when both fail the primary's error
+/// text is reported so hedging never perturbs error digests. The ambient
+/// budget is charged the winner's completion time — min(primary,
+/// threshold + hedge) — which is how hedging compresses the virtual tail.
+///
+/// With hedging disarmed (`threshold_us == 0`) or no ambient budget
+/// installed (no virtual clock to race against), this is exactly
+/// [`retry_call`]. Never used for writes: a hedge re-executes the call.
+fn hedged_call<T>(
+    shard: usize,
+    engine: &dyn MicroblogEngine,
+    policy: &RetryPolicy,
+    counters: &FaultCounters,
+    threshold_us: u64,
+    op: impl Fn(&dyn MicroblogEngine) -> Result<T>,
+) -> Result<T> {
+    let snapshot = fault::remaining_budget_us();
+    if threshold_us == 0 || snapshot.is_none() {
+        return retry_call(shard, engine, policy, counters, &op);
+    }
+    // Primary ladder under a detached meter holding the same remaining
+    // budget, so a genuine overrun still surfaces as a Timeout inside.
+    let (primary, p_spend) =
+        fault::with_worker_budget(snapshot, || retry_call(shard, engine, policy, counters, &op));
+    if p_spend.spent_us <= threshold_us {
+        fault::absorb_worker_spend(&p_spend);
+        fault::charge(p_spend.spent_us)?;
+        return primary;
+    }
+    counters.note_hedge();
+    let hedge_budget = snapshot.map(|s| s.saturating_sub(threshold_us));
+    let (hedge, h_spend) = fault::with_worker_budget(hedge_budget, || {
+        retry_call_from(shard, engine, policy, counters, HEDGE_ATTEMPT_BASE, &op)
+    });
+    let p_total = p_spend.spent_us;
+    let h_total = threshold_us.saturating_add(h_spend.spent_us);
+    // Same outcome kind on both ladders ⇒ the hedge can only shave time
+    // (the primary's bytes are what we report either way).
+    let hedge_first = h_total < p_total;
+    let (winner, spend, total_us) = match (primary, hedge) {
+        (Ok(p), Err(_)) => (Ok(p), p_spend, p_total),
+        (Ok(p), Ok(_)) => {
+            if hedge_first {
+                counters.note_hedge_win();
+            }
+            (Ok(p), p_spend, if hedge_first { h_total } else { p_total })
+        }
+        (Err(pe), Err(_)) => {
+            if hedge_first {
+                counters.note_hedge_win();
+            }
+            (Err(pe), p_spend, if hedge_first { h_total } else { p_total })
+        }
+        (Err(_), Ok(h)) => {
+            // The rescue: only the hedge succeeded.
+            counters.note_hedge_win();
+            (Ok(h), h_spend, h_total)
+        }
+    };
+    fault::absorb_worker_spend(&spend);
+    fault::charge(total_us)?;
+    winner
 }
 
 /// N inner engines behind one [`MicroblogEngine`] facade.
@@ -387,6 +558,12 @@ pub struct ShardedEngine {
     policy: RetryPolicy,
     mode: DegradationMode,
     scatter_mode: AtomicU8,
+    /// Virtual-µs straggler threshold arming [`hedged_call`] for scatter
+    /// shard calls; 0 = hedging off (the default).
+    hedge_threshold_us: AtomicU64,
+    /// Whether Q3/Q4/Q5 merges use the bounded `*_topn_kernel` pushdown
+    /// paths (default) or gather full per-shard count maps.
+    pushdown: AtomicBool,
     counters: Arc<FaultCounters>,
     pool: WorkerPool,
 }
@@ -415,6 +592,8 @@ impl ShardedEngine {
             policy: RetryPolicy::default(),
             mode: DegradationMode::Strict,
             scatter_mode: AtomicU8::new(ScatterMode::default().to_u8()),
+            hedge_threshold_us: AtomicU64::new(0),
+            pushdown: AtomicBool::new(true),
             counters: Arc::new(FaultCounters::default()),
             pool,
         }
@@ -436,6 +615,43 @@ impl ShardedEngine {
     pub fn with_scatter_mode(self, mode: ScatterMode) -> Self {
         self.scatter_mode.store(mode.to_u8(), Ordering::Relaxed);
         self
+    }
+
+    /// Builder: arms deterministic hedged requests for scatter shard calls
+    /// — a call whose virtual spend exceeds `threshold_us` races a
+    /// re-issued copy and the winner's time is charged (DESIGN.md §4f).
+    /// `0` disarms. Inert unless a virtual deadline budget is installed.
+    pub fn with_hedging(self, threshold_us: u64) -> Self {
+        self.hedge_threshold_us.store(threshold_us, Ordering::Relaxed);
+        self
+    }
+
+    /// Builder: enables/disables the Q3/Q4/Q5 top-n pushdown merge paths
+    /// (on by default; answers are identical either way).
+    pub fn with_pushdown(self, on: bool) -> Self {
+        self.pushdown.store(on, Ordering::Relaxed);
+        self
+    }
+
+    /// The armed hedge threshold in virtual µs (0 = hedging off).
+    pub fn hedge_threshold(&self) -> u64 {
+        self.hedge_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms (`Some`) or disarms (`None`) scatter hedging at runtime.
+    pub fn set_hedging(&self, threshold_us: Option<u64>) {
+        self.hedge_threshold_us.store(threshold_us.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Whether Q3/Q4/Q5 merges run over the bounded pushdown kernels.
+    pub fn pushdown_enabled(&self) -> bool {
+        self.pushdown.load(Ordering::Relaxed)
+    }
+
+    /// Flips the top-n pushdown path at runtime — answers never change,
+    /// only how much each merge round-trips per shard.
+    pub fn set_pushdown(&self, on: bool) {
+        self.pushdown.store(on, Ordering::Relaxed);
     }
 
     /// The active retry policy.
@@ -511,14 +727,19 @@ impl ShardedEngine {
     /// shard indices), collecting the partials **in shard order**. Strict
     /// mode propagates the first failure in shard order; Partial mode skips
     /// shards that stay `Unavailable` after retries (recording lost
-    /// coverage) — but a `Timeout` always propagates, because the whole
-    /// request is out of budget.
+    /// coverage) and **sheds** shard calls that exhaust the virtual budget
+    /// (a per-leg `Timeout` becomes lost coverage plus a shed count,
+    /// DESIGN.md §4f) — under overload the request degrades instead of
+    /// queueing. In Strict mode a `Timeout` still propagates.
     ///
     /// Execution follows the engine's [`ScatterMode`]; single-shard
-    /// selections always run inline (nothing to overlap). Because per-shard
-    /// fault decisions are pure functions of `(plan, shard, method, args,
-    /// attempt)` and the gather order is fixed, both modes produce the same
-    /// partials, the same coverage tape and the same first error.
+    /// selections always run inline (nothing to overlap) and two-shard
+    /// fan-outs run inline on the caller thread with pooled-path
+    /// accounting ([`Self::scatter_inline`] — the handoff costs more than
+    /// the overlap buys at that width). Because per-shard fault decisions
+    /// are pure functions of `(plan, shard, method, args, attempt)` and
+    /// the gather order is fixed, all paths produce the same partials, the
+    /// same coverage tape and the same first error.
     fn scatter<T: Send + 'static>(
         &self,
         selected: Vec<usize>,
@@ -526,8 +747,37 @@ impl ShardedEngine {
     ) -> Result<Vec<T>> {
         fault::note_fanout(selected.len() as u32);
         match self.load_scatter_mode() {
-            ScatterMode::Parallel if selected.len() > 1 => self.scatter_parallel(selected, op),
+            ScatterMode::Parallel if selected.len() > 2 => self.scatter_parallel(selected, op),
+            ScatterMode::Parallel if selected.len() > 1 => self.scatter_inline(&selected, op),
             _ => self.scatter_sequential(&selected, op),
+        }
+    }
+
+    /// Shard-order replay of one gathered leg: success collects the
+    /// partial; Partial mode absorbs `Unavailable` shards and sheds
+    /// `Timeout` legs (recording both as lost coverage); everything else
+    /// propagates. Shared by all three scatter paths so their answer
+    /// semantics cannot drift.
+    fn gather_leg<T>(&self, result: Result<T>, parts: &mut Vec<T>) -> Result<()> {
+        match result {
+            Ok(v) => {
+                fault::note_shard(true);
+                parts.push(v);
+                Ok(())
+            }
+            Err(CoreError::Unavailable(_)) if self.mode == DegradationMode::Partial => {
+                fault::note_shard(false);
+                Ok(())
+            }
+            Err(CoreError::Timeout(_)) if self.mode == DegradationMode::Partial => {
+                self.counters.note_shed();
+                fault::note_shard(false);
+                Ok(())
+            }
+            Err(e) => {
+                fault::note_shard(false);
+                Err(e)
+            }
         }
     }
 
@@ -536,21 +786,55 @@ impl ShardedEngine {
         selected: &[usize],
         op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T>,
     ) -> Result<Vec<T>> {
+        let threshold = self.hedge_threshold();
         let mut parts = Vec::with_capacity(selected.len());
         for &i in selected {
-            match self.retrying(i, |e| op(i, e)) {
-                Ok(v) => {
-                    fault::note_shard(true);
-                    parts.push(v);
-                }
-                Err(CoreError::Unavailable(_)) if self.mode == DegradationMode::Partial => {
-                    fault::note_shard(false);
-                }
-                Err(e) => {
-                    fault::note_shard(false);
-                    return Err(e);
-                }
-            }
+            let result = hedged_call(
+                i,
+                self.shards[i].as_ref(),
+                &self.policy,
+                &self.counters,
+                threshold,
+                |e| op(i, e),
+            );
+            self.gather_leg(result, &mut parts)?;
+        }
+        Ok(parts)
+    }
+
+    /// The small-fan-out fast path: both legs run on the caller thread,
+    /// but under the **pooled path's accounting** — per-leg budget
+    /// snapshot, max-spend charge, in-shard-order absorb — so switching
+    /// between this and [`Self::scatter_parallel`] never moves a digest or
+    /// a virtual-time measurement. What it removes is the real-world cost:
+    /// no task boxing, no channel handoff, no worker wakeup — which at
+    /// fan-out 2 used to make Parallel *slower* than Sequential.
+    fn scatter_inline<T>(
+        &self,
+        selected: &[usize],
+        op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T>,
+    ) -> Result<Vec<T>> {
+        let snapshot = fault::remaining_budget_us();
+        let threshold = self.hedge_threshold();
+        let mut slots = Vec::with_capacity(selected.len());
+        for &i in selected {
+            slots.push(fault::with_worker_budget(snapshot, || {
+                hedged_call(
+                    i,
+                    self.shards[i].as_ref(),
+                    &self.policy,
+                    &self.counters,
+                    threshold,
+                    |e| op(i, e),
+                )
+            }));
+        }
+        let max_spent = slots.iter().map(|(_, spend)| spend.spent_us).max().unwrap_or(0);
+        fault::charge(max_spent)?;
+        let mut parts = Vec::with_capacity(selected.len());
+        for (result, spend) in slots {
+            fault::absorb_worker_spend(&spend);
+            self.gather_leg(result, &mut parts)?;
         }
         Ok(parts)
     }
@@ -577,9 +861,10 @@ impl ShardedEngine {
             let op = Arc::new(op);
             let policy = self.policy;
             let counters = Arc::clone(&self.counters);
+            let threshold = self.hedge_threshold();
             Arc::new(move |i: usize, engine: &dyn MicroblogEngine| {
                 fault::with_worker_budget(snapshot, || {
-                    retry_call(i, engine, &policy, &counters, |e| op(i, e))
+                    hedged_call(i, engine, &policy, &counters, threshold, |e| op(i, e))
                 })
             })
         };
@@ -636,19 +921,7 @@ impl ShardedEngine {
                 (Err(CoreError::Unavailable("shard worker lost".into())), Default::default())
             });
             fault::absorb_worker_spend(&spend);
-            match result {
-                Ok(v) => {
-                    fault::note_shard(true);
-                    parts.push(v);
-                }
-                Err(CoreError::Unavailable(_)) if self.mode == DegradationMode::Partial => {
-                    fault::note_shard(false);
-                }
-                Err(e) => {
-                    fault::note_shard(false);
-                    return Err(e);
-                }
-            }
+            self.gather_leg(result, &mut parts)?;
         }
         Ok(parts)
     }
@@ -706,9 +979,22 @@ impl MicroblogEngine for ShardedEngine {
 
     fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         // A co-mention pair can recur on many shards (one per mentioning
-        // tweet), so the merge needs the FULL per-shard count maps — the
-        // untruncated kernels — before ranking.
+        // tweet), so a single-round merge needs the FULL per-shard count
+        // maps. The pushdown path (default) runs the TA loop over bounded
+        // `co_mention_topn_kernel` partials instead — identical answers
+        // (DESIGN.md §4f), but each round ships O(k) rows per shard rather
+        // than every co-mentioned user.
         self.q(|| {
+            if self.pushdown_enabled() {
+                let top = pushdown_top_n(
+                    n,
+                    |k| self.broadcast(move |_, s| s.co_mention_topn_kernel(uid, k)),
+                    |keys| {
+                        self.broadcast(move |_, s| s.co_mention_counts_for_kernel(uid, &keys))
+                    },
+                )?;
+                return Ok(to_ranked(top));
+            }
             let parts =
                 self.broadcast(move |_, s| Ok(counted(s.co_mention_counts_kernel(uid)?)))?;
             Ok(to_ranked(merge_top_n(parts, n)))
@@ -718,6 +1004,20 @@ impl MicroblogEngine for ShardedEngine {
     fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
         self.q(|| {
             let tag = tag.to_owned();
+            if self.pushdown_enabled() {
+                let top = pushdown_top_n(
+                    n,
+                    |k| {
+                        let tag = tag.clone();
+                        self.broadcast(move |_, s| s.co_tag_topn_kernel(&tag, k))
+                    },
+                    |keys| {
+                        let tag = tag.clone();
+                        self.broadcast(move |_, s| s.co_tag_counts_for_kernel(&tag, &keys))
+                    },
+                )?;
+                return Ok(to_ranked(top));
+            }
             let parts =
                 self.broadcast(move |_, s| Ok(counted(s.co_tag_counts_kernel(&tag)?)))?;
             Ok(to_ranked(merge_top_n(parts, n)))
@@ -727,9 +1027,34 @@ impl MicroblogEngine for ShardedEngine {
     fn recommend_followees(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         // Frontier from the owner, counting kernels routed by ownership
         // (out-edges are local to their source's shard), then count-sum
-        // merge with the not-already-followed filter applied globally.
+        // merge with the not-already-followed filter applied globally. On
+        // the pushdown path the filter moves INTO the kernels (as a sorted
+        // exclude list applied before truncation), so the TA loop's bounded
+        // partials rank exactly the same candidate set.
         self.q(|| {
             let followed = self.point(uid, |s| s.followees(uid))?;
+            if self.pushdown_enabled() {
+                let exclude = Arc::new(exclusion_list(uid, &followed));
+                let buckets = Arc::new(self.route(&followed));
+                let selected = Self::non_empty(&buckets);
+                let top = pushdown_top_n(
+                    n,
+                    |k| {
+                        let buckets = Arc::clone(&buckets);
+                        let exclude = Arc::clone(&exclude);
+                        self.scatter(selected.clone(), move |i, s| {
+                            s.count_followees_topn_kernel(&buckets[i], &exclude, k)
+                        })
+                    },
+                    |keys| {
+                        let buckets = Arc::clone(&buckets);
+                        self.scatter(selected.clone(), move |i, s| {
+                            s.count_followees_counts_for_kernel(&buckets[i], &keys)
+                        })
+                    },
+                )?;
+                return Ok(to_ranked(top));
+            }
             let buckets = self.route(&followed);
             let selected = Self::non_empty(&buckets);
             let parts =
@@ -741,11 +1066,33 @@ impl MicroblogEngine for ShardedEngine {
     fn recommend_followers(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         // In-edges are scattered (each lives on its source's shard), so the
         // frontier is BROADCAST; every `follows` edge is stored exactly
-        // once globally, so summing per-shard counts is exact.
+        // once globally, so summing per-shard counts is exact. Pushdown
+        // mirrors Q4.1: the exclude filter moves into the kernels, the TA
+        // loop bounds what each shard ships.
         self.q(|| {
             let followed = Arc::new(self.point(uid, |s| s.followees(uid))?);
             if followed.is_empty() {
                 return Ok(Vec::new());
+            }
+            if self.pushdown_enabled() {
+                let exclude = Arc::new(exclusion_list(uid, &followed));
+                let top = pushdown_top_n(
+                    n,
+                    |k| {
+                        let followed = Arc::clone(&followed);
+                        let exclude = Arc::clone(&exclude);
+                        self.broadcast(move |_, s| {
+                            s.count_followers_topn_kernel(&followed, &exclude, k)
+                        })
+                    },
+                    |keys| {
+                        let followed = Arc::clone(&followed);
+                        self.broadcast(move |_, s| {
+                            s.count_followers_counts_for_kernel(&followed, &keys)
+                        })
+                    },
+                )?;
+                return Ok(to_ranked(top));
             }
             let shared = Arc::clone(&followed);
             let parts = self.broadcast(move |_, s| s.count_followers_kernel(&shared))?;
@@ -756,8 +1103,15 @@ impl MicroblogEngine for ShardedEngine {
     fn current_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         // A mentioner p's tweets — and the p→A follows edge the filter
         // needs — are all on p's shard, so per-shard candidate sets are
-        // DISJOINT and merging the truncated per-shard top-n is exact.
+        // DISJOINT and merging the truncated per-shard top-n is exact: ONE
+        // round of bounded `influence_topn_kernel` partials suffices, no
+        // TA loop or exact-count phase (the bound is ignored).
         self.q(|| {
+            if self.pushdown_enabled() {
+                let parts = self
+                    .broadcast(move |_, s| Ok(s.influence_topn_kernel(uid, true, n)?.top))?;
+                return Ok(to_ranked(merge_top_n(parts, n)));
+            }
             let parts = self.broadcast(move |_, s| {
                 Ok(counted(
                     s.current_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
@@ -769,6 +1123,11 @@ impl MicroblogEngine for ShardedEngine {
 
     fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         self.q(|| {
+            if self.pushdown_enabled() {
+                let parts = self
+                    .broadcast(move |_, s| Ok(s.influence_topn_kernel(uid, false, n)?.top))?;
+                return Ok(to_ranked(merge_top_n(parts, n)));
+            }
             let parts = self.broadcast(move |_, s| {
                 Ok(counted(
                     s.potential_influence(uid, n)?
@@ -1188,5 +1547,105 @@ mod tests {
     fn sum_counts_merges_ascending() {
         let parts = vec![vec![(3i64, 1u64), (5, 2)], vec![(1, 4), (3, 2)]];
         assert_eq!(sum_counts(parts), vec![(1, 4), (3, 3), (5, 2)]);
+    }
+
+    #[test]
+    fn exclusion_list_is_sorted_and_deduped() {
+        assert_eq!(exclusion_list(4, &[9, 1, 4, 9]), vec![1, 4, 9]);
+        assert_eq!(exclusion_list(7, &[]), vec![7]);
+    }
+
+    // ---- the TA pushdown driver, against in-memory "shards" ---------------
+
+    use micrograph_common::topn::topk_partial;
+
+    fn ta_counts(shards: &[Vec<(i64, u64)>], keys: &[i64]) -> Vec<Vec<(i64, u64)>> {
+        shards
+            .iter()
+            .map(|s| {
+                s.iter().copied().filter(|(k, _)| keys.binary_search(k).is_ok()).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pushdown_driver_handles_split_key_adversary() {
+        // Classic TA adversary: key 5 is mediocre on every shard (count 5)
+        // but the global best (10); the per-shard leaders are disjoint
+        // count-6 keys that never sum. A naive truncated merge would crown
+        // one of them — the bounds force a deeper round instead.
+        let shard0: Vec<(i64, u64)> = (10..30).map(|k| (k, 6)).chain([(5, 5)]).collect();
+        let shard1: Vec<(i64, u64)> = (40..60).map(|k| (k, 6)).chain([(5, 5)]).collect();
+        let shards = vec![shard0, shard1];
+        let mut rounds = 0;
+        let out = pushdown_top_n(
+            1,
+            |k| {
+                rounds += 1;
+                Ok(shards.iter().map(|s| topk_partial(counted(s.clone()), k)).collect())
+            },
+            |keys| Ok(ta_counts(&shards, &keys)),
+        )
+        .unwrap();
+        assert_eq!(out, vec![Counted { key: 5, count: 10 }]);
+        assert!(rounds > 1, "bounds must force a deeper round to surface the split key");
+        // The driver agrees with the full-map merge at every n.
+        for n in 1..6 {
+            let full = merge_top_n(shards.iter().map(|s| counted(s.clone())).collect(), n);
+            let ta = pushdown_top_n(
+                n,
+                |k| Ok(shards.iter().map(|s| topk_partial(counted(s.clone()), k)).collect()),
+                |keys| Ok(ta_counts(&shards, &keys)),
+            )
+            .unwrap();
+            assert_eq!(ta, full, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pushdown_driver_stops_once_bounds_cannot_flip_the_order() {
+        // A dominant split key: the first exact-count phase proves no
+        // unseen key can reach it, so ONE bounded round settles the query
+        // even though both shards truncated their long tails.
+        let shard0: Vec<(i64, u64)> =
+            [(1i64, 100u64)].into_iter().chain((2..21).map(|k| (k, 1))).collect();
+        let shard1: Vec<(i64, u64)> =
+            [(1i64, 90u64)].into_iter().chain((30..49).map(|k| (k, 1))).collect();
+        let shards = vec![shard0, shard1];
+        let (mut topn_rounds, mut count_rounds) = (0, 0);
+        let out = pushdown_top_n(
+            1,
+            |k| {
+                topn_rounds += 1;
+                Ok(shards.iter().map(|s| topk_partial(counted(s.clone()), k)).collect())
+            },
+            |keys| {
+                count_rounds += 1;
+                Ok(ta_counts(&shards, &keys))
+            },
+        )
+        .unwrap();
+        assert_eq!(out, vec![Counted { key: 1, count: 190 }]);
+        assert_eq!(topn_rounds, 1, "one bounded round suffices");
+        assert_eq!(count_rounds, 1, "one exact-count phase settles it");
+    }
+
+    #[test]
+    fn pushdown_driver_zero_n_never_fetches() {
+        let fetches = std::cell::Cell::new(0u32);
+        let out: Vec<Counted<i64>> = pushdown_top_n(
+            0,
+            |_| {
+                fetches.set(fetches.get() + 1);
+                Ok(Vec::new())
+            },
+            |_| {
+                fetches.set(fetches.get() + 1);
+                Ok(Vec::new())
+            },
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(fetches.get(), 0, "n == 0 answers without touching a shard");
     }
 }

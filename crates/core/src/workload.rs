@@ -106,6 +106,49 @@ impl QueryId {
             QueryId::Q2_3 | QueryId::Q3_1 | QueryId::Q4_1 | QueryId::Q5_1 | QueryId::Q5_2 | QueryId::Q6_1
         )
     }
+
+    /// The query's execution-shape class on a sharded engine — what the
+    /// serving layer keys per-class deadlines and percentile rows on
+    /// (DESIGN.md §4f).
+    pub fn class(self) -> QueryClass {
+        match self {
+            // Q2.1 answers from the subject's owner shard alone.
+            QueryId::Q2_1 => QueryClass::Point,
+            // Q6.1 runs multi-round distributed-BFS frontier expansions.
+            QueryId::Q6_1 => QueryClass::Traversal,
+            // Everything else fans out (routed or broadcast) and merges.
+            _ => QueryClass::Scatter,
+        }
+    }
+}
+
+/// Execution-shape classes of the catalog queries, as seen by a sharded
+/// engine: the axis per-class serving deadlines discriminate on. A point
+/// lookup that is out of budget is simply late; a scatter that is out of
+/// budget can still shed stragglers; a traversal compounds rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Single-shard lookups (Q2.1).
+    Point,
+    /// One-round fan-out/merge queries (Q1.1, Q2.2, Q2.3, Q3.*, Q4.*, Q5.*).
+    Scatter,
+    /// Multi-round frontier traversals (Q6.1).
+    Traversal,
+}
+
+impl QueryClass {
+    /// Every class, report-row order.
+    pub const ALL: [QueryClass; 3] =
+        [QueryClass::Point, QueryClass::Scatter, QueryClass::Traversal];
+
+    /// Display label ("point" / "scatter" / "traversal").
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryClass::Point => "point",
+            QueryClass::Scatter => "scatter",
+            QueryClass::Traversal => "traversal",
+        }
+    }
 }
 
 /// Parameters for one workload execution.
@@ -217,6 +260,18 @@ mod tests {
             assert_ne!(p.uid, p.uid_b);
             assert!(p.tag.starts_with("tag"));
         }
+    }
+
+    #[test]
+    fn classes_partition_the_catalog() {
+        for q in QueryId::ALL {
+            assert!(QueryClass::ALL.contains(&q.class()), "{} unclassed", q.label());
+        }
+        assert_eq!(QueryId::Q2_1.class(), QueryClass::Point);
+        assert_eq!(QueryId::Q6_1.class(), QueryClass::Traversal);
+        let scatters =
+            QueryId::ALL.iter().filter(|q| q.class() == QueryClass::Scatter).count();
+        assert_eq!(scatters, 9, "nine fan-out queries");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use micrograph_core::fault::silence_injected_panics;
 use micrograph_core::ingest::{build_chaos_sharded_engines, build_sharded_engines};
-use micrograph_core::serve::{serve, ServeConfig};
+use micrograph_core::serve::{serve, ClassDeadlines, ServeConfig};
 use micrograph_core::{DegradationMode, FaultPlan, RetryPolicy};
 use micrograph_datagen::{generate, GenConfig};
 
@@ -43,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         users: config.users,
         vocab: 16,
         deadline_us: None,
+        class_deadlines: ClassDeadlines::default(),
     };
     let shards = 4;
 

@@ -15,7 +15,7 @@
 
 use micrograph_core::engine::MicroblogEngine;
 use micrograph_core::ingest::{build_engines, build_sharded_engines};
-use micrograph_core::serve::{serve, ServeConfig};
+use micrograph_core::serve::{serve, ClassDeadlines, ServeConfig};
 use micrograph_core::ScatterMode;
 use micrograph_datagen::{generate, GenConfig};
 
@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         users: config.users,
         vocab: 16,
         deadline_us: None,
+        class_deadlines: ClassDeadlines::default(),
     };
 
     // Unsharded baselines: the digests every sharded run must reproduce.

@@ -37,7 +37,7 @@ fn dataset(seed: u64, tag: &str) -> (Dataset, Guard) {
 }
 
 fn config(threads: usize, deadline_us: Option<u64>) -> ServeConfig {
-    ServeConfig { threads, requests: 128, seed: 7, users: USERS, vocab: 16, deadline_us }
+    ServeConfig { threads, requests: 128, seed: 7, users: USERS, vocab: 16, deadline_us, ..Default::default() }
 }
 
 /// The tuple of everything a chaos run must keep deterministic.

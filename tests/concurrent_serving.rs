@@ -38,7 +38,7 @@ fn engines(seed: u64) -> (ArborEngine, BitEngine, Dataset, Guard) {
 }
 
 fn config(threads: usize) -> ServeConfig {
-    ServeConfig { threads, requests: 128, seed: 7, users: USERS, vocab: 16, deadline_us: None }
+    ServeConfig { threads, requests: 128, seed: 7, users: USERS, vocab: 16, ..Default::default() }
 }
 
 #[test]

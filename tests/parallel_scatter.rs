@@ -38,7 +38,7 @@ fn dataset(seed: u64, tag: &str) -> (Dataset, Guard) {
 }
 
 fn config(threads: usize, requests: usize) -> ServeConfig {
-    ServeConfig { threads, requests, seed: 7, users: USERS, vocab: 16, deadline_us: None }
+    ServeConfig { threads, requests, seed: 7, users: USERS, vocab: 16, ..Default::default() }
 }
 
 /// Everything a scatter-mode flip must keep identical on a clean engine.
