@@ -27,6 +27,7 @@ use crate::error::ArborError;
 use crate::group::{DenseGroups, GroupDir, GroupEntry};
 use crate::index::{IndexKey, LabelIndex, PropIndex};
 use crate::records::{NodeRecord, PropRecord, RelRecord, ValueTag, NO_PROP};
+use crate::statistics::GraphStatistics;
 use crate::store::{BlobStore, RecordStore};
 use crate::txn::{untag_page, StoreTag, TxCtx};
 use crate::Result;
@@ -91,6 +92,7 @@ pub struct GraphDb {
     pub(crate) label_index: LabelIndex,
     pub(crate) prop_index: PropIndex,
     pub(crate) groups: DenseGroups,
+    pub(crate) statistics: GraphStatistics,
     wal: Option<Mutex<Wal>>,
     dir: Option<PathBuf>,
     next_tx: AtomicU64,
@@ -113,6 +115,7 @@ impl GraphDb {
             label_index: LabelIndex::new(),
             prop_index: PropIndex::new(),
             groups: DenseGroups::new(config.dense_node_threshold),
+            statistics: GraphStatistics::new(),
             wal: None,
             dir: None,
             next_tx: AtomicU64::new(1),
@@ -148,6 +151,7 @@ impl GraphDb {
             label_index: LabelIndex::new(),
             prop_index: PropIndex::new(),
             groups: DenseGroups::new(config.dense_node_threshold),
+            statistics: GraphStatistics::new(),
             wal: None,
             dir: Some(dir.to_path_buf()),
             next_tx: AtomicU64::new(1),
@@ -180,6 +184,7 @@ impl GraphDb {
 
         db.load_meta()?;
         db.rebuild_indexes()?;
+        db.rebuild_statistics()?;
         Ok(db)
     }
 
@@ -285,6 +290,28 @@ impl GraphDb {
             }
         }
         Ok(())
+    }
+
+    /// Rebuilds the cardinality statistics by scanning the node and
+    /// relationship stores once. Run at open (after index rebuild) and at
+    /// the end of a bulk import; incremental maintenance via the write
+    /// transaction keeps them current afterwards.
+    pub fn rebuild_statistics(&self) -> Result<()> {
+        self.statistics.clear();
+        for entry in self.nodes.scan() {
+            let (_, rec) = entry?;
+            self.statistics.note_node_added(rec.label);
+        }
+        for entry in self.rels.scan() {
+            let (_, rec) = entry?;
+            self.statistics.note_edge_added(rec.src, rec.dst, rec.rel_type);
+        }
+        Ok(())
+    }
+
+    /// The cardinality-statistics registry the planner consults.
+    pub fn statistics(&self) -> &GraphStatistics {
+        &self.statistics
     }
 
     // -- dictionaries --------------------------------------------------------
@@ -412,6 +439,12 @@ impl GraphDb {
     /// One property of `node` by key name, `None` when absent.
     pub fn node_prop(&self, node: NodeId, key: &str) -> Result<Option<Value>> {
         let Some(kid) = self.prop_keys.get(key) else { return Ok(None) };
+        self.node_prop_by_id(node, kid)
+    }
+
+    /// One property of `node` by pre-resolved key id — lets batch executors
+    /// hoist the dictionary lookup out of per-row loops.
+    pub fn node_prop_by_id(&self, node: NodeId, kid: u64) -> Result<Option<Value>> {
         let rec = self.node_record(node)?;
         let mut head = rec.first_prop;
         while head != NO_PROP {
@@ -427,6 +460,12 @@ impl GraphDb {
     /// One property of a relationship by key name, `None` when absent.
     pub fn rel_prop(&self, rel: EdgeId, key: &str) -> Result<Option<Value>> {
         let Some(kid) = self.prop_keys.get(key) else { return Ok(None) };
+        self.rel_prop_by_id(rel, kid)
+    }
+
+    /// One property of a relationship by pre-resolved key id (the batch
+    /// counterpart of [`GraphDb::node_prop_by_id`]).
+    pub fn rel_prop_by_id(&self, rel: EdgeId, kid: u64) -> Result<Option<Value>> {
         let rec = self.rel_record(rel)?;
         let mut head = rec.first_prop;
         while head != NO_PROP {
@@ -530,6 +569,29 @@ impl GraphDb {
         self.label_index.nodes(label)
     }
 
+    /// Appends all nodes with `label` to `out` without allocating a fresh
+    /// vector per call (the batch-scan entry point; counts as one scan).
+    pub fn nodes_with_label_into(&self, label: LabelId, out: &mut Vec<NodeId>) {
+        self.label_index.nodes_into(label, out);
+    }
+
+    /// Appends `node`'s `(edge, neighbor)` pairs over `rel_type`/`dir` to
+    /// `out` — the batch-expand entry point (one chain walk, reusable
+    /// caller-side buffer).
+    pub fn rels_into(
+        &self,
+        node: NodeId,
+        rel_type: Option<u32>,
+        dir: Direction,
+        out: &mut Vec<(EdgeId, NodeId)>,
+    ) -> Result<()> {
+        for r in self.rels(node, rel_type, dir) {
+            let (id, rec) = r?;
+            out.push((id, rec.other(node)));
+        }
+        Ok(())
+    }
+
     /// Count of nodes with `label`.
     pub fn label_count(&self, label: LabelId) -> u64 {
         self.label_index.count(label)
@@ -541,6 +603,20 @@ impl GraphDb {
         let l = self.labels.get(label)?;
         let k = self.prop_keys.get(key)?;
         self.prop_index.seek((l, k), value)
+    }
+
+    /// Index seek appending matches to `out` instead of allocating; returns
+    /// `false` when no such index exists (caller falls back to a scan).
+    pub fn index_seek_into(
+        &self,
+        label: &str,
+        key: &str,
+        value: &Value,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        let Some(l) = self.labels.get(label) else { return false };
+        let Some(k) = self.prop_keys.get(key) else { return false };
+        self.prop_index.seek_into((l, k), value, out)
     }
 
     /// Index range seek over `(label, key)`.
@@ -597,6 +673,7 @@ impl GraphDb {
             ctx: Some(ctx),
             _guard: guard,
             index_ops: Vec::new(),
+            stat_ops: Vec::new(),
             dict_dirty: false,
         })
     }
@@ -783,6 +860,15 @@ enum IndexOp {
     PropRemove(IndexKey, Value, NodeId),
 }
 
+/// Buffered statistics updates, applied at commit like [`IndexOp`] so an
+/// aborted transaction never skews the planner's cardinality counters.
+enum StatOp {
+    NodeAdd(LabelId),
+    NodeRemove(LabelId),
+    EdgeAdd(NodeId, NodeId, u32),
+    EdgeRemove(NodeId, NodeId, u32),
+}
+
 /// A write transaction. Exactly one exists at a time (single-writer).
 ///
 /// Mutations are visible to readers immediately (read-uncommitted with
@@ -794,6 +880,7 @@ pub struct WriteTxn<'db> {
     ctx: Option<TxCtx<'db>>,
     _guard: MutexGuard<'db, ()>,
     index_ops: Vec<IndexOp>,
+    stat_ops: Vec<StatOp>,
     dict_dirty: bool,
 }
 
@@ -851,6 +938,7 @@ impl<'db> WriteTxn<'db> {
         self.db.nodes.put(id, &rec, ctx)?;
         let node = NodeId(id);
         self.index_ops.push(IndexOp::LabelAdd(label_id, node));
+        self.stat_ops.push(StatOp::NodeAdd(label_id));
         for (key, value) in props {
             let kid = self.db.prop_keys.get(key).expect("interned above");
             let ik = (label_id.raw(), kid);
@@ -929,6 +1017,7 @@ impl<'db> WriteTxn<'db> {
         // Chain-head insertion breaks the import-time (type, dir) ordering.
         self.db.groups.invalidate(src);
         self.db.groups.invalidate(dst);
+        self.stat_ops.push(StatOp::EdgeAdd(src, dst, t));
         Ok(id)
     }
 
@@ -1028,6 +1117,7 @@ impl<'db> WriteTxn<'db> {
         self.db.rels.put(rel.raw(), &dead, ctx)?;
         self.db.groups.invalidate(rec.src);
         self.db.groups.invalidate(rec.dst);
+        self.stat_ops.push(StatOp::EdgeRemove(rec.src, rec.dst, rec.rel_type));
         Ok(())
     }
 
@@ -1055,6 +1145,7 @@ impl<'db> WriteTxn<'db> {
         dead.in_use = false;
         self.db.nodes.put(node.raw(), &dead, ctx)?;
         self.index_ops.push(IndexOp::LabelRemove(rec.label, node));
+        self.stat_ops.push(StatOp::NodeRemove(rec.label));
         for (k, v) in props {
             let ik = (rec.label.raw(), k);
             if self.db.prop_index.has(ik) {
@@ -1076,6 +1167,14 @@ impl<'db> WriteTxn<'db> {
                 IndexOp::PropRemove(ik, v, n) => self.db.prop_index.remove(ik, &v, n),
             }
         }
+        for op in self.stat_ops.drain(..) {
+            match op {
+                StatOp::NodeAdd(l) => self.db.statistics.note_node_added(l),
+                StatOp::NodeRemove(l) => self.db.statistics.note_node_removed(l),
+                StatOp::EdgeAdd(s, d, t) => self.db.statistics.note_edge_added(s, d, t),
+                StatOp::EdgeRemove(s, d, t) => self.db.statistics.note_edge_removed(s, d, t),
+            }
+        }
         if self.dict_dirty {
             self.db.save_meta()?;
         }
@@ -1088,6 +1187,7 @@ impl<'db> WriteTxn<'db> {
         let undo = ctx.abort()?;
         self.db.apply_undo(undo)?;
         self.index_ops.clear();
+        self.stat_ops.clear();
         Ok(())
     }
 }

@@ -468,6 +468,9 @@ pub fn bulk_import(db: &GraphDb, source: &ImportSource, opts: &ImportOptions) ->
 
     db.flush_stores()?;
     db.save_meta()?;
+    // The bulk path bypasses the write transaction, so the planner's
+    // cardinality statistics are rebuilt wholesale here.
+    db.rebuild_statistics()?;
 
     // ---- Indexes (after import, as the paper describes) ---------------------
     let idx_timer = Timer::start();

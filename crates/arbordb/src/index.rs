@@ -56,6 +56,15 @@ impl LabelIndex {
             .unwrap_or_default()
     }
 
+    /// Appends all nodes with `label` to `out` (insertion order) without
+    /// allocating a fresh vector; counts as one scan.
+    pub fn nodes_into(&self, label: LabelId, out: &mut Vec<NodeId>) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.by_label.read().get(label.index()) {
+            out.extend_from_slice(v);
+        }
+    }
+
     /// Number of nodes with `label`.
     pub fn count(&self, label: LabelId) -> u64 {
         self.by_label
@@ -132,6 +141,18 @@ impl PropIndex {
         let map = r.get(&key)?;
         self.seeks.fetch_add(1, Ordering::Relaxed);
         Some(map.get(value).cloned().unwrap_or_default())
+    }
+
+    /// Exact-match seek appending hits to `out`; returns `false` when the
+    /// pair is not indexed (no entries appended).
+    pub fn seek_into(&self, key: IndexKey, value: &Value, out: &mut Vec<NodeId>) -> bool {
+        let r = self.maps.read();
+        let Some(map) = r.get(&key) else { return false };
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+        if let Some(nodes) = map.get(value) {
+            out.extend_from_slice(nodes);
+        }
+        true
     }
 
     /// Range seek over the ordered values.

@@ -40,12 +40,14 @@ pub mod group;
 pub mod import;
 pub mod index;
 pub mod records;
+pub mod statistics;
 pub mod store;
 pub mod traversal;
 pub mod txn;
 
 pub use db::{DbConfig, GraphDb};
 pub use error::ArborError;
+pub use statistics::{GraphStatistics, RelTypeStats};
 pub use micrograph_common::ids::Direction;
 pub use micrograph_common::{EdgeId, LabelId, NodeId, Value};
 

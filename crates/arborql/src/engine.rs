@@ -7,7 +7,7 @@
 //! Cypher to cache the execution plans".
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 
@@ -19,7 +19,43 @@ use parking_lot::Mutex;
 use crate::exec::{execute, ExecContext};
 use crate::parser::parse;
 use crate::plan::{plan, Plan, PlannerOptions};
+use crate::vexec::execute_vec;
 use crate::Result;
+
+/// Which executor runs a plan. A pure performance toggle: flipping it must
+/// never move a byte of any answer — the tuple interpreter is the semantic
+/// oracle the vectorized operators are pinned against (DESIGN.md §4g).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Batched operators over ID chunks (the default).
+    #[default]
+    Vectorized,
+    /// The row-at-a-time reference interpreter.
+    Tuple,
+}
+
+impl ExecMode {
+    /// Stable numeric encoding (for atomics).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ExecMode::Vectorized => 0,
+            ExecMode::Tuple => 1,
+        }
+    }
+
+    /// Inverse of [`ExecMode::to_u8`] (unknown values decode as the default).
+    pub fn from_u8(v: u8) -> Self {
+        if v == 1 { ExecMode::Tuple } else { ExecMode::Vectorized }
+    }
+
+    /// Lower-case label for reports and bench axes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecMode::Vectorized => "vectorized",
+            ExecMode::Tuple => "tuple",
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,12 +64,35 @@ pub struct EngineOptions {
     pub planner: PlannerOptions,
     /// Enable the plan cache.
     pub plan_cache: bool,
+    /// Initial executor (runtime-switchable via
+    /// [`QueryEngine::set_exec_mode`]).
+    pub exec: ExecMode,
 }
 
 impl EngineOptions {
-    /// The default production configuration: cache on, pushdowns on.
+    /// The default production configuration: cache on, pushdowns on,
+    /// vectorized execution.
     pub fn standard() -> Self {
-        EngineOptions { planner: PlannerOptions::default(), plan_cache: true }
+        EngineOptions {
+            planner: PlannerOptions::default(),
+            plan_cache: true,
+            exec: ExecMode::Vectorized,
+        }
+    }
+}
+
+/// A parsed-and-planned query, reusable across executions without taking
+/// the plan-cache lock or re-hashing the query text — shard fan-outs run
+/// the same kernel text against many engines, so the adapter prepares once.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    plan: Arc<Plan>,
+}
+
+impl Prepared {
+    /// The underlying plan (EXPLAIN/describe surfaces).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
     }
 }
 
@@ -94,6 +153,7 @@ pub struct QueryEngine {
     cache: Mutex<HashMap<String, Arc<Plan>>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    exec_mode: AtomicU8,
 }
 
 impl QueryEngine {
@@ -110,7 +170,19 @@ impl QueryEngine {
             cache: Mutex::new(HashMap::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            exec_mode: AtomicU8::new(options.exec.to_u8()),
         }
+    }
+
+    /// The currently active executor.
+    pub fn exec_mode(&self) -> ExecMode {
+        ExecMode::from_u8(self.exec_mode.load(Ordering::Relaxed))
+    }
+
+    /// Switches the executor at runtime (a pure performance toggle; answers
+    /// are byte-identical in both modes).
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        self.exec_mode.store(mode.to_u8(), Ordering::Relaxed);
     }
 
     /// The underlying database.
@@ -139,12 +211,38 @@ impl QueryEngine {
     /// Runs `text` with `params`, returning rows and statistics.
     pub fn query(&self, text: &str, params: &[(&str, Value)]) -> Result<QueryResult> {
         let (plan, plan_cached, plan_ms) = self.plan_for(text)?;
+        self.run_plan(&plan, plan_cached, plan_ms, params)
+    }
+
+    /// Parses and plans `text` once for repeated execution via
+    /// [`QueryEngine::query_prepared`] (no cache lock or text hash per run).
+    pub fn prepare(&self, text: &str) -> Result<Prepared> {
+        let (plan, _, _) = self.plan_for(text)?;
+        Ok(Prepared { plan })
+    }
+
+    /// Runs a prepared query; identical results to [`QueryEngine::query`]
+    /// on the same text.
+    pub fn query_prepared(&self, prepared: &Prepared, params: &[(&str, Value)]) -> Result<QueryResult> {
+        self.run_plan(&prepared.plan, true, 0.0, params)
+    }
+
+    fn run_plan(
+        &self,
+        plan: &Plan,
+        plan_cached: bool,
+        plan_ms: f64,
+        params: &[(&str, Value)],
+    ) -> Result<QueryResult> {
         let params: HashMap<String, Value> =
             params.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect();
         let ctx = ExecContext::new(&self.db, &params);
         let hits_before = self.db.stats().db_hits();
         let timer = Timer::start();
-        let rows = execute(&plan, &ctx)?;
+        let rows = match self.exec_mode() {
+            ExecMode::Vectorized => execute_vec(plan, &ctx)?,
+            ExecMode::Tuple => execute(plan, &ctx)?,
+        };
         let exec_ms = timer.elapsed_ms();
         let db_hits = self.db.stats().db_hits().saturating_sub(hits_before);
         Ok(QueryResult {
@@ -172,7 +270,10 @@ impl QueryEngine {
         let ctx = ExecContext::with_counters(&self.db, &params, descs.len());
         let hits_before = self.db.stats().db_hits();
         let timer = Timer::start();
-        let rows = execute(&instrumented, &ctx)?;
+        let rows = match self.exec_mode() {
+            ExecMode::Vectorized => execute_vec(&instrumented, &ctx)?,
+            ExecMode::Tuple => execute(&instrumented, &ctx)?,
+        };
         let exec_ms = timer.elapsed_ms();
         let db_hits = self.db.stats().db_hits().saturating_sub(hits_before);
         let counts = ctx.take_counters();
@@ -196,6 +297,13 @@ impl QueryEngine {
     pub fn explain(&self, text: &str) -> Result<String> {
         let (plan, _, _) = self.plan_for(text)?;
         Ok(plan.explain())
+    }
+
+    /// Returns the plan tree annotated with estimated cardinalities from
+    /// the planner's statistics snapshot (EXPLAIN with estimates).
+    pub fn describe(&self, text: &str) -> Result<String> {
+        let (plan, _, _) = self.plan_for(text)?;
+        Ok(plan.describe())
     }
 
     /// `(hits, misses)` of the plan cache.

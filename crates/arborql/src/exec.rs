@@ -47,7 +47,7 @@ pub struct ExecContext<'a> {
     /// `(node, rel type or MAX, direction)`.
     memo: RefCell<HashMap<(NodeId, u32, u8), HashSet<NodeId>>>,
     /// `PROFILE` row counters, indexed by `Op::Counter` id.
-    counters: Option<RefCell<Vec<u64>>>,
+    pub(crate) counters: Option<RefCell<Vec<u64>>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -83,7 +83,7 @@ pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Vec<Value>>> {
     Ok(out)
 }
 
-fn slot_to_value(s: &Slot) -> Value {
+pub(crate) fn slot_to_value(s: &Slot) -> Value {
     match s {
         Slot::Empty => Value::Null,
         Slot::Node(n) => Value::Int(n.raw() as i64),
@@ -97,6 +97,35 @@ fn slot_to_value(s: &Slot) -> Value {
 
 type Sink<'s> = dyn FnMut(&Row) -> Result<bool> + 's;
 
+/// Nodes of `(:label {key})` whose stored value satisfies `key <op> bound`,
+/// read from the ordered property index. Byte-exact with the equivalent
+/// `Filter`: the index BTreeMap and the filter's `Value::cmp` share one
+/// total order, stored nulls are excluded (a filter comparison against null
+/// never holds), and a null bound matches nothing.
+pub(crate) fn range_seek_nodes(
+    db: &GraphDb,
+    label: &str,
+    key: &str,
+    op: CmpOp,
+    bound: &Value,
+) -> Result<Vec<NodeId>> {
+    use std::ops::Bound as B;
+    if bound.is_null() {
+        return Ok(Vec::new());
+    }
+    let null = Value::Null;
+    let (lo, hi) = match op {
+        CmpOp::Gt => (B::Excluded(bound), B::Unbounded),
+        CmpOp::Ge => (B::Included(bound), B::Unbounded),
+        CmpOp::Lt => (B::Excluded(&null), B::Excluded(bound)),
+        CmpOp::Le => (B::Excluded(&null), B::Included(bound)),
+        _ => return Err(QlError::Plan(format!("non-range comparison {op:?} in range seek"))),
+    };
+    db.index_range(label, key, lo, hi).ok_or_else(|| {
+        QlError::Plan(format!("no index on (:{label} {{{key}}}) at execution time"))
+    })
+}
+
 /// Runs `op`, pushing rows into `sink`. Returns `false` when the sink asked
 /// to stop.
 fn run(op: &Op, ctx: &ExecContext<'_>, row: Row, sink: &mut Sink<'_>) -> Result<bool> {
@@ -107,6 +136,20 @@ fn run(op: &Op, ctx: &ExecContext<'_>, row: Row, sink: &mut Sink<'_>) -> Result<
                 let nodes = ctx.db.index_seek(label, key, &v).ok_or_else(|| {
                     QlError::Plan(format!("no index on (:{label} {{{key}}}) at execution time"))
                 })?;
+                let mut row = row.clone();
+                for n in nodes {
+                    row[*slot] = Slot::Node(n);
+                    if !sink(&row)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            })
+        }
+        Op::IndexRangeSeek { input, label, key, op, bound, slot } => {
+            with_input(input, ctx, row, sink, &mut |row, sink| {
+                let v = eval(bound, row, ctx)?;
+                let nodes = range_seek_nodes(ctx.db, label, key, *op, &v)?;
                 let mut row = row.clone();
                 for n in nodes {
                     row[*slot] = Slot::Node(n);
@@ -424,7 +467,7 @@ fn with_input(
     }
 }
 
-fn resolve_type(db: &GraphDb, rel_type: &Option<String>) -> Option<u32> {
+pub(crate) fn resolve_type(db: &GraphDb, rel_type: &Option<String>) -> Option<u32> {
     rel_type.as_ref().and_then(|t| db.rel_type_id(t))
 }
 
@@ -432,7 +475,7 @@ fn resolve_type(db: &GraphDb, rel_type: &Option<String>) -> Option<u32> {
 /// relationship uniqueness, emitting the end node once per path (Cypher
 /// semantics — duplicates across paths are intentional; Q4's phrasing (a)
 /// counts them).
-fn var_expand(
+pub(crate) fn var_expand(
     db: &GraphDb,
     start: NodeId,
     rel_type: Option<u32>,
@@ -477,7 +520,7 @@ fn var_expand(
     dfs(db, start, 0, rel_type, dir, min, max, &mut used, emit)
 }
 
-fn eval_limit(e: &CExpr, ctx: &ExecContext<'_>) -> Result<usize> {
+pub(crate) fn eval_limit(e: &CExpr, ctx: &ExecContext<'_>) -> Result<usize> {
     let row: Row = Vec::new();
     match eval(e, &row, ctx)? {
         Value::Int(n) if n >= 0 => Ok(n as usize),
@@ -486,7 +529,7 @@ fn eval_limit(e: &CExpr, ctx: &ExecContext<'_>) -> Result<usize> {
 }
 
 /// Total-order comparison of two rows by sort keys (descending flags).
-fn cmp_rows(keys: &[(usize, bool)], a: &Row, b: &Row) -> std::cmp::Ordering {
+pub(crate) fn cmp_rows(keys: &[(usize, bool)], a: &[Slot], b: &[Slot]) -> std::cmp::Ordering {
     for &(col, desc) in keys {
         let va = slot_to_value(&a[col]);
         let vb = slot_to_value(&b[col]);
@@ -503,7 +546,7 @@ fn cmp_rows(keys: &[(usize, bool)], a: &Row, b: &Row) -> std::cmp::Ordering {
 }
 
 /// Evaluates an expression against a row.
-pub fn eval(e: &CExpr, row: &Row, ctx: &ExecContext<'_>) -> Result<Value> {
+pub fn eval(e: &CExpr, row: &[Slot], ctx: &ExecContext<'_>) -> Result<Value> {
     Ok(match e {
         CExpr::Lit(v) => v.clone(),
         CExpr::Param(p) => ctx
@@ -523,6 +566,19 @@ pub fn eval(e: &CExpr, row: &Row, ctx: &ExecContext<'_>) -> Result<Value> {
             }
             Slot::Edge(e) => {
                 ctx.db.rel_prop(*e, key).map_err(QlError::Db)?.unwrap_or(Value::Null)
+            }
+            other => {
+                return Err(QlError::Plan(format!(
+                    "property access on non-node slot {other:?}"
+                )))
+            }
+        },
+        CExpr::PropId(s, kid) => match &row[*s] {
+            Slot::Node(n) => {
+                ctx.db.node_prop_by_id(*n, *kid).map_err(QlError::Db)?.unwrap_or(Value::Null)
+            }
+            Slot::Edge(e) => {
+                ctx.db.rel_prop_by_id(*e, *kid).map_err(QlError::Db)?.unwrap_or(Value::Null)
             }
             other => {
                 return Err(QlError::Plan(format!(

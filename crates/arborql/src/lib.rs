@@ -32,8 +32,9 @@ pub mod exec;
 pub mod parser;
 pub mod plan;
 pub mod token;
+pub mod vexec;
 
-pub use engine::{EngineOptions, QueryEngine, QueryResult, QueryStats};
+pub use engine::{EngineOptions, ExecMode, Prepared, QueryEngine, QueryResult, QueryStats};
 pub use micrograph_common::Value;
 
 /// Errors produced by the query layer.

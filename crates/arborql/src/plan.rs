@@ -30,11 +30,15 @@ pub struct PlannerOptions {
     pub topn_pushdown: bool,
     /// Push WHERE conjuncts to the earliest possible operator.
     pub predicate_pushdown: bool,
+    /// Pick the scan anchor (and hence the expansion direction) by the
+    /// cardinality-statistics cost model instead of the fixed rule order.
+    /// Falls back to the rules automatically while statistics are empty.
+    pub cost_based: bool,
 }
 
 impl Default for PlannerOptions {
     fn default() -> Self {
-        PlannerOptions { topn_pushdown: true, predicate_pushdown: true }
+        PlannerOptions { topn_pushdown: true, predicate_pushdown: true, cost_based: true }
     }
 }
 
@@ -49,6 +53,10 @@ pub enum CExpr {
     Slot(usize),
     /// Property `slot.key` (key resolved by name at execution).
     Prop(usize, String),
+    /// Property by pre-resolved key id — produced only by the vectorized
+    /// executor's per-execution rewrite so the dictionary lookup is hoisted
+    /// out of the per-row loop (`u64::MAX` = key never created, i.e. null).
+    PropId(usize, u64),
     /// `count(*)` marker (only inside Aggregate items).
     CountStar,
     /// Length in hops of the path in a slot.
@@ -102,6 +110,26 @@ pub enum Op {
         key: String,
         /// Seek value.
         value: CExpr,
+        /// Output slot.
+        slot: usize,
+    },
+    /// Index range seek: bind `slot` to nodes with `label` where
+    /// `key <op> bound` (op ∈ {<, <=, >, >=}), read straight from the
+    /// ordered property index. Produced when a `WHERE` range conjunct on an
+    /// indexed `(label, key)` can replace a label scan + filter; byte-exact
+    /// with the filter because index and filter share [`Value`]'s total
+    /// order and null entries are excluded on both paths.
+    IndexRangeSeek {
+        /// Upstream rows (None = single empty row).
+        input: Option<Box<Op>>,
+        /// Node label.
+        label: String,
+        /// Indexed property key.
+        key: String,
+        /// Comparison the stored value must satisfy against `bound`.
+        op: CmpOp,
+        /// Bound expression (evaluated per input row).
+        bound: Box<CExpr>,
         /// Output slot.
         slot: usize,
     },
@@ -261,6 +289,9 @@ pub struct Plan {
     pub columns: Vec<String>,
     /// Number of row slots needed during execution.
     pub slots: usize,
+    /// Estimated output rows per operator, in the pre-order of
+    /// [`Plan::explain`] (empty when the plan was built without statistics).
+    pub est_rows: Vec<f64>,
 }
 
 impl Plan {
@@ -270,14 +301,49 @@ impl Plan {
         explain_op(&self.root, 0, &mut out);
         out
     }
+
+    /// Renders the plan like [`Plan::explain`] with each operator annotated
+    /// with its estimated output cardinality from the statistics the plan
+    /// was built against (`?` when no estimate is available).
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let mut idx = 0usize;
+        describe_op(&self.root, 0, &self.est_rows, &mut idx, &mut out);
+        out
+    }
 }
 
-fn explain_op(op: &Op, depth: usize, out: &mut String) {
+fn fmt_est(v: f64) -> String {
+    format!("{}", v.round().clamp(0.0, 1e18) as u64)
+}
+
+fn describe_op(op: &Op, depth: usize, ests: &[f64], idx: &mut usize, out: &mut String) {
     use std::fmt::Write;
+    let Some((desc, children)) = op_parts(op) else {
+        if let Op::Counter { input, .. } = op {
+            describe_op(input, depth, ests, idx, out);
+        }
+        return;
+    };
+    let est = ests.get(*idx).map(|&v| fmt_est(v)).unwrap_or_else(|| "?".into());
+    *idx += 1;
     let pad = "  ".repeat(depth);
-    let (desc, children): (String, Vec<&Op>) = match op {
+    let _ = writeln!(out, "{pad}{desc} (est ~{est} rows)");
+    for c in children {
+        describe_op(c, depth + 1, ests, idx, out);
+    }
+}
+
+/// One line of the rendered tree plus the children to recurse into;
+/// `None` for the transparent [`Op::Counter`].
+fn op_parts(op: &Op) -> Option<(String, Vec<&Op>)> {
+    Some(match op {
         Op::IndexSeek { input, label, key, .. } => (
             format!("NodeIndexSeek(:{label} {{{key}}})"),
+            input.iter().map(|b| b.as_ref()).collect(),
+        ),
+        Op::IndexRangeSeek { input, label, key, op, .. } => (
+            format!("NodeIndexRangeSeek(:{label} {{{key} {} …}})", cmp_symbol(*op)),
             input.iter().map(|b| b.as_ref()).collect(),
         ),
         Op::LabelScan { input, label, .. } => {
@@ -329,8 +395,31 @@ fn explain_op(op: &Op, depth: usize, out: &mut String) {
             ),
             vec![input.as_ref()],
         ),
-        Op::Counter { input, .. } => return explain_op(input, depth, out),
+        Op::Counter { .. } => return None,
+    })
+}
+
+/// Comparison operator as its query-text symbol (plan rendering).
+fn cmp_symbol(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Neq => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn explain_op(op: &Op, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let Some((desc, children)) = op_parts(op) else {
+        if let Op::Counter { input, .. } = op {
+            explain_op(input, depth, out);
+        }
+        return;
     };
+    let pad = "  ".repeat(depth);
     let _ = writeln!(out, "{pad}{desc}");
     for c in children {
         explain_op(c, depth + 1, out);
@@ -348,7 +437,15 @@ fn explain_op(op: &Op, depth: usize, out: &mut String) {
 pub fn instrument(plan: &Plan) -> (Plan, Vec<String>) {
     let mut descs = Vec::new();
     let root = instrument_op(&plan.root, 0, &mut descs);
-    (Plan { root, columns: plan.columns.clone(), slots: plan.slots }, descs)
+    (
+        Plan {
+            root,
+            columns: plan.columns.clone(),
+            slots: plan.slots,
+            est_rows: plan.est_rows.clone(),
+        },
+        descs,
+    )
 }
 
 fn op_desc(op: &Op, depth: usize) -> String {
@@ -367,6 +464,14 @@ fn instrument_op(op: &Op, depth: usize, descs: &mut Vec<String>) -> Op {
             label: label.clone(),
             key: key.clone(),
             value: value.clone(),
+            slot: *slot,
+        },
+        Op::IndexRangeSeek { input, label, key, op, bound, slot } => Op::IndexRangeSeek {
+            input: input.as_ref().map(|i| Box::new(instrument_op(i, depth + 1, descs))),
+            label: label.clone(),
+            key: key.clone(),
+            op: *op,
+            bound: bound.clone(),
             slot: *slot,
         },
         Op::LabelScan { input, label, slot } => Op::LabelScan {
@@ -589,7 +694,160 @@ pub fn plan(db: &GraphDb, query: &Query, options: &PlannerOptions) -> Result<Pla
         }
     };
 
-    Ok(Plan { root, columns, slots: syms.slots })
+    let mut est_rows = Vec::new();
+    annotate(&root, db, &mut est_rows);
+    Ok(Plan { root, columns, slots: syms.slots, est_rows })
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality estimation (DESIGN.md §4g)
+// ---------------------------------------------------------------------------
+//
+// Statistics feed the planner only: they pick anchors, expansion directions
+// and the `est_rows` annotations of `Plan::describe`. They may never shape
+// answer bytes — a stale or empty snapshot only ever costs performance.
+
+/// Frontier cap keeping cost arithmetic finite (no `inf`, hence no `NaN`).
+const EST_CAP: f64 = 1e18;
+
+/// Heuristic selectivity of a filter (or an unindexed property constraint).
+const FILTER_SELECTIVITY: f64 = 0.1;
+
+/// Heuristic selectivity of a one-sided range predicate served by an index
+/// range seek (wider than an equality seek, tighter than no constraint).
+const RANGE_SELECTIVITY: f64 = 0.3;
+
+/// Estimated rows bound by scanning `node` as a source (before expansion).
+fn source_card(db: &GraphDb, node: &crate::ast::NodePat) -> f64 {
+    let stats = db.statistics();
+    match (&node.label, node.props.is_empty()) {
+        (Some(label), false) => {
+            let indexed = node.props.iter().any(|(key, _)| {
+                match (db.label_id(label), db.prop_key_id(key)) {
+                    (Some(l), Some(k)) => db.prop_index_has(l.raw(), k),
+                    _ => false,
+                }
+            });
+            let count = db.label_id(label).map_or(0.0, |l| stats.node_count(l) as f64);
+            if indexed {
+                1.0
+            } else {
+                (count * FILTER_SELECTIVITY).max(1.0)
+            }
+        }
+        (Some(label), true) => db.label_id(label).map_or(0.0, |l| stats.node_count(l) as f64),
+        (None, false) => (stats.total_nodes() as f64 * FILTER_SELECTIVITY).max(1.0),
+        (None, true) => stats.total_nodes() as f64,
+    }
+}
+
+/// Mean per-row fan-out of one expansion step over `(rel_type, dir)` with
+/// the given hop bounds: the `min..=max` geometric sum of the single-hop
+/// average degree from the statistics (0 for a type never created).
+fn step_fanout(db: &GraphDb, rel_type: &Option<String>, dir: Direction, min: u32, max: u32) -> f64 {
+    let stats = db.statistics();
+    let d = match rel_type {
+        Some(name) => match db.rel_type_id(name) {
+            Some(t) => stats.avg_degree(t, dir),
+            None => 0.0,
+        },
+        None => stats.avg_degree_untyped(dir),
+    };
+    if (min, max) == (1, 1) {
+        return d;
+    }
+    let mut total = 0.0f64;
+    let mut hop = 1.0f64;
+    for h in 0..=max.min(MAX_VAR_HOPS) {
+        if h > 0 {
+            hop = (hop * d).min(EST_CAP);
+        }
+        if h >= min {
+            total = (total + hop).min(EST_CAP);
+        }
+    }
+    total
+}
+
+/// Total cost of anchoring `path` at node `anchor`: the summed estimated
+/// cardinality after the source scan and after every expansion step, walking
+/// right from the anchor and then left (the executor's order).
+fn anchor_cost(db: &GraphDb, path: &crate::ast::PathPat, anchor: usize) -> f64 {
+    let mut frontier = source_card(db, &path.nodes[anchor]);
+    let mut cost = frontier;
+    for rel in &path.rels[anchor..] {
+        frontier = (frontier * step_fanout(db, &rel.rel_type, dir_of(rel.dir, false), rel.hops.0, rel.hops.1))
+            .min(EST_CAP);
+        cost = (cost + frontier).min(EST_CAP);
+    }
+    for rel in path.rels[..anchor].iter().rev() {
+        frontier = (frontier * step_fanout(db, &rel.rel_type, dir_of(rel.dir, true), rel.hops.0, rel.hops.1))
+            .min(EST_CAP);
+        cost = (cost + frontier).min(EST_CAP);
+    }
+    cost
+}
+
+/// Fills `out` with estimated output rows per operator in explain pre-order
+/// ([`Op::Counter`] is transparent), returning the root's estimate.
+fn annotate(op: &Op, db: &GraphDb, out: &mut Vec<f64>) -> f64 {
+    if let Op::Counter { input, .. } = op {
+        return annotate(input, db, out);
+    }
+    let idx = out.len();
+    out.push(0.0);
+    let child_or_one =
+        |input: &Option<Box<Op>>, out: &mut Vec<f64>| match input {
+            Some(i) => annotate(i, db, out),
+            None => 1.0,
+        };
+    let stats = db.statistics();
+    let est = match op {
+        Op::IndexSeek { input, .. } => child_or_one(input, out),
+        Op::IndexRangeSeek { input, label, .. } => {
+            let n = db.label_id(label).map_or(0.0, |l| stats.node_count(l) as f64);
+            (child_or_one(input, out) * (n * RANGE_SELECTIVITY).max(1.0)).min(EST_CAP)
+        }
+        Op::LabelScan { input, label, .. } => {
+            let n = db.label_id(label).map_or(0.0, |l| stats.node_count(l) as f64);
+            (child_or_one(input, out) * n).min(EST_CAP)
+        }
+        Op::AllNodes { input, .. } => {
+            (child_or_one(input, out) * stats.total_nodes() as f64).min(EST_CAP)
+        }
+        Op::Expand { input, rel_type, dir, min, max, .. } => {
+            let f = step_fanout(db, rel_type, *dir, *min, *max);
+            (annotate(input, db, out) * f).min(EST_CAP)
+        }
+        Op::Filter { input, .. } => {
+            (annotate(input, db, out) * FILTER_SELECTIVITY).clamp(1.0, EST_CAP)
+        }
+        Op::ShortestPath { input, .. } => annotate(input, db, out),
+        Op::Project { input, .. } | Op::Let { input, .. } | Op::Sort { input, .. }
+        | Op::SortBy { input, .. } => annotate(input, db, out),
+        Op::Aggregate { input, items } => {
+            let child = annotate(input, db, out);
+            if items.iter().any(|i| matches!(i, AggItem::Group(_))) {
+                child.sqrt().max(1.0)
+            } else {
+                1.0
+            }
+        }
+        Op::AggregateBy { input, .. } => annotate(input, db, out).sqrt().max(1.0),
+        Op::Distinct { input } | Op::DistinctBy { input, .. } => {
+            (annotate(input, db, out) * 0.5).max(1.0)
+        }
+        Op::TopN { input, limit, .. } | Op::Limit { input, limit } => {
+            let child = annotate(input, db, out);
+            match limit {
+                CExpr::Lit(Value::Int(n)) if *n >= 0 => child.min(*n as f64),
+                _ => child,
+            }
+        }
+        Op::Counter { .. } => unreachable!("handled above"),
+    };
+    out[idx] = est;
+    est
 }
 
 /// Plans one `MATCH … [WHERE …]` part, optionally consuming the rows of a
@@ -618,7 +876,7 @@ fn plan_part(
                 .nodes
                 .iter()
                 .position(|n| syms.lookup(&n.var).is_some())
-                .unwrap_or_else(|| choose_anchor(db, path));
+                .unwrap_or_else(|| choose_anchor(db, path, options));
             let mut op = if let Some(slot) = syms.lookup(&path.nodes[anchor].var) {
                 let base = input.ok_or_else(|| {
                     QlError::Plan("bound pattern variable without an input stage".into())
@@ -626,7 +884,7 @@ fn plan_part(
                 // Re-check any label/props the pattern repeats on the bound var.
                 rebound_filters(&path.nodes[anchor], slot, base, syms)?
             } else {
-                source_for(db, &path.nodes[anchor], syms, input.map(Box::new))?
+                source_for(db, &path.nodes[anchor], syms, input.map(Box::new), &mut pending, options)?
             };
             op = attach_ready(op, &mut pending, syms)?;
             for i in anchor..path.rels.len() {
@@ -648,7 +906,7 @@ fn plan_part(
             let mut acc: Option<Box<Op>> = input.map(Box::new);
             for node in [a, b] {
                 if syms.lookup(&node.var).is_none() {
-                    acc = Some(Box::new(source_for(db, node, syms, acc)?));
+                    acc = Some(Box::new(source_for(db, node, syms, acc, &mut pending, options)?));
                 }
             }
             let input_op = *acc.ok_or_else(|| {
@@ -818,14 +1076,35 @@ fn anchor_score(db: &GraphDb, node: &crate::ast::NodePat) -> u32 {
     }
 }
 
-fn choose_anchor(db: &GraphDb, path: &crate::ast::PathPat) -> usize {
+/// Picks the pattern node to scan first. With `cost_based` on and non-empty
+/// statistics, the anchor minimising [`anchor_cost`] wins — which is what
+/// chooses the cheaper *expansion direction* between otherwise equal
+/// candidates; exact cost ties fall back to the rule order
+/// ([`anchor_score`], then pattern position) so plans stay stable.
+fn choose_anchor(db: &GraphDb, path: &crate::ast::PathPat, options: &PlannerOptions) -> usize {
+    if !options.cost_based || db.statistics().total_nodes() == 0 {
+        let mut best = 0usize;
+        let mut best_score = u32::MAX;
+        for (i, n) in path.nodes.iter().enumerate() {
+            let s = anchor_score(db, n);
+            if s < best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        return best;
+    }
     let mut best = 0usize;
+    let mut best_cost = f64::INFINITY;
     let mut best_score = u32::MAX;
     for (i, n) in path.nodes.iter().enumerate() {
-        let s = anchor_score(db, n);
-        if s < best_score {
-            best_score = s;
+        let cost = anchor_cost(db, path, i);
+        let score = anchor_score(db, n);
+        let tie = (cost - best_cost).abs() <= 1e-9 * best_cost.abs().max(1.0);
+        if (!tie && cost < best_cost) || (tie && score < best_score) {
             best = i;
+            best_cost = cost;
+            best_score = score;
         }
     }
     best
@@ -839,6 +1118,8 @@ fn source_for(
     node: &crate::ast::NodePat,
     syms: &mut SymbolTable,
     input: Option<Box<Op>>,
+    pending: &mut Vec<Expr>,
+    options: &PlannerOptions,
 ) -> Result<Op> {
     let slot = syms.bind(&node.var);
     let mut remaining_props = node.props.clone();
@@ -862,7 +1143,26 @@ fn source_for(
                         slot,
                     }
                 }
-                None => Op::LabelScan { input, label: label.clone(), slot },
+                None => {
+                    // No equality seek: a WHERE range conjunct on an indexed
+                    // key can still replace the scan with a range seek.
+                    let range = if options.predicate_pushdown {
+                        take_range_conjunct(db, label, &node.var, pending, syms)
+                    } else {
+                        None
+                    };
+                    match range {
+                        Some((key, op, bound)) => Op::IndexRangeSeek {
+                            input,
+                            label: label.clone(),
+                            key,
+                            op,
+                            bound: Box::new(compile_expr(&bound, syms)?),
+                            slot,
+                        },
+                        None => Op::LabelScan { input, label: label.clone(), slot },
+                    }
+                }
             }
         }
         None => Op::AllNodes { input, slot },
@@ -878,6 +1178,58 @@ fn source_for(
         };
     }
     Ok(op)
+}
+
+/// Finds (and removes) a pending WHERE conjunct `var.key <op> expr` (either
+/// orientation) that an index range seek on `label` can serve: the op is a
+/// range comparison, `(label, key)` is indexed, and the bound side neither
+/// references `var` nor any variable not yet bound in `syms`. Returns the
+/// key, the comparison as seen from the property side, and the bound.
+fn take_range_conjunct(
+    db: &GraphDb,
+    label: &str,
+    var: &str,
+    pending: &mut Vec<Expr>,
+    syms: &SymbolTable,
+) -> Option<(String, CmpOp, Expr)> {
+    let flip = |op: CmpOp| match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    };
+    let indexed = |key: &str| match (db.label_id(label), db.prop_key_id(key)) {
+        (Some(l), Some(k)) => db.prop_index_has(l.raw(), k),
+        _ => false,
+    };
+    let usable_bound = |e: &Expr| {
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        vars.iter().all(|v| v != var && syms.lookup(v).is_some())
+    };
+    let mut found: Option<(usize, String, CmpOp, Expr)> = None;
+    for (i, e) in pending.iter().enumerate() {
+        let Expr::Cmp(op, a, b) = e else { continue };
+        if !matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+            continue;
+        }
+        if let Expr::Prop(v, key) = a.as_ref() {
+            if v == var && indexed(key) && usable_bound(b) {
+                found = Some((i, key.clone(), *op, (**b).clone()));
+                break;
+            }
+        }
+        if let Expr::Prop(v, key) = b.as_ref() {
+            if v == var && indexed(key) && usable_bound(a) {
+                found = Some((i, key.clone(), flip(*op), (**a).clone()));
+                break;
+            }
+        }
+    }
+    let (i, key, op, bound) = found?;
+    pending.remove(i);
+    Some((key, op, bound))
 }
 
 fn dir_of(d: PatDir, reversed: bool) -> Direction {
@@ -1041,6 +1393,43 @@ mod tests {
     }
 
     #[test]
+    fn where_range_becomes_index_range_seek() {
+        let db = db_with_schema();
+        db.create_index("user", "followers").unwrap();
+        let q =
+            parse("MATCH (u:user) WHERE u.followers > $th RETURN u.uid ORDER BY u.uid").unwrap();
+        let p = plan(&db, &q, &PlannerOptions::default()).unwrap();
+        let text = p.explain();
+        assert!(text.contains("NodeIndexRangeSeek(:user {followers > …})"), "{text}");
+        assert!(!text.contains("NodeByLabelScan"), "{text}");
+        assert!(!text.contains("Filter"), "consumed conjunct must not refilter: {text}");
+
+        // Flipped orientation reverses the comparison.
+        let q = parse("MATCH (u:user) WHERE $th >= u.followers RETURN u.uid").unwrap();
+        let p = plan(&db, &q, &PlannerOptions::default()).unwrap();
+        assert!(p.explain().contains("NodeIndexRangeSeek(:user {followers <= …})"), "{}", p.explain());
+    }
+
+    #[test]
+    fn range_seek_needs_index_and_pushdown() {
+        let db = db_with_schema();
+        // No followers index → plain scan + filter.
+        let q = parse("MATCH (u:user) WHERE u.followers > $th RETURN u.uid").unwrap();
+        let p = plan(&db, &q, &PlannerOptions::default()).unwrap();
+        assert!(p.explain().contains("NodeByLabelScan(:user)"), "{}", p.explain());
+        // Indexed but pushdown disabled → also a scan (the ablation keeps
+        // the WHERE as one late filter).
+        db.create_index("user", "followers").unwrap();
+        let p = plan(
+            &db,
+            &q,
+            &PlannerOptions { predicate_pushdown: false, ..PlannerOptions::default() },
+        )
+        .unwrap();
+        assert!(p.explain().contains("NodeByLabelScan(:user)"), "{}", p.explain());
+    }
+
+    #[test]
     fn anchor_falls_back_to_label_scan() {
         let db = db_with_schema();
         // tweet.tid is not indexed → the user side (indexed) is the anchor,
@@ -1064,7 +1453,7 @@ mod tests {
         let without = plan(
             &db,
             &q,
-            &PlannerOptions { topn_pushdown: false, predicate_pushdown: true },
+            &PlannerOptions { topn_pushdown: false, ..PlannerOptions::default() },
         )
         .unwrap();
         let text = without.explain();
@@ -1103,6 +1492,43 @@ mod tests {
         assert!(plan(&db, &q, &PlannerOptions::default()).is_err());
         let q = parse("MATCH (a:user) RETURN a.uid AS x ORDER BY x").unwrap();
         assert!(plan(&db, &q, &PlannerOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn cost_model_picks_cheaper_expansion_direction() {
+        // One hub following ten users: expanding follows *out* from a random
+        // user averages 10 edges per participant, expanding *in* averages 1.
+        // The cost-based anchor therefore starts at the right-hand node and
+        // expands incoming; the rule-based fallback keeps the left anchor.
+        let db = GraphDb::open_memory(DbConfig::default()).unwrap();
+        let mut tx = db.begin_write().unwrap();
+        let hub = tx.create_node("user", &[("uid", Value::Int(0))]).unwrap();
+        for i in 1..=10i64 {
+            let u = tx.create_node("user", &[("uid", Value::Int(i))]).unwrap();
+            tx.create_rel(hub, u, "follows", &[]).unwrap();
+        }
+        tx.commit().unwrap();
+        let q = parse("MATCH (a:user)-[:follows]->(b:user) RETURN id(a), id(b)").unwrap();
+        let costed = plan(&db, &q, &PlannerOptions::default()).unwrap();
+        assert!(costed.explain().contains("Expand(in:follows"), "{}", costed.explain());
+        let ruled = plan(
+            &db,
+            &q,
+            &PlannerOptions { cost_based: false, ..PlannerOptions::default() },
+        )
+        .unwrap();
+        assert!(ruled.explain().contains("Expand(out:follows"), "{}", ruled.explain());
+    }
+
+    #[test]
+    fn describe_annotates_estimated_rows() {
+        let db = db_with_schema();
+        let q = parse("MATCH (a:user)-[:posts]->(t:tweet) RETURN t.tid").unwrap();
+        let p = plan(&db, &q, &PlannerOptions::default()).unwrap();
+        let text = p.describe();
+        assert!(text.contains("(est ~"), "{text}");
+        assert!(text.contains("NodeByLabelScan(:user) (est ~1 rows)"), "{text}");
+        assert_eq!(p.est_rows.len(), p.explain().lines().count(), "one estimate per line");
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! hash-partitioned `ShardedEngine` composition of each backend, each
 //! shard count measured in both scatter modes (`_seq` sequential oracle
 //! vs `_par` worker-pool fan-out — byte-identical answers, different
-//! wall-clock).
+//! wall-clock), plus an ArborQL executor axis (`_tuple` row-at-a-time
+//! oracle vs `_vectorized` batched operators, DESIGN.md §4g — again
+//! byte-identical answers, different wall-clock; arbordb only).
 //!
 //! Scale via `MICROGRAPH_SCALE=unit|small|medium` (default unit).
 
@@ -14,7 +16,7 @@ use micrograph_bench::{fixture, Scale};
 use micrograph_core::engine::MicroblogEngine;
 use micrograph_core::ingest::build_sharded_engines;
 use micrograph_core::serve::{serve, ServeConfig};
-use micrograph_core::{ScatterMode, ShardedEngine};
+use micrograph_core::{ExecMode, ScatterMode, ShardedEngine};
 
 const REQUESTS: usize = 64;
 
@@ -67,6 +69,21 @@ fn bench_serving(c: &mut Criterion) {
             );
         }
     }
+
+    // Executor axis: the same single-reader stream on the monolithic
+    // arbordb engine, tuple vs vectorized (bitgraph has no declarative
+    // layer). Answers are digest-identical; only wall-clock moves.
+    for mode in [ExecMode::Tuple, ExecMode::Vectorized] {
+        assert!((&f.arbor as &dyn MicroblogEngine).set_exec_mode(mode));
+        let config =
+            ServeConfig { threads: 1, requests: REQUESTS, seed: 7, users, vocab: 16, ..Default::default() };
+        g.bench_with_input(
+            BenchmarkId::new("arbordb_exec", mode.as_str()),
+            &config,
+            |b, config| b.iter(|| serve(&f.arbor, config).unwrap()),
+        );
+    }
+    (&f.arbor as &dyn MicroblogEngine).set_exec_mode(ExecMode::Vectorized);
     g.finish();
 }
 

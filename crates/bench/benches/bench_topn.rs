@@ -16,8 +16,8 @@ fn bench_topn(c: &mut Criterion) {
     let full_sort = ArborEngine::with_options(
         f.arbor.db_arc(),
         EngineOptions {
-            planner: PlannerOptions { topn_pushdown: false, predicate_pushdown: true },
-            plan_cache: true,
+            planner: PlannerOptions { topn_pushdown: false, ..PlannerOptions::default() },
+            ..EngineOptions::standard()
         },
     );
 

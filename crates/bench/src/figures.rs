@@ -367,8 +367,8 @@ pub fn d3_topn_pushdown(f: &Fixture) -> String {
     let without = ArborEngine::with_options(
         f.arbor.db_arc(),
         EngineOptions {
-            planner: PlannerOptions { topn_pushdown: false, predicate_pushdown: true },
-            plan_cache: true,
+            planner: PlannerOptions { topn_pushdown: false, ..PlannerOptions::default() },
+            ..EngineOptions::standard()
         },
     );
     let time = |e: &ArborEngine| -> f64 {
@@ -554,7 +554,129 @@ pub fn serving(f: &Fixture) -> String {
             par.p99_ms,
         ));
     }
+    // Executor axis: arbordb's tuple-at-a-time oracle vs the vectorized
+    // operators (DESIGN.md §4g). Digest equality across modes is asserted
+    // inside exec_axis; only wall-clock may differ.
+    out.push_str("\n-- ArborQL executor: tuple vs vectorized (1 reader, arbordb) --\n\n");
+    let rows = exec_axis(f);
+    let mut i = 0;
+    while i < rows.len() {
+        if rows[i].exec == "tuple" && i + 1 < rows.len() && rows[i + 1].exec == "vectorized" {
+            let (tup, vec) = (&rows[i], &rows[i + 1]);
+            out.push_str(&format!(
+                "{} (shards={}): tuple {:.0} q/s, vectorized {:.0} q/s ({:.2}x), \
+                 vec p50/p95/p99 {:.3}/{:.3}/{:.3} ms\n",
+                tup.engine,
+                tup.shards,
+                tup.qps,
+                vec.qps,
+                vec.qps / tup.qps.max(f64::MIN_POSITIVE),
+                vec.p50_ms,
+                vec.p95_ms,
+                vec.p99_ms,
+            ));
+            i += 2;
+        } else {
+            let r = &rows[i];
+            out.push_str(&format!(
+                "{} (shards={}): {} {:.0} q/s, p50/p95/p99 {:.3}/{:.3}/{:.3} ms\n",
+                r.engine, r.shards, r.exec, r.qps, r.p50_ms, r.p95_ms, r.p99_ms,
+            ));
+            i += 1;
+        }
+    }
     out
+}
+
+/// One measurement on the executor axis of [`serving`]: arbordb's
+/// row-at-a-time reference interpreter vs the vectorized operator tree
+/// (DESIGN.md §4g).
+pub struct ExecRow {
+    /// Engine name (includes the shard count when sharded).
+    pub engine: &'static str,
+    /// Hash-partition count (0 = the monolithic engine).
+    pub shards: usize,
+    /// Executor this row measured: `"tuple"` / `"vectorized"` for arbordb,
+    /// `"native"` for the bitgraph baseline (no declarative layer).
+    pub exec: &'static str,
+    /// Aggregate throughput (requests/s).
+    pub qps: f64,
+    /// Median request latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile request latency (ms).
+    pub p99_ms: f64,
+}
+
+/// Measures the executor axis: the monolithic arbordb engine plus its 2-
+/// and 4-shard compositions, Tuple then Vectorized over the same
+/// single-reader stream, closing with the monolithic bitgraph engine as a
+/// `"native"` baseline row (no declarative layer, so no mode pair) — the
+/// declarative-vs-native serve-mix gap read straight off the artifact.
+/// Asserts the mode flip never changes the serving digest; one unmeasured
+/// warmup pass per engine absorbs cold-cache first-touches. arbordb rows
+/// come in consecutive (tuple, vectorized) pairs.
+pub fn exec_axis(f: &Fixture) -> Vec<ExecRow> {
+    use micrograph_core::ingest::build_sharded_engines;
+    use micrograph_core::ExecMode;
+    let users = f.dataset.users.len() as u64;
+    let config =
+        ServeConfig { threads: 1, requests: 128, seed: 42, users, vocab: 16, ..Default::default() };
+    let mut sharded = Vec::new();
+    for shards in [2usize, 4] {
+        let (arbor, _bit) =
+            build_sharded_engines(&f.dataset, &f.dir.join(format!("exec-axis-{shards}")), shards)
+                .expect("build sharded engines");
+        sharded.push((shards, arbor));
+    }
+    let mut targets: Vec<(usize, &dyn MicroblogEngine)> = vec![(0, &f.arbor)];
+    for (shards, engine) in &sharded {
+        targets.push((*shards, engine));
+    }
+    let mut rows = Vec::new();
+    for (shards, engine) in targets {
+        serve(engine, &config).expect("warmup");
+        let mut digest = None;
+        for mode in [ExecMode::Tuple, ExecMode::Vectorized] {
+            assert!(engine.set_exec_mode(mode), "arbordb engine lost its exec-mode toggle");
+            let report = serve(engine, &config).expect("serve");
+            let d = report.digest();
+            assert_eq!(
+                *digest.get_or_insert(d),
+                d,
+                "{} answers changed with exec mode {}",
+                engine.name(),
+                mode.as_str()
+            );
+            rows.push(ExecRow {
+                engine: report.engine,
+                shards,
+                exec: mode.as_str(),
+                qps: report.qps,
+                p50_ms: report.p50_ms,
+                p95_ms: report.p95_ms,
+                p99_ms: report.p99_ms,
+            });
+        }
+        engine.set_exec_mode(ExecMode::Vectorized);
+    }
+    // Native baseline: the same stream on the monolithic bitgraph engine,
+    // which refuses the exec-mode toggle (no declarative layer).
+    let bit = &f.bit as &dyn MicroblogEngine;
+    assert!(!bit.set_exec_mode(ExecMode::Tuple), "bitgraph must refuse the exec toggle");
+    serve(bit, &config).expect("warmup");
+    let report = serve(bit, &config).expect("serve");
+    rows.push(ExecRow {
+        engine: report.engine,
+        shards: 0,
+        exec: "native",
+        qps: report.qps,
+        p50_ms: report.p50_ms,
+        p95_ms: report.p95_ms,
+        p99_ms: report.p99_ms,
+    });
+    rows
 }
 
 /// One measurement on the scatter-execution axis of [`serving`].
@@ -637,6 +759,26 @@ pub fn serving_json(f: &Fixture, scale: &str) -> String {
             r.engine,
             r.shards,
             r.mode.label(),
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+        ));
+    }
+    out.push_str("  ],\n");
+    // Executor axis (DESIGN.md §4g): tuple vs vectorized on arbordb,
+    // monolithic (shards = 0) and sharded. Digests asserted equal inside
+    // exec_axis — only throughput/latency may differ between modes.
+    let exec_rows = exec_axis(f);
+    out.push_str("  \"exec_rows\": [\n");
+    for (i, r) in exec_rows.iter().enumerate() {
+        let comma = if i + 1 == exec_rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"shards\": {}, \"exec\": \"{}\", \"qps\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}{comma}\n",
+            r.engine,
+            r.shards,
+            r.exec,
             r.qps,
             r.p50_ms,
             r.p95_ms,

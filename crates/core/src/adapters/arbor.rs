@@ -13,9 +13,9 @@
 //!   pathological one.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use arbor_ql::{EngineOptions, QueryEngine};
+use arbor_ql::{EngineOptions, ExecMode, Prepared, QueryEngine};
 use arbordb::db::GraphDb;
 use arbordb::traversal::{shortest_path, Traversal};
 use arbordb::{Direction, NodeId, Value};
@@ -134,21 +134,48 @@ const K_CO_TAG_TOPN: &str =
      WHERE h.tag <> $tag \
      RETURN h.tag, count(*) AS c ORDER BY c DESC, h.tag ASC LIMIT $k";
 
+/// Lazily prepared plans for the kernel texts a shard fan-out runs hottest:
+/// each shard executes the same fixed text per scatter leg, so the adapter
+/// parses+plans once and replays the [`Prepared`] handle — no plan-cache
+/// lock or text hash per leg (ISSUE 7 satellite).
+#[derive(Default)]
+struct PreparedKernels {
+    co_mention_topn: OnceLock<Prepared>,
+    co_tag_topn: OnceLock<Prepared>,
+    influence_current: OnceLock<Prepared>,
+    influence_potential: OnceLock<Prepared>,
+}
+
 /// The declarative adapter over [`GraphDb`].
 pub struct ArborEngine {
     db: Arc<GraphDb>,
     ql: QueryEngine,
+    prep: PreparedKernels,
 }
 
 impl ArborEngine {
     /// Wraps a database with the standard engine options (plan cache on).
     pub fn new(db: Arc<GraphDb>) -> Self {
-        ArborEngine { ql: QueryEngine::new(db.clone()), db }
+        ArborEngine { ql: QueryEngine::new(db.clone()), db, prep: PreparedKernels::default() }
     }
 
     /// Wraps with explicit options (ablation switches).
     pub fn with_options(db: Arc<GraphDb>, options: EngineOptions) -> Self {
-        ArborEngine { ql: QueryEngine::with_options(db.clone(), options), db }
+        ArborEngine {
+            ql: QueryEngine::with_options(db.clone(), options),
+            db,
+            prep: PreparedKernels::default(),
+        }
+    }
+
+    /// Prepares `text` once per engine; a racing second caller just drops
+    /// its duplicate plan (both prepared the same fixed text).
+    fn prepared<'a>(&self, cell: &'a OnceLock<Prepared>, text: &str) -> Result<&'a Prepared> {
+        if let Some(p) = cell.get() {
+            return Ok(p);
+        }
+        let p = self.ql.prepare(text)?;
+        Ok(cell.get_or_init(|| p))
     }
 
     /// The underlying database.
@@ -433,8 +460,9 @@ impl MicroblogEngine for ArborEngine {
     fn co_mention_topn_kernel(&self, uid: i64, k: usize) -> Result<TopKPartial<i64>> {
         // LIMIT k+1: when a (k+1)-th row comes back, its count is the
         // threshold bound on everything the sort operator cut.
-        let r = self.ql.query(
-            K_CO_MENTION_TOPN,
+        let p = self.prepared(&self.prep.co_mention_topn, K_CO_MENTION_TOPN)?;
+        let r = self.ql.query_prepared(
+            p,
             &[("uid", Value::Int(uid)), ("k", Value::Int(k as i64 + 1))],
         )?;
         let mut top: Vec<Counted<i64>> = r
@@ -451,8 +479,9 @@ impl MicroblogEngine for ArborEngine {
     }
 
     fn co_tag_topn_kernel(&self, tag: &str, k: usize) -> Result<TopKPartial<String>> {
-        let r = self.ql.query(
-            K_CO_TAG_TOPN,
+        let p = self.prepared(&self.prep.co_tag_topn, K_CO_TAG_TOPN)?;
+        let r = self.ql.query_prepared(
+            p,
             &[("tag", Value::from(tag)), ("k", Value::Int(k as i64 + 1))],
         )?;
         let mut top: Vec<Counted<String>> = r
@@ -471,9 +500,22 @@ impl MicroblogEngine for ArborEngine {
     fn influence_topn_kernel(&self, uid: i64, current: bool, k: usize) -> Result<TopKPartial<i64>> {
         // Q5's monolithic texts already carry the LIMIT; ask for k+1 rows
         // and read the bound off the extra one.
-        let text = if current { Q5_1 } else { Q5_2 };
-        let ranked =
-            self.ranked_ints(text, &[("uid", Value::Int(uid)), ("n", Value::Int(k as i64 + 1))])?;
+        let p = if current {
+            self.prepared(&self.prep.influence_current, Q5_1)?
+        } else {
+            self.prepared(&self.prep.influence_potential, Q5_2)?
+        };
+        let r = self.ql.query_prepared(
+            p,
+            &[("uid", Value::Int(uid)), ("n", Value::Int(k as i64 + 1))],
+        )?;
+        let ranked: Vec<Ranked<i64>> = r
+            .rows
+            .iter()
+            .map(|row| {
+                Ranked::new(row[0].as_int().expect("key"), row[1].as_int().expect("count") as u64)
+            })
+            .collect();
         let mut top: Vec<Counted<i64>> =
             ranked.into_iter().map(|r| Counted { key: r.key, count: r.count }).collect();
         let bound = if top.len() > k { top[k].count } else { 0 };
@@ -619,5 +661,14 @@ impl MicroblogEngine for ArborEngine {
     fn drop_caches(&self) -> Result<()> {
         self.db.evict_caches()?;
         Ok(())
+    }
+
+    fn exec_mode(&self) -> Option<ExecMode> {
+        Some(self.ql.exec_mode())
+    }
+
+    fn set_exec_mode(&self, mode: ExecMode) -> bool {
+        self.ql.set_exec_mode(mode);
+        true
     }
 }

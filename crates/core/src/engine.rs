@@ -395,6 +395,22 @@ pub trait MicroblogEngine: Send + Sync {
     fn set_scatter_mode(&self, _mode: crate::shard::ScatterMode) -> bool {
         false
     }
+
+    /// The ArborQL executor mode, when this engine is (or wraps/shards) the
+    /// declarative arbordb backend — `None` for engines with no declarative
+    /// query layer (bitgraph). Like [`MicroblogEngine::scatter_mode`], a
+    /// pure performance toggle: flipping it never moves a byte of any
+    /// answer (DESIGN.md §4g).
+    fn exec_mode(&self) -> Option<arbor_ql::ExecMode> {
+        None
+    }
+
+    /// Switches the ArborQL executor at runtime, returning `false` when the
+    /// engine has no declarative query layer. `&self` like every other
+    /// method — benches flip one built engine between modes mid-run.
+    fn set_exec_mode(&self, _mode: arbor_ql::ExecMode) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

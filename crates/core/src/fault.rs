@@ -980,6 +980,15 @@ impl MicroblogEngine for ChaosEngine {
         // Ungated, like the other instrumentation passthroughs.
         self.inner.set_scatter_mode(mode)
     }
+
+    fn exec_mode(&self) -> Option<arbor_ql::ExecMode> {
+        self.inner.exec_mode()
+    }
+
+    fn set_exec_mode(&self, mode: arbor_ql::ExecMode) -> bool {
+        // Ungated, like the other instrumentation passthroughs.
+        self.inner.set_exec_mode(mode)
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,10 @@ pub fn arbor_source(files: &CsvFiles) -> ImportSource {
         ],
         indexes: vec![
             (schema::USER.into(), schema::UID.into()),
+            // Ordered index serving Q1.1's range predicate (`followers > th`)
+            // as a NodeIndexRangeSeek instead of a user scan; maintained
+            // incrementally by `set_node_prop` on live follower updates.
+            (schema::USER.into(), schema::FOLLOWERS.into()),
             (schema::TWEET.into(), schema::TID.into()),
             (schema::HASHTAG.into(), schema::TAG.into()),
         ],

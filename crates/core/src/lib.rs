@@ -58,6 +58,7 @@ pub mod shard;
 pub mod workload;
 
 pub use adapters::{ArborEngine, BitEngine};
+pub use arbor_ql::ExecMode;
 pub use engine::{CoreError, MicroblogEngine, Ranked};
 pub use fault::{ChaosEngine, Coverage, DegradationMode, FaultPlan, FaultStats, RetryPolicy};
 pub use shard::{ScatterMode, ShardedEngine};

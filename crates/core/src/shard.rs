@@ -1393,6 +1393,22 @@ impl MicroblogEngine for ShardedEngine {
         self.scatter_mode.store(mode.to_u8(), Ordering::Relaxed);
         true
     }
+
+    fn exec_mode(&self) -> Option<arbor_ql::ExecMode> {
+        // All shards run the same backend; the first one speaks for all.
+        self.shards.first().and_then(|s| s.exec_mode())
+    }
+
+    fn set_exec_mode(&self, mode: arbor_ql::ExecMode) -> bool {
+        // Flip every shard (no short-circuit); succeeds only when every
+        // shard has the toggle (shards are homogeneous, so this is
+        // all-or-nothing in practice).
+        let mut ok = true;
+        for s in &self.shards {
+            ok &= s.set_exec_mode(mode);
+        }
+        ok
+    }
 }
 
 #[cfg(test)]

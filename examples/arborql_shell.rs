@@ -1,8 +1,10 @@
 //! An interactive ArborQL shell over a generated Twitter-shaped graph —
 //! the closest thing to the `cypher-shell` sessions behind the paper's §4
-//! introspection. Type queries; `:explain Q` shows the plan, `:profile Q`
-//! runs the profiler (per-operator rows + db hits), `:stats` dumps engine
-//! counters.
+//! introspection. Type queries; `:explain Q` shows the plan, `:describe Q`
+//! shows it with the cost-based planner's estimated cardinalities
+//! (DESIGN.md §4g), `:profile Q` runs the profiler (per-operator rows +
+//! db hits), `:stats` dumps engine counters, `:exec tuple|vectorized`
+//! switches the executor.
 //!
 //! ```sh
 //! cargo run --release --example arborql_shell            # interactive
@@ -28,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("# ready: {}", dataset.stats().render_table().replace('\n', "\n# "));
     eprintln!("# schema: (:user {{uid, name, followers, verified}}), (:tweet {{tid, text}}), (:hashtag {{tag}})");
     eprintln!("# edges:  follows, posts, mentions, tags");
-    eprintln!("# commands: :explain <q>   :profile <q>   :stats   :quit");
+    eprintln!("# commands: :explain <q>   :describe <q>   :profile <q>   :exec tuple|vectorized   :stats   :quit");
     eprintln!("# example: MATCH (a:user {{uid: 1}})-[:follows]->(f) RETURN f.uid LIMIT 5");
 
     let stdin = std::io::stdin();
@@ -63,6 +65,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Ok(plan) => write!(out, "{plan}")?,
                 Err(e) => writeln!(out, "error: {e}")?,
             }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":describe ") {
+            match ql.describe(q) {
+                Ok(plan) => write!(out, "{plan}")?,
+                Err(e) => writeln!(out, "error: {e}")?,
+            }
+            continue;
+        }
+        if let Some(mode) = line.strip_prefix(":exec ") {
+            match mode.trim() {
+                "tuple" => ql.set_exec_mode(micrograph_core::ExecMode::Tuple),
+                "vectorized" => ql.set_exec_mode(micrograph_core::ExecMode::Vectorized),
+                other => {
+                    writeln!(out, "error: unknown executor '{other}' (tuple | vectorized)")?;
+                    continue;
+                }
+            }
+            writeln!(out, "executor: {}", ql.exec_mode().as_str())?;
             continue;
         }
         if let Some(q) = line.strip_prefix(":profile ") {

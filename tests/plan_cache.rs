@@ -55,7 +55,7 @@ fn cached_and_uncached_answers_agree() {
     let with_cache = QueryEngine::new(db.clone());
     let without = QueryEngine::with_options(
         db,
-        EngineOptions { planner: Default::default(), plan_cache: false },
+        EngineOptions { plan_cache: false, ..EngineOptions::standard() },
     );
     for i in 1..=15 {
         let a = with_cache.query(PARAMETERIZED, &[("uid", Value::Int(i))]).unwrap();
