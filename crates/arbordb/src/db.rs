@@ -28,7 +28,7 @@ use crate::group::{DenseGroups, GroupDir, GroupEntry};
 use crate::index::{IndexKey, LabelIndex, PropIndex};
 use crate::records::{NodeRecord, PropRecord, RelRecord, ValueTag, NO_PROP};
 use crate::statistics::GraphStatistics;
-use crate::store::{BlobStore, RecordStore};
+use crate::store::{BlobStore, PageCache, RecordStore};
 use crate::txn::{untag_page, StoreTag, TxCtx};
 use crate::Result;
 
@@ -353,6 +353,11 @@ impl GraphDb {
                 let off = self.blob.append(s.as_bytes(), tx)?;
                 (ValueTag::Str, off, s.len() as u64)
             }
+            Value::List(_) => {
+                return Err(ArborError::InvalidState(
+                    "list values are query bindings and cannot be stored as properties".into(),
+                ))
+            }
         })
     }
 
@@ -455,6 +460,38 @@ impl GraphDb {
             head = p.next;
         }
         Ok(None)
+    }
+
+    /// Batched [`GraphDb::node_prop_by_id`]: one value per input node, in
+    /// input order (`Null` where the property is absent). Internally visits
+    /// nodes in id order under per-store page caches, so a dense batch pays
+    /// one buffer-pool access per page rather than one per record. Value
+    /// semantics are identical to the scalar accessor; only the order in
+    /// which an error for a dead node surfaces may differ (callers that need
+    /// the scalar error order must re-probe row-by-row).
+    pub fn node_prop_by_id_batch(&self, nodes: &[NodeId], kid: u64) -> Result<Vec<Value>> {
+        let mut order: Vec<u32> = (0..nodes.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| nodes[i as usize].raw());
+        let mut out = vec![Value::Null; nodes.len()];
+        let mut ncache = PageCache::default();
+        let mut pcache = PageCache::default();
+        for &i in &order {
+            let node = nodes[i as usize];
+            let rec = self.nodes.get_cached(node.raw(), &mut ncache)?;
+            if !rec.in_use {
+                return Err(ArborError::RecordNotFound(format!("node {node}")));
+            }
+            let mut head = rec.first_prop;
+            while head != NO_PROP {
+                let p = self.props.get_cached(head, &mut pcache)?;
+                if p.in_use && p.key as u64 == kid {
+                    out[i as usize] = self.decode_value(&p)?;
+                    break;
+                }
+                head = p.next;
+            }
+        }
+        Ok(out)
     }
 
     /// One property of a relationship by key name, `None` when absent.

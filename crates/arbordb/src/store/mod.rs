@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use micrograph_common::{CommonError, PageId};
-use micrograph_pagestore::buffer::{BufferPool, PoolConfig, PoolStats};
+use micrograph_pagestore::buffer::{BufferPool, PageHandle, PoolConfig, PoolStats};
 use micrograph_pagestore::backend::StorageBackend;
 use micrograph_pagestore::page::PAGE_SIZE;
 
@@ -107,6 +107,27 @@ impl<R: Record> RecordStore<R> {
         Ok(R::decode(page.read(Self::offset_of(id), R::SIZE)))
     }
 
+    /// Reads record `id` through `cache`: consecutive gets that land on the
+    /// same page reuse the pinned handle instead of going back through the
+    /// buffer-pool latch, so an id-sorted batch pays one pool access per
+    /// page rather than per record.
+    pub fn get_cached(&self, id: u64, cache: &mut PageCache) -> Result<R> {
+        if id >= self.count() {
+            return Err(CommonError::NotFound(format!(
+                "record {id} beyond store count {}",
+                self.count()
+            ))
+            .into());
+        }
+        let page = Self::page_of(id);
+        if !matches!(&cache.slot, Some((p, _)) if *p == page) {
+            cache.slot = Some((page, self.pool.get(page)?));
+        }
+        let (_, h) = cache.slot.as_ref().expect("cache slot just filled");
+        let g = h.read();
+        Ok(R::decode(g.read(Self::offset_of(id), R::SIZE)))
+    }
+
     /// Writes record `id` (which must have been allocated), logging through `tx`.
     pub fn put(&self, id: u64, rec: &R, tx: &mut TxCtx<'_>) -> Result<()> {
         if id >= self.count() {
@@ -177,6 +198,14 @@ impl<R: Record> RecordStore<R> {
     pub fn size_bytes(&self) -> u64 {
         self.pool.size_bytes()
     }
+}
+
+/// One-page read cache for [`RecordStore::get_cached`]. Holding it pins at
+/// most one page in the pool; drop it (or let it fall out of scope) when the
+/// batch is done.
+#[derive(Default)]
+pub struct PageCache {
+    slot: Option<(PageId, PageHandle)>,
 }
 
 /// Append-only store of raw bytes (string values, tweet text).

@@ -98,6 +98,8 @@ pub enum Expr {
     Id(String),
     /// Comparison.
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// List membership `lhs IN rhs` (rhs evaluates to a list).
+    In(Box<Expr>, Box<Expr>),
     /// Conjunction.
     And(Box<Expr>, Box<Expr>),
     /// Disjunction.
@@ -186,7 +188,7 @@ impl Expr {
             | Expr::Length(v)
             | Expr::Id(v)
             | Expr::TypeFn(v) => out.push(v.clone()),
-            Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            Expr::Cmp(_, a, b) | Expr::In(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
                 a.vars(out);
                 b.vars(out);
             }

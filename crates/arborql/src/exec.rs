@@ -126,6 +126,26 @@ pub(crate) fn range_seek_nodes(
     })
 }
 
+/// The deterministic seek schedule of a multi-anchor `IN` seek: the list's
+/// non-null elements, sorted ascending in [`Value`]'s total order and
+/// deduplicated. Both executors walk this schedule so anchors appear in the
+/// same order; duplicates collapse because membership (like the equivalent
+/// `Filter`) holds at most once per node, and null elements are dropped
+/// because equality against null never holds.
+pub(crate) fn in_seek_keys(list: Value) -> Result<Vec<Value>> {
+    let mut keys = match list {
+        Value::List(items) => items,
+        Value::Null => Vec::new(),
+        other => {
+            return Err(QlError::Plan(format!("IN requires a list, got {other}")));
+        }
+    };
+    keys.retain(|v| !v.is_null());
+    keys.sort();
+    keys.dedup();
+    Ok(keys)
+}
+
 /// Runs `op`, pushing rows into `sink`. Returns `false` when the sink asked
 /// to stop.
 fn run(op: &Op, ctx: &ExecContext<'_>, row: Row, sink: &mut Sink<'_>) -> Result<bool> {
@@ -141,6 +161,26 @@ fn run(op: &Op, ctx: &ExecContext<'_>, row: Row, sink: &mut Sink<'_>) -> Result<
                     row[*slot] = Slot::Node(n);
                     if !sink(&row)? {
                         return Ok(false);
+                    }
+                }
+                Ok(true)
+            })
+        }
+        Op::NodeIdInSeek { input, label, key, list, slot } => {
+            with_input(input, ctx, row, sink, &mut |row, sink| {
+                let keys = in_seek_keys(eval(list, row, ctx)?)?;
+                let mut row = row.clone();
+                for v in &keys {
+                    let nodes = ctx.db.index_seek(label, key, v).ok_or_else(|| {
+                        QlError::Plan(format!(
+                            "no index on (:{label} {{{key}}}) at execution time"
+                        ))
+                    })?;
+                    for n in nodes {
+                        row[*slot] = Slot::Node(n);
+                        if !sink(&row)? {
+                            return Ok(false);
+                        }
                     }
                 }
                 Ok(true)
@@ -394,9 +434,7 @@ fn run(op: &Op, ctx: &ExecContext<'_>, row: Row, sink: &mut Sink<'_>) -> Result<
                     }
                 }
                 // Deterministic tie-break on the full row.
-                let va: Vec<Value> = ra.iter().map(slot_to_value).collect();
-                let vb: Vec<Value> = rb.iter().map(slot_to_value).collect();
-                va.cmp(&vb)
+                cmp_full_rows(ra, rb)
             });
             for (_, r) in &rows {
                 if !sink(r)? {
@@ -529,20 +567,42 @@ pub(crate) fn eval_limit(e: &CExpr, ctx: &ExecContext<'_>) -> Result<usize> {
 }
 
 /// Total-order comparison of two rows by sort keys (descending flags).
+/// Compares two slots exactly as `slot_to_value(a).cmp(&slot_to_value(b))`
+/// would, without cloning the values on the homogeneous (hot) arms —
+/// sort/top-n comparators run this per comparison, and tied count columns
+/// make tie groups large.
+pub(crate) fn cmp_slot(a: &Slot, b: &Slot) -> std::cmp::Ordering {
+    match (a, b) {
+        (Slot::Val(x), Slot::Val(y)) => x.cmp(y),
+        (Slot::Empty, Slot::Empty) => std::cmp::Ordering::Equal,
+        (Slot::Node(x), Slot::Node(y)) => (x.raw() as i64).cmp(&(y.raw() as i64)),
+        (Slot::Edge(x), Slot::Edge(y)) => (x.raw() as i64).cmp(&(y.raw() as i64)),
+        (a, b) => slot_to_value(a).cmp(&slot_to_value(b)),
+    }
+}
+
+/// Compares full rows slot-by-slot (the deterministic sort tie-break),
+/// equal to comparing the materialized `Vec<Value>` projections.
+pub(crate) fn cmp_full_rows(a: &[Slot], b: &[Slot]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = cmp_slot(x, y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
 pub(crate) fn cmp_rows(keys: &[(usize, bool)], a: &[Slot], b: &[Slot]) -> std::cmp::Ordering {
     for &(col, desc) in keys {
-        let va = slot_to_value(&a[col]);
-        let vb = slot_to_value(&b[col]);
-        let ord = va.cmp(&vb);
+        let ord = cmp_slot(&a[col], &b[col]);
         let ord = if desc { ord.reverse() } else { ord };
         if ord != std::cmp::Ordering::Equal {
             return ord;
         }
     }
     // Deterministic tie-break on the full row.
-    let ka: Vec<Value> = a.iter().map(slot_to_value).collect();
-    let kb: Vec<Value> = b.iter().map(slot_to_value).collect();
-    ka.cmp(&kb)
+    cmp_full_rows(a, b)
 }
 
 /// Evaluates an expression against a row.
@@ -623,6 +683,22 @@ pub fn eval(e: &CExpr, row: &[Slot], ctx: &ExecContext<'_>) -> Result<Value> {
                 CmpOp::Gt => ord == std::cmp::Ordering::Greater,
                 CmpOp::Ge => ord != std::cmp::Ordering::Less,
             })
+        }
+        CExpr::In(a, b) => {
+            let va = eval(a, row, ctx)?;
+            let vb = eval(b, row, ctx)?;
+            if va.is_null() || vb.is_null() {
+                // Membership against null never holds, like Cmp.
+                return Ok(Value::Bool(false));
+            }
+            match vb {
+                Value::List(items) => {
+                    Value::Bool(items.iter().any(|x| !x.is_null() && *x == va))
+                }
+                other => {
+                    return Err(QlError::Plan(format!("IN requires a list, got {other}")));
+                }
+            }
         }
         CExpr::And(a, b) => {
             Value::Bool(eval(a, row, ctx)?.is_truthy() && eval(b, row, ctx)?.is_truthy())

@@ -35,6 +35,7 @@ pub mod token;
 pub mod vexec;
 
 pub use engine::{EngineOptions, ExecMode, Prepared, QueryEngine, QueryResult, QueryStats};
+pub use plan::PlannerOptions;
 pub use micrograph_common::Value;
 
 /// Errors produced by the query layer.

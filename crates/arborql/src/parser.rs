@@ -331,6 +331,11 @@ impl Parser {
             return self.pattern_predicate();
         }
         let lhs = self.primary()?;
+        if self.peek().is_kw("IN") {
+            self.bump();
+            let rhs = self.primary()?;
+            return Ok(Expr::In(Box::new(lhs), Box::new(rhs)));
+        }
         let op = match self.peek() {
             Token::Eq => Some(CmpOp::Eq),
             Token::Neq => Some(CmpOp::Neq),
@@ -371,6 +376,28 @@ impl Parser {
             Token::Float(f) => Ok(Expr::Lit(Value::Double(f))),
             Token::Str(s) => Ok(Expr::Lit(Value::Str(s))),
             Token::Param(p) => Ok(Expr::Param(p)),
+            Token::LBracket => {
+                // List literal `[v, ...]` — elements must themselves be
+                // literals (parameters supply dynamic lists).
+                let mut items = Vec::new();
+                if !self.eat(&Token::RBracket) {
+                    loop {
+                        match self.primary()? {
+                            Expr::Lit(v) => items.push(v),
+                            other => {
+                                return Err(QlError::Syntax(format!(
+                                    "list literals may only contain literals, found {other:?}"
+                                )))
+                            }
+                        }
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RBracket)?;
+                }
+                Ok(Expr::Lit(Value::List(items)))
+            }
             Token::LParen => {
                 let inner = self.expr()?;
                 self.expect(&Token::RParen)?;

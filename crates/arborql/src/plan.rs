@@ -67,6 +67,9 @@ pub enum CExpr {
     Id(usize),
     /// Comparison.
     Cmp(CmpOp, Box<CExpr>, Box<CExpr>),
+    /// List membership `lhs IN rhs` (null lhs or rhs never holds, matching
+    /// comparison semantics; rhs must evaluate to a list).
+    In(Box<CExpr>, Box<CExpr>),
     /// Conjunction.
     And(Box<CExpr>, Box<CExpr>),
     /// Disjunction.
@@ -130,6 +133,25 @@ pub enum Op {
         op: CmpOp,
         /// Bound expression (evaluated per input row).
         bound: Box<CExpr>,
+        /// Output slot.
+        slot: usize,
+    },
+    /// Multi-anchor index seek: bind `slot` to nodes with `label` where
+    /// `key` equals any element of `list` (a `WHERE key IN $uids` conjunct
+    /// on an indexed `(label, key)`). Executes as one batched seek per
+    /// distinct list element over the *sorted* element list, so both
+    /// executors emit anchors in the same deterministic order and the
+    /// originating anchor is carried in `slot` through every downstream
+    /// operator.
+    NodeIdInSeek {
+        /// Upstream rows (None = single empty row).
+        input: Option<Box<Op>>,
+        /// Node label.
+        label: String,
+        /// Indexed property key.
+        key: String,
+        /// List expression (evaluated per input row; usually a parameter).
+        list: Box<CExpr>,
         /// Output slot.
         slot: usize,
     },
@@ -346,6 +368,10 @@ fn op_parts(op: &Op) -> Option<(String, Vec<&Op>)> {
             format!("NodeIndexRangeSeek(:{label} {{{key} {} …}})", cmp_symbol(*op)),
             input.iter().map(|b| b.as_ref()).collect(),
         ),
+        Op::NodeIdInSeek { input, label, key, .. } => (
+            format!("NodeIdInSeek(:{label} {{{key} IN …}})"),
+            input.iter().map(|b| b.as_ref()).collect(),
+        ),
         Op::LabelScan { input, label, .. } => {
             (format!("NodeByLabelScan(:{label})"), input.iter().map(|b| b.as_ref()).collect())
         }
@@ -472,6 +498,13 @@ fn instrument_op(op: &Op, depth: usize, descs: &mut Vec<String>) -> Op {
             key: key.clone(),
             op: *op,
             bound: bound.clone(),
+            slot: *slot,
+        },
+        Op::NodeIdInSeek { input, label, key, list, slot } => Op::NodeIdInSeek {
+            input: input.as_ref().map(|i| Box::new(instrument_op(i, depth + 1, descs))),
+            label: label.clone(),
+            key: key.clone(),
+            list: list.clone(),
             slot: *slot,
         },
         Op::LabelScan { input, label, slot } => Op::LabelScan {
@@ -717,10 +750,55 @@ const FILTER_SELECTIVITY: f64 = 0.1;
 /// range seek (wider than an equality seek, tighter than no constraint).
 const RANGE_SELECTIVITY: f64 = 0.3;
 
+/// Assumed element count of an `IN` list whose length is unknown at plan
+/// time (a parameter binding). Literal lists use their actual length.
+const DEFAULT_IN_LIST_LEN: f64 = 8.0;
+
+/// Estimated element count of an `IN` list expression: Σ per-key estimates
+/// with one row per indexed key, i.e. the (deduplicated) list length when it
+/// is known.
+fn in_list_len_est(list: &CExpr) -> f64 {
+    match list {
+        CExpr::Lit(Value::List(items)) => (items.len() as f64).max(1.0),
+        _ => DEFAULT_IN_LIST_LEN,
+    }
+}
+
+/// Estimated element count when `pending` holds an `IN` conjunct over an
+/// indexed `(label, key)` of `node` — the multi-anchor seek candidate
+/// [`take_in_conjunct`] will extract if this node anchors the pattern.
+fn indexed_in_len(db: &GraphDb, node: &crate::ast::NodePat, pending: &[Expr]) -> Option<f64> {
+    let label = node.label.as_deref()?;
+    for e in pending {
+        let Expr::In(a, b) = e else { continue };
+        let Expr::Prop(v, key) = a.as_ref() else { continue };
+        if v != &node.var {
+            continue;
+        }
+        let indexed = match (db.label_id(label), db.prop_key_id(key)) {
+            (Some(l), Some(k)) => db.prop_index_has(l.raw(), k),
+            _ => false,
+        };
+        if !indexed {
+            continue;
+        }
+        let mut vars = Vec::new();
+        b.vars(&mut vars);
+        if vars.iter().any(|x| x == &node.var) {
+            continue;
+        }
+        return Some(match b.as_ref() {
+            Expr::Lit(Value::List(items)) => (items.len() as f64).max(1.0),
+            _ => DEFAULT_IN_LIST_LEN,
+        });
+    }
+    None
+}
+
 /// Estimated rows bound by scanning `node` as a source (before expansion).
-fn source_card(db: &GraphDb, node: &crate::ast::NodePat) -> f64 {
+fn source_card(db: &GraphDb, node: &crate::ast::NodePat, pending: &[Expr]) -> f64 {
     let stats = db.statistics();
-    match (&node.label, node.props.is_empty()) {
+    let base = match (&node.label, node.props.is_empty()) {
         (Some(label), false) => {
             let indexed = node.props.iter().any(|(key, _)| {
                 match (db.label_id(label), db.prop_key_id(key)) {
@@ -730,14 +808,17 @@ fn source_card(db: &GraphDb, node: &crate::ast::NodePat) -> f64 {
             });
             let count = db.label_id(label).map_or(0.0, |l| stats.node_count(l) as f64);
             if indexed {
-                1.0
-            } else {
-                (count * FILTER_SELECTIVITY).max(1.0)
+                return 1.0;
             }
+            (count * FILTER_SELECTIVITY).max(1.0)
         }
         (Some(label), true) => db.label_id(label).map_or(0.0, |l| stats.node_count(l) as f64),
         (None, false) => (stats.total_nodes() as f64 * FILTER_SELECTIVITY).max(1.0),
         (None, true) => stats.total_nodes() as f64,
+    };
+    match indexed_in_len(db, node, pending) {
+        Some(len) => base.min(len),
+        None => base,
     }
 }
 
@@ -772,8 +853,8 @@ fn step_fanout(db: &GraphDb, rel_type: &Option<String>, dir: Direction, min: u32
 /// Total cost of anchoring `path` at node `anchor`: the summed estimated
 /// cardinality after the source scan and after every expansion step, walking
 /// right from the anchor and then left (the executor's order).
-fn anchor_cost(db: &GraphDb, path: &crate::ast::PathPat, anchor: usize) -> f64 {
-    let mut frontier = source_card(db, &path.nodes[anchor]);
+fn anchor_cost(db: &GraphDb, path: &crate::ast::PathPat, anchor: usize, pending: &[Expr]) -> f64 {
+    let mut frontier = source_card(db, &path.nodes[anchor], pending);
     let mut cost = frontier;
     for rel in &path.rels[anchor..] {
         frontier = (frontier * step_fanout(db, &rel.rel_type, dir_of(rel.dir, false), rel.hops.0, rel.hops.1))
@@ -804,6 +885,9 @@ fn annotate(op: &Op, db: &GraphDb, out: &mut Vec<f64>) -> f64 {
     let stats = db.statistics();
     let est = match op {
         Op::IndexSeek { input, .. } => child_or_one(input, out),
+        Op::NodeIdInSeek { input, list, .. } => {
+            (child_or_one(input, out) * in_list_len_est(list)).min(EST_CAP)
+        }
         Op::IndexRangeSeek { input, label, .. } => {
             let n = db.label_id(label).map_or(0.0, |l| stats.node_count(l) as f64);
             (child_or_one(input, out) * (n * RANGE_SELECTIVITY).max(1.0)).min(EST_CAP)
@@ -876,7 +960,7 @@ fn plan_part(
                 .nodes
                 .iter()
                 .position(|n| syms.lookup(&n.var).is_some())
-                .unwrap_or_else(|| choose_anchor(db, path, options));
+                .unwrap_or_else(|| choose_anchor(db, path, options, &pending));
             let mut op = if let Some(slot) = syms.lookup(&path.nodes[anchor].var) {
                 let base = input.ok_or_else(|| {
                     QlError::Plan("bound pattern variable without an input stage".into())
@@ -1054,9 +1138,11 @@ fn plan_with(
     Ok(op)
 }
 
-/// Scores a pattern node for anchor selection: lower is better.
-fn anchor_score(db: &GraphDb, node: &crate::ast::NodePat) -> u32 {
-    match (&node.label, node.props.is_empty()) {
+/// Scores a pattern node for anchor selection: lower is better. A node with
+/// an indexed `IN` conjunct in the pending WHERE ranks just below an inline
+/// equality seek — a multi-anchor seek binds ~list-length rows.
+fn anchor_score(db: &GraphDb, node: &crate::ast::NodePat, pending: &[Expr]) -> u32 {
+    let base = match (&node.label, node.props.is_empty()) {
         (Some(label), false) => {
             let indexed = node.props.iter().any(|(key, _)| {
                 match (db.label_id(label), db.prop_key_id(key)) {
@@ -1073,6 +1159,11 @@ fn anchor_score(db: &GraphDb, node: &crate::ast::NodePat) -> u32 {
         (Some(_), true) => 3,
         (None, false) => 4,
         (None, true) => 5,
+    };
+    if base > 1 && indexed_in_len(db, node, pending).is_some() {
+        1
+    } else {
+        base
     }
 }
 
@@ -1081,12 +1172,17 @@ fn anchor_score(db: &GraphDb, node: &crate::ast::NodePat) -> u32 {
 /// chooses the cheaper *expansion direction* between otherwise equal
 /// candidates; exact cost ties fall back to the rule order
 /// ([`anchor_score`], then pattern position) so plans stay stable.
-fn choose_anchor(db: &GraphDb, path: &crate::ast::PathPat, options: &PlannerOptions) -> usize {
+fn choose_anchor(
+    db: &GraphDb,
+    path: &crate::ast::PathPat,
+    options: &PlannerOptions,
+    pending: &[Expr],
+) -> usize {
     if !options.cost_based || db.statistics().total_nodes() == 0 {
         let mut best = 0usize;
         let mut best_score = u32::MAX;
         for (i, n) in path.nodes.iter().enumerate() {
-            let s = anchor_score(db, n);
+            let s = anchor_score(db, n, pending);
             if s < best_score {
                 best_score = s;
                 best = i;
@@ -1098,8 +1194,8 @@ fn choose_anchor(db: &GraphDb, path: &crate::ast::PathPat, options: &PlannerOpti
     let mut best_cost = f64::INFINITY;
     let mut best_score = u32::MAX;
     for (i, n) in path.nodes.iter().enumerate() {
-        let cost = anchor_cost(db, path, i);
-        let score = anchor_score(db, n);
+        let cost = anchor_cost(db, path, i, pending);
+        let score = anchor_score(db, n, pending);
         let tie = (cost - best_cost).abs() <= 1e-9 * best_cost.abs().max(1.0);
         if (!tie && cost < best_cost) || (tie && score < best_score) {
             best = i;
@@ -1144,23 +1240,39 @@ fn source_for(
                     }
                 }
                 None => {
-                    // No equality seek: a WHERE range conjunct on an indexed
-                    // key can still replace the scan with a range seek.
-                    let range = if options.predicate_pushdown {
-                        take_range_conjunct(db, label, &node.var, pending, syms)
+                    // No equality seek: a WHERE membership or range conjunct
+                    // on an indexed key can still replace the scan with a
+                    // (multi-anchor or range) seek.
+                    let in_seek = if options.predicate_pushdown {
+                        take_in_conjunct(db, label, &node.var, pending, syms)
                     } else {
                         None
                     };
-                    match range {
-                        Some((key, op, bound)) => Op::IndexRangeSeek {
+                    if let Some((key, list)) = in_seek {
+                        Op::NodeIdInSeek {
                             input,
                             label: label.clone(),
                             key,
-                            op,
-                            bound: Box::new(compile_expr(&bound, syms)?),
+                            list: Box::new(compile_expr(&list, syms)?),
                             slot,
-                        },
-                        None => Op::LabelScan { input, label: label.clone(), slot },
+                        }
+                    } else {
+                        let range = if options.predicate_pushdown {
+                            take_range_conjunct(db, label, &node.var, pending, syms)
+                        } else {
+                            None
+                        };
+                        match range {
+                            Some((key, op, bound)) => Op::IndexRangeSeek {
+                                input,
+                                label: label.clone(),
+                                key,
+                                op,
+                                bound: Box::new(compile_expr(&bound, syms)?),
+                                slot,
+                            },
+                            None => Op::LabelScan { input, label: label.clone(), slot },
+                        }
                     }
                 }
             }
@@ -1185,6 +1297,40 @@ fn source_for(
 /// range comparison, `(label, key)` is indexed, and the bound side neither
 /// references `var` nor any variable not yet bound in `syms`. Returns the
 /// key, the comparison as seen from the property side, and the bound.
+/// Finds (and removes) a pending WHERE conjunct `var.key IN list` that a
+/// multi-anchor index seek on `label` can serve: `(label, key)` is indexed
+/// and the list side neither references `var` nor any variable not yet
+/// bound in `syms`. Returns the key and the list expression.
+fn take_in_conjunct(
+    db: &GraphDb,
+    label: &str,
+    var: &str,
+    pending: &mut Vec<Expr>,
+    syms: &SymbolTable,
+) -> Option<(String, Expr)> {
+    let indexed = |key: &str| match (db.label_id(label), db.prop_key_id(key)) {
+        (Some(l), Some(k)) => db.prop_index_has(l.raw(), k),
+        _ => false,
+    };
+    let usable_list = |e: &Expr| {
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        vars.iter().all(|v| v != var && syms.lookup(v).is_some())
+    };
+    let mut found: Option<(usize, String, Expr)> = None;
+    for (i, e) in pending.iter().enumerate() {
+        let Expr::In(a, b) = e else { continue };
+        let Expr::Prop(v, key) = a.as_ref() else { continue };
+        if v == var && indexed(key) && usable_list(b) {
+            found = Some((i, key.clone(), (**b).clone()));
+            break;
+        }
+    }
+    let (i, key, list) = found?;
+    pending.remove(i);
+    Some((key, list))
+}
+
 fn take_range_conjunct(
     db: &GraphDb,
     label: &str,
@@ -1344,6 +1490,9 @@ fn compile_expr(e: &Expr, syms: &SymbolTable) -> Result<CExpr> {
             Box::new(compile_expr(a, syms)?),
             Box::new(compile_expr(b, syms)?),
         ),
+        Expr::In(a, b) => {
+            CExpr::In(Box::new(compile_expr(a, syms)?), Box::new(compile_expr(b, syms)?))
+        }
         Expr::And(a, b) => {
             CExpr::And(Box::new(compile_expr(a, syms)?), Box::new(compile_expr(b, syms)?))
         }

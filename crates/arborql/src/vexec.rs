@@ -203,6 +203,39 @@ fn run_vec(op: &Op, ctx: &ExecContext<'_>, width: usize, sink: &mut BSink<'_>) -
             }
             flush_rest(&mut out, sink)
         }
+        Op::NodeIdInSeek { input, label, key, list, slot } => {
+            // Seeds the batch from the whole anchor list in one pass: one
+            // `index_seek_into` per sorted/deduped key, keeping the seek
+            // schedule identical to the tuple interpreter's.
+            let mut ids: Vec<NodeId> = Vec::new();
+            let mut out = Batch::new(width);
+            let cont = with_input_vec(input, ctx, width, sink, &mut |b, sink| {
+                for i in 0..b.len() {
+                    let keys = crate::exec::in_seek_keys(eval(list, b.row(i), ctx)?)?;
+                    for v in &keys {
+                        ids.clear();
+                        if !ctx.db.index_seek_into(label, key, v, &mut ids) {
+                            return Err(QlError::Plan(format!(
+                                "no index on (:{label} {{{key}}}) at execution time"
+                            )));
+                        }
+                        for &n in &ids {
+                            out.push_row(b.row(i));
+                            let last = out.len() - 1;
+                            out.row_mut(last)[*slot] = Slot::Node(n);
+                            if !flush_if_full(&mut out, sink)? {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                }
+                Ok(true)
+            })?;
+            if !cont {
+                return Ok(false);
+            }
+            flush_rest(&mut out, sink)
+        }
         Op::IndexRangeSeek { input, label, key, op, bound, slot } => {
             let mut out = Batch::new(width);
             let cont = with_input_vec(input, ctx, width, sink, &mut |b, sink| {
@@ -393,11 +426,12 @@ fn run_vec(op: &Op, ctx: &ExecContext<'_>, width: usize, sink: &mut BSink<'_>) -
         }
         Op::Project { input, exprs } => {
             let mut out = Batch::new(exprs.len());
+            let erefs: Vec<&CExpr> = exprs.iter().collect();
             let cont = run_vec(input, ctx, width, &mut |b: &mut Batch| {
+                let mut cols = eval_columns(&erefs, b, ctx)?;
                 for i in 0..b.len() {
-                    for e in exprs {
-                        let v = eval(e, b.row(i), ctx)?;
-                        out.push_slot(Slot::Val(v));
+                    for col in cols.iter_mut() {
+                        out.push_slot(Slot::Val(std::mem::replace(&mut col[i], Value::Null)));
                     }
                     if !flush_if_full(&mut out, sink)? {
                         return Ok(false);
@@ -413,14 +447,20 @@ fn run_vec(op: &Op, ctx: &ExecContext<'_>, width: usize, sink: &mut BSink<'_>) -
         Op::Aggregate { input, items } => {
             let mut groups: HashMap<Vec<Value>, u64> = HashMap::new();
             let mut order: Vec<Vec<Value>> = Vec::new();
+            let grefs: Vec<&CExpr> = items
+                .iter()
+                .filter_map(|it| match it {
+                    AggItem::Group(e) => Some(e),
+                    AggItem::Count => None,
+                })
+                .collect();
             run_vec(input, ctx, width, &mut |b: &mut Batch| {
+                let mut cols = eval_columns(&grefs, b, ctx)?;
                 for i in 0..b.len() {
-                    let mut key = Vec::new();
-                    for item in items {
-                        if let AggItem::Group(e) = item {
-                            key.push(eval(e, b.row(i), ctx)?);
-                        }
-                    }
+                    let key: Vec<Value> = cols
+                        .iter_mut()
+                        .map(|c| std::mem::replace(&mut c[i], Value::Null))
+                        .collect();
                     match groups.get_mut(&key) {
                         Some(n) => *n += 1,
                         None => {
@@ -474,15 +514,82 @@ fn run_vec(op: &Op, ctx: &ExecContext<'_>, width: usize, sink: &mut BSink<'_>) -
             })
         }
         Op::Sort { input, keys } => {
-            let mut rows: Vec<Vec<Slot>> = Vec::new();
+            // One flat, stride-indexed buffer: row `i` lives at
+            // `flat[i*w .. (i+1)*w]` — no per-row allocation on collect.
+            let mut flat: Vec<Slot> = Vec::new();
+            let mut w = 0usize;
             run_vec(input, ctx, width, &mut |b: &mut Batch| {
+                if !b.is_empty() {
+                    w = b.row(0).len();
+                }
                 for i in 0..b.len() {
-                    rows.push(b.row(i).to_vec());
+                    flat.extend_from_slice(b.row(i));
                 }
                 Ok(true)
             })?;
-            rows.sort_by(|a, b| cmp_rows(keys, a, b));
-            emit_rows(&rows, sink)
+            if flat.is_empty() {
+                return Ok(true);
+            }
+            let n = flat.len() / w;
+            // Sorted row order as an index permutation. Single integer key
+            // (the Q1.1 shape) sorts packed (key, index) pairs — contiguous,
+            // no per-comparison Value dispatch. Either way the sort is
+            // stable with the same full-row tie-break, so the output order
+            // is exactly the tuple oracle's `sort_by(cmp_rows)`.
+            let mut idx: Vec<u32>;
+            let int_pairs: Option<Vec<(i64, u32)>> = match keys[..] {
+                [(c, _)] => (0..n)
+                    .map(|i| match slot_to_value(&flat[i * w + c]) {
+                        Value::Int(v) => Some((v, i as u32)),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => None,
+            };
+            if let (Some(mut pairs), [(_, desc)]) = (int_pairs, &keys[..]) {
+                pairs.sort_by(|&(ka, ia), &(kb, ib)| {
+                    let ord = if *desc { kb.cmp(&ka) } else { ka.cmp(&kb) };
+                    ord.then_with(|| {
+                        let (ia, ib) = (ia as usize, ib as usize);
+                        crate::exec::cmp_full_rows(
+                            &flat[ia * w..(ia + 1) * w],
+                            &flat[ib * w..(ib + 1) * w],
+                        )
+                    })
+                });
+                idx = pairs.into_iter().map(|(_, i)| i).collect();
+            } else {
+                // Columnar sort keys: the hot comparisons run over
+                // contiguous per-key value vectors (`slot_to_value` induces
+                // the same order as `cmp_slot`).
+                let keycols: Vec<Vec<Value>> = keys
+                    .iter()
+                    .map(|&(c, _)| (0..n).map(|i| slot_to_value(&flat[i * w + c])).collect())
+                    .collect();
+                idx = (0..n as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    let (a, b) = (a as usize, b as usize);
+                    for (k, &(_, desc)) in keys.iter().enumerate() {
+                        let ord = keycols[k][a].cmp(&keycols[k][b]);
+                        let ord = if desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    crate::exec::cmp_full_rows(&flat[a * w..(a + 1) * w], &flat[b * w..(b + 1) * w])
+                });
+            }
+            let mut out = Batch::new(w);
+            for &i in &idx {
+                let base = i as usize * w;
+                for k in 0..w {
+                    out.push_slot(std::mem::replace(&mut flat[base + k], Slot::Empty));
+                }
+                if !flush_if_full(&mut out, sink)? {
+                    return Ok(false);
+                }
+            }
+            flush_rest(&mut out, sink)
         }
         Op::TopN { input, keys, limit } => {
             let n = eval_limit(limit, ctx)?;
@@ -556,52 +663,70 @@ fn run_vec(op: &Op, ctx: &ExecContext<'_>, width: usize, sink: &mut BSink<'_>) -
             })
         }
         Op::SortBy { input, keys } => {
-            let mut rows: Vec<(Vec<Value>, Vec<Slot>)> = Vec::new();
+            let mut flat: Vec<Slot> = Vec::new();
+            let mut w = 0usize;
+            let mut keycols: Vec<Vec<Value>> = vec![Vec::new(); keys.len()];
+            let krefs: Vec<&CExpr> = keys.iter().map(|(e, _)| e).collect();
             run_vec(input, ctx, width, &mut |b: &mut Batch| {
+                if !b.is_empty() {
+                    w = b.row(0).len();
+                }
+                let mut cols = eval_columns(&krefs, b, ctx)?;
+                for (k, col) in cols.iter_mut().enumerate() {
+                    keycols[k].append(col);
+                }
                 for i in 0..b.len() {
-                    let key = keys
-                        .iter()
-                        .map(|(e, _)| eval(e, b.row(i), ctx))
-                        .collect::<Result<Vec<_>>>()?;
-                    rows.push((key, b.row(i).to_vec()));
+                    flat.extend_from_slice(b.row(i));
                 }
                 Ok(true)
             })?;
-            rows.sort_by(|(ka, ra), (kb, rb)| {
-                for (i, (_, desc)) in keys.iter().enumerate() {
-                    let ord = ka[i].cmp(&kb[i]);
+            if flat.is_empty() {
+                return Ok(true);
+            }
+            let n = flat.len() / w;
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                for (k, (_, desc)) in keys.iter().enumerate() {
+                    let ord = keycols[k][a].cmp(&keycols[k][b]);
                     let ord = if *desc { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
                     }
                 }
                 // Deterministic tie-break on the full row (as in exec.rs).
-                let va: Vec<Value> = ra.iter().map(slot_to_value).collect();
-                let vb: Vec<Value> = rb.iter().map(slot_to_value).collect();
-                va.cmp(&vb)
+                crate::exec::cmp_full_rows(&flat[a * w..(a + 1) * w], &flat[b * w..(b + 1) * w])
             });
-            let sorted: Vec<Vec<Slot>> = rows.into_iter().map(|(_, r)| r).collect();
-            emit_rows(&sorted, sink)
+            let mut out = Batch::new(w);
+            for &i in &idx {
+                let base = i as usize * w;
+                for k in 0..w {
+                    out.push_slot(std::mem::replace(&mut flat[base + k], Slot::Empty));
+                }
+                if !flush_if_full(&mut out, sink)? {
+                    return Ok(false);
+                }
+            }
+            flush_rest(&mut out, sink)
         }
         Op::AggregateBy { input, groups, count_slot } => {
             let mut acc: HashMap<Vec<Value>, (Vec<Slot>, u64)> = HashMap::new();
             let mut order: Vec<Vec<Value>> = Vec::new();
+            let grefs: Vec<&CExpr> = groups.iter().map(|(_, e)| e).collect();
             run_vec(input, ctx, width, &mut |b: &mut Batch| {
+                let cols = eval_columns(&grefs, b, ctx)?;
                 for i in 0..b.len() {
-                    let key = groups
-                        .iter()
-                        .map(|(_, e)| eval(e, b.row(i), ctx))
-                        .collect::<Result<Vec<_>>>()?;
+                    let key: Vec<Value> = cols.iter().map(|c| c[i].clone()).collect();
                     match acc.get_mut(&key) {
                         Some((_, n)) => *n += 1,
                         None => {
                             let mut rep = b.row(i).to_vec();
-                            for (slot, expr) in groups {
+                            for (gi, (slot, expr)) in groups.iter().enumerate() {
                                 // Bare-slot groups copy the slot as-is so
                                 // node variables stay expandable downstream.
                                 rep[*slot] = match expr {
                                     CExpr::Slot(s) => b.row(i)[*s].clone(),
-                                    e => Slot::Val(eval(e, b.row(i), ctx)?),
+                                    _ => Slot::Val(cols[gi][i].clone()),
                                 };
                             }
                             order.push(key.clone());
@@ -632,6 +757,70 @@ fn run_vec(op: &Op, ctx: &ExecContext<'_>, width: usize, sink: &mut BSink<'_>) -
 }
 
 // ---------------------------------------------------------------------------
+// Column-at-a-time expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluates `exprs` over every row of `b`, one column at a time. A `PropId`
+/// column whose slot holds a node in every row goes through the batched
+/// property reader ([`GraphDb::node_prop_by_id_batch`] — one buffer-pool
+/// access per page instead of one per record); every other column falls back
+/// to scalar [`eval`]. Values are identical to row-major evaluation. When
+/// any column errors, the batch is re-evaluated row-major so the error that
+/// surfaces (and its text) is the one the tuple oracle would raise first.
+fn eval_columns(exprs: &[&CExpr], b: &Batch, ctx: &ExecContext<'_>) -> Result<Vec<Vec<Value>>> {
+    match try_eval_columns(exprs, b, ctx) {
+        Ok(cols) => Ok(cols),
+        Err(err) => {
+            for i in 0..b.len() {
+                for e in exprs {
+                    eval(e, b.row(i), ctx)?;
+                }
+            }
+            Err(err)
+        }
+    }
+}
+
+fn try_eval_columns(
+    exprs: &[&CExpr],
+    b: &Batch,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Vec<Value>>> {
+    let mut cols = Vec::with_capacity(exprs.len());
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for e in exprs {
+        let col = match e {
+            CExpr::PropId(s, kid) if column_nodes(b, *s, &mut nodes) => {
+                ctx.db.node_prop_by_id_batch(&nodes, *kid).map_err(QlError::Db)?
+            }
+            _ => {
+                let mut c = Vec::with_capacity(b.len());
+                for i in 0..b.len() {
+                    c.push(eval(e, b.row(i), ctx)?);
+                }
+                c
+            }
+        };
+        cols.push(col);
+    }
+    Ok(cols)
+}
+
+/// Collects slot `s` of every row into `nodes`; false (fall back to scalar
+/// evaluation) as soon as any row holds a non-node there.
+fn column_nodes(b: &Batch, s: usize, nodes: &mut Vec<NodeId>) -> bool {
+    nodes.clear();
+    nodes.reserve(b.len());
+    for i in 0..b.len() {
+        match &b.row(i)[s] {
+            Slot::Node(n) => nodes.push(*n),
+            _ => return false,
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
 // Per-execution plan rewrite: hoist property-key dictionary lookups
 // ---------------------------------------------------------------------------
 
@@ -649,6 +838,9 @@ fn resolve_expr(e: &CExpr, db: &GraphDb) -> CExpr {
             Box::new(resolve_expr(a, db)),
             Box::new(resolve_expr(b, db)),
         ),
+        CExpr::In(a, b) => {
+            CExpr::In(Box::new(resolve_expr(a, db)), Box::new(resolve_expr(b, db)))
+        }
         CExpr::And(a, b) => {
             CExpr::And(Box::new(resolve_expr(a, db)), Box::new(resolve_expr(b, db)))
         }
@@ -680,6 +872,13 @@ fn resolve_op(op: &Op, db: &GraphDb) -> Op {
             label: label.clone(),
             key: key.clone(),
             value: resolve_expr(value, db),
+            slot: *slot,
+        },
+        Op::NodeIdInSeek { input, label, key, list, slot } => Op::NodeIdInSeek {
+            input: input.as_ref().map(|i| Box::new(resolve_op(i, db))),
+            label: label.clone(),
+            key: key.clone(),
+            list: Box::new(resolve_expr(list, db)),
             slot: *slot,
         },
         Op::IndexRangeSeek { input, label, key, op, bound, slot } => Op::IndexRangeSeek {

@@ -34,9 +34,46 @@ fn bench_topn(c: &mut Criterion) {
     g.finish();
 }
 
+/// Guard for the set-oriented kernel path (DESIGN.md §4h): one batched
+/// kernel call over a uid list vs the per-uid loop it replaced, on both
+/// backends. Any regression in the batched `IN` seek, the multiplicity
+/// merge, or the flat sort+dedup union shows up here.
+fn bench_set_kernels(c: &mut Criterion) {
+    let f = fixture(Scale::from_env(Scale::Unit));
+    let uids: Vec<i64> =
+        Fixture::spread(&f.users_by_mention_degree(), 16).iter().map(|p| p.0).collect();
+
+    let mut g = c.benchmark_group("set_kernels");
+    for (name, e) in
+        [("arbordb", &f.arbor as &dyn MicroblogEngine), ("bitgraph", &f.bit as &dyn MicroblogEngine)]
+    {
+        g.bench_function(format!("{name}_frontier_batched"), |b| {
+            b.iter(|| e.follow_frontier_kernel(&uids).unwrap())
+        });
+        g.bench_function(format!("{name}_frontier_per_uid_loop"), |b| {
+            b.iter(|| {
+                let mut out: Vec<i64> = Vec::new();
+                for &u in &uids {
+                    out.extend(e.follow_frontier_kernel(&[u]).unwrap());
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+        });
+        g.bench_function(format!("{name}_hashtags_batched"), |b| {
+            b.iter(|| e.hashtags_kernel(&uids).unwrap())
+        });
+        g.bench_function(format!("{name}_counts_batched"), |b| {
+            b.iter(|| e.count_followees_kernel(&uids).unwrap())
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_topn
+    targets = bench_topn, bench_set_kernels
 }
 criterion_main!(benches);

@@ -585,6 +585,41 @@ pub fn serving(f: &Fixture) -> String {
             i += 1;
         }
     }
+    // Sharded backend-gap axis: batched vs per-uid-loop kernels on 4-shard
+    // arbordb against 4-shard bitgraph (DESIGN.md §4h). Digest equality
+    // across all combinations is asserted inside gap_axis.
+    out.push_str("\n-- Sharded backend gap: kernel batching on/off vs bitgraph (4 shards) --\n\n");
+    let rows = gap_axis(f);
+    for r in &rows {
+        out.push_str(&format!(
+            "{} ({}, batched={}): {:.0} q/s, p50/p95/p99 {:.3}/{:.3}/{:.3} ms\n",
+            r.engine,
+            r.scatter.label(),
+            r.batched,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+        ));
+    }
+    let arbor_qps = rows
+        .iter()
+        .find(|r| {
+            r.batched == "on" && matches!(r.scatter, micrograph_core::ScatterMode::Parallel)
+        })
+        .map(|r| r.qps)
+        .unwrap_or(0.0);
+    let bit_qps = rows
+        .iter()
+        .find(|r| {
+            r.batched == "native" && matches!(r.scatter, micrograph_core::ScatterMode::Parallel)
+        })
+        .map(|r| r.qps)
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "\ngap headline: bitgraph/arbordb = {:.2}x (parallel, batched)\n",
+        bit_qps / arbor_qps.max(f64::MIN_POSITIVE)
+    ));
     out
 }
 
@@ -739,6 +774,87 @@ pub fn scatter_axis(f: &Fixture) -> Vec<ScatterRow> {
     rows
 }
 
+/// One measurement on the sharded backend-gap axis ([`gap_axis`]): the
+/// serve mix on a 4-shard composition, one combination of scatter mode ×
+/// kernel batching (DESIGN.md §4h).
+pub struct GapRow {
+    /// Engine name (includes the shard count).
+    pub engine: &'static str,
+    /// Hash-partition count.
+    pub shards: usize,
+    /// Scatter execution mode this row measured.
+    pub scatter: micrograph_core::ScatterMode,
+    /// Kernel batching: `"on"` / `"off"` for arbordb's toggle, `"native"`
+    /// for bitgraph (in-memory loops, nothing to batch).
+    pub batched: &'static str,
+    /// Aggregate throughput (requests/s).
+    pub qps: f64,
+    /// Median request latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile request latency (ms).
+    pub p99_ms: f64,
+}
+
+/// Measures the sharded backend gap: both backends at 4 shards over the
+/// same single-reader stream, arbordb under every scatter × batching
+/// combination and bitgraph (no batching toggle) under both scatter
+/// modes. Asserts no toggle combination moves the serving digest. The
+/// headline is the last arbordb row (parallel + batched) against the last
+/// bitgraph row (parallel): the gap set-oriented kernels close.
+pub fn gap_axis(f: &Fixture) -> Vec<GapRow> {
+    use micrograph_core::ingest::build_sharded_engines;
+    use micrograph_core::ScatterMode;
+    let users = f.dataset.users.len() as u64;
+    let config =
+        ServeConfig { threads: 1, requests: 128, seed: 42, users, vocab: 16, ..Default::default() };
+    let shards = 4usize;
+    let (sharded_arbor, sharded_bit) =
+        build_sharded_engines(&f.dataset, &f.dir.join("gap-axis-4"), shards)
+            .expect("build sharded engines");
+    let mut rows = Vec::new();
+    for engine in [&sharded_arbor as &dyn MicroblogEngine, &sharded_bit] {
+        serve(engine, &config).expect("warmup");
+        let batchings: &[&'static str] = if engine.batched_kernels().is_some() {
+            &["off", "on"]
+        } else {
+            &["native"]
+        };
+        let mut digest = None;
+        for &batched in batchings {
+            if batched != "native" {
+                assert!(engine.set_batched_kernels(batched == "on"));
+            }
+            for scatter in [ScatterMode::Sequential, ScatterMode::Parallel] {
+                assert!(engine.set_scatter_mode(scatter));
+                let report = serve(engine, &config).expect("serve");
+                let d = report.digest();
+                assert_eq!(
+                    *digest.get_or_insert(d),
+                    d,
+                    "{} answers changed under scatter={} batched={batched}",
+                    engine.name(),
+                    scatter.label()
+                );
+                rows.push(GapRow {
+                    engine: report.engine,
+                    shards,
+                    scatter,
+                    batched,
+                    qps: report.qps,
+                    p50_ms: report.p50_ms,
+                    p95_ms: report.p95_ms,
+                    p99_ms: report.p99_ms,
+                });
+            }
+        }
+        engine.set_batched_kernels(true);
+        engine.set_scatter_mode(ScatterMode::Parallel);
+    }
+    rows
+}
+
 /// Renders the scatter-mode axis as the `BENCH_serving.json` artifact:
 /// sequential vs parallel throughput and latency percentiles per backend
 /// and shard count, one reader thread.
@@ -785,7 +901,50 @@ pub fn serving_json(f: &Fixture, scale: &str) -> String {
             r.p99_ms,
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // Sharded backend-gap axis (DESIGN.md §4h): arbordb vs bitgraph at 4
+    // shards, scatter mode × kernel batching. Digests asserted equal
+    // inside gap_axis — batching is a pure performance toggle.
+    let gap_rows = gap_axis(f);
+    out.push_str("  \"gap_rows\": [\n");
+    for (i, r) in gap_rows.iter().enumerate() {
+        let comma = if i + 1 == gap_rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"shards\": {}, \"scatter\": \"{}\", \"batched\": \"{}\", \
+             \"qps\": {:.1}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}{comma}\n",
+            r.engine,
+            r.shards,
+            r.scatter.label(),
+            r.batched,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+        ));
+    }
+    out.push_str("  ],\n");
+    // The headline the gap axis exists for: batched parallel arbordb
+    // throughput as a fraction of parallel bitgraph, both at 4 shards.
+    let arbor_qps = gap_rows
+        .iter()
+        .find(|r| {
+            r.batched == "on" && matches!(r.scatter, micrograph_core::ScatterMode::Parallel)
+        })
+        .map(|r| r.qps)
+        .unwrap_or(0.0);
+    let bit_qps = gap_rows
+        .iter()
+        .find(|r| {
+            r.batched == "native" && matches!(r.scatter, micrograph_core::ScatterMode::Parallel)
+        })
+        .map(|r| r.qps)
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "  \"gap_headline\": {{\"arbordb_batched_parallel_qps\": {arbor_qps:.1}, \
+         \"bitgraph_parallel_qps\": {bit_qps:.1}, \"bitgraph_over_arbordb\": {:.3}}}\n",
+        bit_qps / arbor_qps.max(f64::MIN_POSITIVE)
+    ));
+    out.push_str("}\n");
     out
 }
 

@@ -1020,6 +1020,18 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) {
             out.push(4);
             out.extend_from_slice(s.as_bytes());
         }
+        Value::List(items) => {
+            // Length-prefixed elements so the encoding stays total; lists
+            // never appear as stored attributes, only as query bindings.
+            out.push(5);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for v in items {
+                let mut vb = Vec::new();
+                encode_value(v, &mut vb);
+                out.extend_from_slice(&(vb.len() as u32).to_le_bytes());
+                out.extend_from_slice(&vb);
+            }
+        }
     }
 }
 
@@ -1046,6 +1058,21 @@ fn decode_value(b: &[u8]) -> Result<Value> {
                 .map_err(|_| BitError::Malformed("string not UTF-8".into()))?
                 .to_owned(),
         ),
+        5 => {
+            let n = u32_at(body, 0)? as usize;
+            let mut items = Vec::with_capacity(n);
+            let mut at = 4usize;
+            for _ in 0..n {
+                let len = u32_at(body, at)? as usize;
+                at += 4;
+                let chunk = body
+                    .get(at..at + len)
+                    .ok_or_else(|| BitError::Malformed("short list element".into()))?;
+                items.push(decode_value(chunk)?);
+                at += len;
+            }
+            Value::List(items)
+        }
         t => return Err(BitError::Malformed(format!("bad value tag {t}"))),
     })
 }

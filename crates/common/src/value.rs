@@ -26,6 +26,10 @@ pub enum Value {
     Double(f64),
     /// UTF-8 string (tweet text, screen names, hashtags).
     Str(String),
+    /// Ordered list of values. Lists are a *binding-time* type: queries take
+    /// them as parameters (`IN $uids` membership, multi-anchor seeks) but
+    /// neither record store persists them as properties.
+    List(Vec<Value>),
 }
 
 impl Value {
@@ -37,6 +41,7 @@ impl Value {
             Value::Int(_) => 2,
             Value::Double(_) => 2, // numeric types compare with each other
             Value::Str(_) => 3,
+            Value::List(_) => 4,
         }
     }
 
@@ -70,6 +75,14 @@ impl Value {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list elements if the value is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items.as_slice()),
             _ => None,
         }
     }
@@ -110,6 +123,7 @@ impl Ord for Value {
             (Int(a), Double(b)) => total_f64_cmp(*a as f64, *b),
             (Double(a), Int(b)) => total_f64_cmp(*a, *b as f64),
             (Str(a), Str(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
             (a, b) => a.type_rank().cmp(&b.type_rank()),
         }
     }
@@ -152,6 +166,13 @@ impl Hash for Value {
                 4u8.hash(state);
                 s.hash(state);
             }
+            Value::List(items) => {
+                5u8.hash(state);
+                items.len().hash(state);
+                for v in items {
+                    v.hash(state);
+                }
+            }
         }
     }
 }
@@ -164,6 +185,16 @@ impl fmt::Display for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Double(d) => write!(f, "{d}"),
             Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
         }
     }
 }
@@ -201,6 +232,16 @@ impl From<&str> for Value {
 impl From<String> for Value {
     fn from(v: String) -> Self {
         Value::Str(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+impl From<&[i64]> for Value {
+    fn from(v: &[i64]) -> Self {
+        Value::List(v.iter().map(|&i| Value::Int(i)).collect())
     }
 }
 
@@ -259,5 +300,23 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "null");
         assert_eq!(Value::Int(-4).to_string(), "-4");
         assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]).to_string(),
+            "[1, x]"
+        );
+    }
+
+    #[test]
+    fn list_order_hash_and_accessors() {
+        let a = Value::from(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::from(&[1i64, 2][..]);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // Lists sort after every scalar, elementwise then by length.
+        assert!(Value::Str("zzz".into()) < a);
+        assert!(a < Value::List(vec![Value::Int(1), Value::Int(3)]));
+        assert!(a < Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(0)]));
+        assert_eq!(a.as_list().map(<[Value]>::len), Some(2));
+        assert_eq!(Value::Int(1).as_list(), None);
     }
 }

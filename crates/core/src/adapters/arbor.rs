@@ -92,19 +92,54 @@ const RETWEET_COUNT: &str =
 
 const POSTER_OF: &str = "MATCH (u:user)-[:posts]->(t:tweet {tid: $tid}) RETURN u.uid";
 
-// ---- shard-local kernel queries (DESIGN.md §4c) ----------------------------
-// Parameterized per-user fragments of Q2/Q3/Q4/Q6; like the monolithic
-// texts above they are fixed strings so the plan cache hits per kernel.
+// ---- shard-local kernel queries (DESIGN.md §4c/§4h) ------------------------
+// Set-oriented fragments of Q2/Q3/Q4/Q6: each takes the whole shard-local
+// uid batch as ONE list parameter (`IN $uids`, compiled to a multi-anchor
+// index seek), so a scatter leg costs one kernel execution instead of one
+// per uid. Like the monolithic texts they are fixed strings, covered by
+// the prepared-plan cache. Batched texts return the originating anchor as
+// a carried column where per-anchor multiplicity matters (the kernel
+// contract counts per *occurrence* of an input uid, while `IN` dedups).
 
-const K_POSTED: &str =
-    "MATCH (a:user {uid: $uid})-[:posts]->(t:tweet) RETURN t.tid ORDER BY t.tid";
+const K_POSTED_BATCH: &str = "MATCH (a:user)-[:posts]->(t:tweet) WHERE a.uid IN $uids \
+                              RETURN a.uid, t.tid ORDER BY a.uid, t.tid";
 
-const K_USER_TAGS: &str =
-    "MATCH (a:user {uid: $uid})-[:posts]->(t)-[:tags]->(h:hashtag) \
+const K_TAGS_BATCH: &str =
+    "MATCH (a:user)-[:posts]->(t)-[:tags]->(h:hashtag) WHERE a.uid IN $uids \
      RETURN DISTINCT h.tag ORDER BY h.tag";
 
-const K_IN: &str =
-    "MATCH (a:user {uid: $uid})<-[:follows]-(x:user) RETURN x.uid";
+const K_OUT_COUNTS_BATCH: &str =
+    "MATCH (a:user)-[:follows]->(f:user) WHERE a.uid IN $uids \
+     RETURN a.uid, f.uid, count(*) AS c ORDER BY a.uid, f.uid";
+
+const K_IN_COUNTS_BATCH: &str =
+    "MATCH (x:user)-[:follows]->(a:user) WHERE a.uid IN $uids \
+     RETURN a.uid, x.uid, count(*) AS c ORDER BY a.uid, x.uid";
+
+const K_FRONTIER_BATCH: &str = "MATCH (a:user)-[:follows]-(x:user) WHERE a.uid IN $uids \
+                                RETURN DISTINCT x.uid ORDER BY x.uid";
+
+// Candidate-probe texts (the TA merge's exact-count phase, DESIGN.md §4f):
+// the candidate keys ride along as a second list parameter, filtered
+// engine-side, so a probe never recomputes the full local count map.
+
+const K_CO_MENTION_COUNTS_FOR: &str =
+    "MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)-[:mentions]->(b:user) \
+     WHERE b.uid <> $uid AND b.uid IN $keys \
+     RETURN b.uid, count(*) AS c ORDER BY b.uid ASC";
+
+const K_CO_TAG_COUNTS_FOR: &str =
+    "MATCH (g:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(h:hashtag) \
+     WHERE h.tag <> $tag AND h.tag IN $keys \
+     RETURN h.tag, count(*) AS c ORDER BY h.tag ASC";
+
+const K_OUT_COUNTS_FOR: &str =
+    "MATCH (a:user)-[:follows]->(f:user) WHERE a.uid IN $uids AND f.uid IN $keys \
+     RETURN a.uid, f.uid, count(*) AS c ORDER BY a.uid, f.uid";
+
+const K_IN_COUNTS_FOR: &str =
+    "MATCH (x:user)-[:follows]->(a:user) WHERE a.uid IN $uids AND x.uid IN $keys \
+     RETURN a.uid, x.uid, count(*) AS c ORDER BY a.uid, x.uid";
 
 const K_CO_MENTION: &str =
     "MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)-[:mentions]->(b:user) \
@@ -116,23 +151,13 @@ const K_CO_TAG: &str =
      WHERE h.tag <> $tag \
      RETURN h.tag, count(*) AS c ORDER BY h.tag ASC";
 
-// Bounded (pushdown) kernel texts: identical patterns, but the LIMIT is
-// pushed into the engine's sort operator — the shard ships k+1 rows instead
-// of its full count map, and the (k+1)-th row is the threshold bound
-// (DESIGN.md §4f). Q5's pushdown reuses the monolithic Q5_1/Q5_2 texts,
-// which already carry a LIMIT; Q4's topn kernels keep the trait defaults,
-// since their counts accumulate client-side across per-source queries and
-// there is nothing engine-native to prune.
-
-const K_CO_MENTION_TOPN: &str =
-    "MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)-[:mentions]->(b:user) \
-     WHERE b.uid <> $uid \
-     RETURN b.uid, count(*) AS c ORDER BY c DESC, b.uid ASC LIMIT $k";
-
-const K_CO_TAG_TOPN: &str =
-    "MATCH (g:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(h:hashtag) \
-     WHERE h.tag <> $tag \
-     RETURN h.tag, count(*) AS c ORDER BY c DESC, h.tag ASC LIMIT $k";
+// Top-n pushdown kernels (DESIGN.md §4f) are answered exhaustively here
+// (bound 0, DESIGN.md §4h): the grouped count costs the declarative engine
+// the same at any LIMIT, partials ship in-process, and a truncated answer
+// forces the TA merge into counts_for rounds that re-run the whole
+// grouping. Q5's pushdown reuses the monolithic Q5_1/Q5_2 texts, which
+// already carry a LIMIT (per-shard candidate sets are disjoint, so its
+// merge is single-round regardless of the bound).
 
 /// Lazily prepared plans for the kernel texts a shard fan-out runs hottest:
 /// each shard executes the same fixed text per scatter leg, so the adapter
@@ -140,10 +165,43 @@ const K_CO_TAG_TOPN: &str =
 /// lock or text hash per leg (ISSUE 7 satellite).
 #[derive(Default)]
 struct PreparedKernels {
-    co_mention_topn: OnceLock<Prepared>,
-    co_tag_topn: OnceLock<Prepared>,
     influence_current: OnceLock<Prepared>,
     influence_potential: OnceLock<Prepared>,
+    posted_batch: OnceLock<Prepared>,
+    tags_batch: OnceLock<Prepared>,
+    out_counts_batch: OnceLock<Prepared>,
+    in_counts_batch: OnceLock<Prepared>,
+    frontier_batch: OnceLock<Prepared>,
+    co_mention_counts_for: OnceLock<Prepared>,
+    co_tag_counts_for: OnceLock<Prepared>,
+    out_counts_for: OnceLock<Prepared>,
+    in_counts_for: OnceLock<Prepared>,
+}
+
+/// How often each uid occurs in a kernel's input list. `IN` dedups its
+/// operand, so batched results are scaled back up by this map client-side
+/// to keep the per-occurrence kernel contract (a uid listed twice — legal
+/// when duplicate follows edges exist upstream — contributes twice).
+fn multiplicity(uids: &[i64]) -> HashMap<i64, u64> {
+    let mut mult: HashMap<i64, u64> = HashMap::with_capacity(uids.len());
+    for &uid in uids {
+        *mult.entry(uid).or_insert(0) += 1;
+    }
+    mult
+}
+
+/// Collapses `(key, weighted count)` pairs — sorted by key with possible
+/// adjacent duplicates from distinct anchors — into one count per key.
+fn merge_count_runs(mut pairs: Vec<(i64, u64)>) -> Vec<(i64, u64)> {
+    pairs.sort_unstable();
+    let mut merged: Vec<(i64, u64)> = Vec::with_capacity(pairs.len());
+    for (key, count) in pairs {
+        match merged.last_mut() {
+            Some(last) if last.0 == key => last.1 += count,
+            _ => merged.push((key, count)),
+        }
+    }
+    merged
 }
 
 /// The declarative adapter over [`GraphDb`].
@@ -151,12 +209,21 @@ pub struct ArborEngine {
     db: Arc<GraphDb>,
     ql: QueryEngine,
     prep: PreparedKernels,
+    /// Whether kernels run their whole uid batch as one `IN $uids` query
+    /// (the default) or one singleton query per uid — the pre-batching
+    /// baseline kept selectable for the serving-gap artifact.
+    batched: std::sync::atomic::AtomicBool,
 }
 
 impl ArborEngine {
     /// Wraps a database with the standard engine options (plan cache on).
     pub fn new(db: Arc<GraphDb>) -> Self {
-        ArborEngine { ql: QueryEngine::new(db.clone()), db, prep: PreparedKernels::default() }
+        ArborEngine {
+            ql: QueryEngine::new(db.clone()),
+            db,
+            prep: PreparedKernels::default(),
+            batched: std::sync::atomic::AtomicBool::new(true),
+        }
     }
 
     /// Wraps with explicit options (ablation switches).
@@ -165,7 +232,12 @@ impl ArborEngine {
             ql: QueryEngine::with_options(db.clone(), options),
             db,
             prep: PreparedKernels::default(),
+            batched: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    fn batched_enabled(&self) -> bool {
+        self.batched.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Prepares `text` once per engine; a racing second caller just drops
@@ -208,6 +280,46 @@ impl ArborEngine {
             .iter()
             .map(|row| Ranked::new(row[0].as_int().expect("key"), row[1].as_int().expect("count") as u64))
             .collect())
+    }
+
+    /// Runs a batched `(anchor, target, count)` kernel text and folds the
+    /// grouped rows into one sorted `(target, count)` map, weighting each
+    /// anchor's contribution by its multiplicity in `uids`.
+    fn grouped_counts(
+        &self,
+        cell: &OnceLock<Prepared>,
+        text: &str,
+        uids: &[i64],
+        params: &[(&str, Value)],
+    ) -> Result<Vec<(i64, u64)>> {
+        if uids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.prepared(cell, text)?;
+        let r = self.ql.query_prepared(p, params)?;
+        let mult = multiplicity(uids);
+        let mut pairs: Vec<(i64, u64)> = Vec::with_capacity(r.rows.len());
+        for row in &r.rows {
+            let anchor = row[0].as_int().expect("anchor uid");
+            let target = row[1].as_int().expect("target uid");
+            let count = row[2].as_int().expect("count") as u64;
+            pairs.push((target, count * mult[&anchor]));
+        }
+        Ok(merge_count_runs(pairs))
+    }
+
+    /// The pre-batching baseline for a count kernel: one singleton query
+    /// per uid, summed client-side.
+    fn looped_counts(
+        &self,
+        uids: &[i64],
+        per_uid: impl Fn(i64) -> Result<Vec<(i64, u64)>>,
+    ) -> Result<Vec<(i64, u64)>> {
+        let mut pairs = Vec::new();
+        for &uid in uids {
+            pairs.extend(per_uid(uid)?);
+        }
+        Ok(merge_count_runs(pairs))
     }
 
     fn node_of_uid(&self, uid: i64) -> Result<Option<NodeId>> {
@@ -372,55 +484,83 @@ impl MicroblogEngine for ArborEngine {
     }
 
     // ---- shard-local kernels ------------------------------------------------
-    // Per-user parameterized fragments of the monolithic queries; each is a
-    // fixed-text declarative query so the plan cache covers the kernels too.
+    // Set-oriented: the whole uid batch goes down as ONE list parameter per
+    // kernel call (DESIGN.md §4h); the plan cache covers the fixed texts.
 
     fn has_user(&self, uid: i64) -> Result<bool> {
         Ok(self.node_of_uid(uid)?.is_some())
     }
 
     fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
-        let mut out = Vec::new();
-        for &uid in uids {
-            out.extend(self.int_column(K_POSTED, &[("uid", Value::Int(uid))])?);
+        if !self.batched_enabled() && uids.len() > 1 {
+            let mut out = Vec::new();
+            for &uid in uids {
+                out.extend(self.posted_tweets_kernel(&[uid])?);
+            }
+            out.sort_unstable();
+            return Ok(out);
+        }
+        if uids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.prepared(&self.prep.posted_batch, K_POSTED_BATCH)?;
+        let r = self.ql.query_prepared(p, &[("uids", Value::from(uids))])?;
+        let mult = multiplicity(uids);
+        let mut out = Vec::with_capacity(r.rows.len());
+        for row in &r.rows {
+            let anchor = row[0].as_int().expect("anchor uid");
+            let tid = row[1].as_int().expect("tid");
+            for _ in 0..mult[&anchor] {
+                out.push(tid);
+            }
         }
         out.sort_unstable();
         Ok(out)
     }
 
     fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
-        let mut tags = std::collections::BTreeSet::new();
-        for &uid in uids {
-            let r = self.ql.query(K_USER_TAGS, &[("uid", Value::Int(uid))])?;
-            for row in &r.rows {
-                tags.insert(row[0].as_str().expect("tag column").to_owned());
+        if !self.batched_enabled() && uids.len() > 1 {
+            let mut tags: Vec<String> = Vec::new();
+            for &uid in uids {
+                tags.extend(self.hashtags_kernel(&[uid])?);
             }
+            tags.sort_unstable();
+            tags.dedup();
+            return Ok(tags);
         }
-        Ok(tags.into_iter().collect())
+        if uids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.prepared(&self.prep.tags_batch, K_TAGS_BATCH)?;
+        let r = self.ql.query_prepared(p, &[("uids", Value::from(uids))])?;
+        Ok(r.rows
+            .iter()
+            .map(|row| row[0].as_str().expect("tag column").to_owned())
+            .collect())
     }
 
     fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
-        let mut counts: HashMap<i64, u64> = HashMap::new();
-        for &uid in uids {
-            for r in self.int_column(Q2_1, &[("uid", Value::Int(uid))])? {
-                *counts.entry(r).or_insert(0) += 1;
-            }
+        if !self.batched_enabled() && uids.len() > 1 {
+            return self.looped_counts(uids, |uid| self.count_followees_kernel(&[uid]));
         }
-        let mut out: Vec<(i64, u64)> = counts.into_iter().collect();
-        out.sort_unstable();
-        Ok(out)
+        self.grouped_counts(
+            &self.prep.out_counts_batch,
+            K_OUT_COUNTS_BATCH,
+            uids,
+            &[("uids", Value::from(uids))],
+        )
     }
 
     fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
-        let mut counts: HashMap<i64, u64> = HashMap::new();
-        for &uid in uids {
-            for r in self.int_column(K_IN, &[("uid", Value::Int(uid))])? {
-                *counts.entry(r).or_insert(0) += 1;
-            }
+        if !self.batched_enabled() && uids.len() > 1 {
+            return self.looped_counts(uids, |uid| self.count_followers_kernel(&[uid]));
         }
-        let mut out: Vec<(i64, u64)> = counts.into_iter().collect();
-        out.sort_unstable();
-        Ok(out)
+        self.grouped_counts(
+            &self.prep.in_counts_batch,
+            K_IN_COUNTS_BATCH,
+            uids,
+            &[("uids", Value::from(uids))],
+        )
     }
 
     fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>> {
@@ -445,56 +585,121 @@ impl MicroblogEngine for ArborEngine {
     }
 
     fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
-        // One undirected BFS round = out-neighbors (Q2.1 text) ∪
-        // in-neighbors (K_IN) over locally stored follows edges.
-        let mut next = std::collections::BTreeSet::new();
-        for &uid in uids {
-            next.extend(self.int_column(Q2_1, &[("uid", Value::Int(uid))])?);
-            next.extend(self.int_column(K_IN, &[("uid", Value::Int(uid))])?);
+        // One undirected BFS round over locally stored follows edges, as a
+        // single batched query (DISTINCT + ORDER BY give the sorted set).
+        if !self.batched_enabled() && uids.len() > 1 {
+            let mut next: Vec<i64> = Vec::new();
+            for &uid in uids {
+                next.extend(self.follow_frontier_kernel(&[uid])?);
+            }
+            next.sort_unstable();
+            next.dedup();
+            return Ok(next);
         }
-        Ok(next.into_iter().collect())
+        if uids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.prepared(&self.prep.frontier_batch, K_FRONTIER_BATCH)?;
+        let r = self.ql.query_prepared(p, &[("uids", Value::from(uids))])?;
+        Ok(r.rows
+            .iter()
+            .map(|row| row[0].as_int().expect("uid column"))
+            .collect())
+    }
+
+    // ---- candidate-probe kernels: keys filtered engine-side ----------------
+
+    fn co_mention_counts_for_kernel(&self, uid: i64, keys: &[i64]) -> Result<Vec<(i64, u64)>> {
+        if !self.batched_enabled() {
+            // Pre-batching baseline: the trait-default shape (full local
+            // counts, filtered client-side).
+            return Ok(crate::engine::counts_for(self.co_mention_counts_kernel(uid)?, keys));
+        }
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.prepared(&self.prep.co_mention_counts_for, K_CO_MENTION_COUNTS_FOR)?;
+        let r = self
+            .ql
+            .query_prepared(p, &[("uid", Value::Int(uid)), ("keys", Value::from(keys))])?;
+        Ok(r.rows
+            .iter()
+            .map(|row| (row[0].as_int().expect("uid"), row[1].as_int().expect("count") as u64))
+            .collect())
+    }
+
+    fn co_tag_counts_for_kernel(&self, tag: &str, keys: &[String]) -> Result<Vec<(String, u64)>> {
+        if !self.batched_enabled() {
+            return Ok(crate::engine::counts_for(self.co_tag_counts_kernel(tag)?, keys));
+        }
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.prepared(&self.prep.co_tag_counts_for, K_CO_TAG_COUNTS_FOR)?;
+        let key_list = Value::List(keys.iter().map(|k| Value::from(k.as_str())).collect());
+        let r = self.ql.query_prepared(p, &[("tag", Value::from(tag)), ("keys", key_list)])?;
+        Ok(r.rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].as_str().expect("tag").to_owned(),
+                    row[1].as_int().expect("count") as u64,
+                )
+            })
+            .collect())
+    }
+
+    fn count_followees_counts_for_kernel(
+        &self,
+        uids: &[i64],
+        keys: &[i64],
+    ) -> Result<Vec<(i64, u64)>> {
+        if !self.batched_enabled() {
+            return Ok(crate::engine::counts_for(self.count_followees_kernel(uids)?, keys));
+        }
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.grouped_counts(
+            &self.prep.out_counts_for,
+            K_OUT_COUNTS_FOR,
+            uids,
+            &[("uids", Value::from(uids)), ("keys", Value::from(keys))],
+        )
+    }
+
+    fn count_followers_counts_for_kernel(
+        &self,
+        uids: &[i64],
+        keys: &[i64],
+    ) -> Result<Vec<(i64, u64)>> {
+        if !self.batched_enabled() {
+            return Ok(crate::engine::counts_for(self.count_followers_kernel(uids)?, keys));
+        }
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.grouped_counts(
+            &self.prep.in_counts_for,
+            K_IN_COUNTS_FOR,
+            uids,
+            &[("uids", Value::from(uids)), ("keys", Value::from(keys))],
+        )
     }
 
     // ---- top-n pushdown kernels: LIMIT pushed into the sort operator -------
 
-    fn co_mention_topn_kernel(&self, uid: i64, k: usize) -> Result<TopKPartial<i64>> {
-        // LIMIT k+1: when a (k+1)-th row comes back, its count is the
-        // threshold bound on everything the sort operator cut.
-        let p = self.prepared(&self.prep.co_mention_topn, K_CO_MENTION_TOPN)?;
-        let r = self.ql.query_prepared(
-            p,
-            &[("uid", Value::Int(uid)), ("k", Value::Int(k as i64 + 1))],
-        )?;
-        let mut top: Vec<Counted<i64>> = r
-            .rows
-            .iter()
-            .map(|row| Counted {
-                key: row[0].as_int().expect("uid"),
-                count: row[1].as_int().expect("count") as u64,
-            })
-            .collect();
-        let bound = if top.len() > k { top[k].count } else { 0 };
-        top.truncate(k);
-        Ok(TopKPartial { top, bound })
+    fn co_mention_topn_kernel(&self, uid: i64, _k: usize) -> Result<TopKPartial<i64>> {
+        // Exhaustive partial (bound 0): the grouped count costs the same at
+        // any LIMIT, the partial ships in-process, and a truncated answer
+        // would force the TA merge to re-run the grouping as a counts_for
+        // round (and again at doubled k) — recomputation costs far more
+        // than the unbounded list ever could.
+        Ok(crate::engine::pushdown_partial(self.co_mention_counts_kernel(uid)?, &[], usize::MAX))
     }
 
-    fn co_tag_topn_kernel(&self, tag: &str, k: usize) -> Result<TopKPartial<String>> {
-        let p = self.prepared(&self.prep.co_tag_topn, K_CO_TAG_TOPN)?;
-        let r = self.ql.query_prepared(
-            p,
-            &[("tag", Value::from(tag)), ("k", Value::Int(k as i64 + 1))],
-        )?;
-        let mut top: Vec<Counted<String>> = r
-            .rows
-            .iter()
-            .map(|row| Counted {
-                key: row[0].as_str().expect("tag").to_owned(),
-                count: row[1].as_int().expect("count") as u64,
-            })
-            .collect();
-        let bound = if top.len() > k { top[k].count } else { 0 };
-        top.truncate(k);
-        Ok(TopKPartial { top, bound })
+    fn co_tag_topn_kernel(&self, tag: &str, _k: usize) -> Result<TopKPartial<String>> {
+        Ok(crate::engine::pushdown_partial(self.co_tag_counts_kernel(tag)?, &[], usize::MAX))
     }
 
     fn influence_topn_kernel(&self, uid: i64, current: bool, k: usize) -> Result<TopKPartial<i64>> {
@@ -521,6 +726,29 @@ impl MicroblogEngine for ArborEngine {
         let bound = if top.len() > k { top[k].count } else { 0 };
         top.truncate(k);
         Ok(TopKPartial { top, bound })
+    }
+
+    fn count_followees_topn_kernel(
+        &self,
+        uids: &[i64],
+        exclude: &[i64],
+        _k: usize,
+    ) -> Result<TopKPartial<i64>> {
+        // Exhaustive partial (bound 0): the grouped count is the same work
+        // at any k, the partial ships in-process, and a truncated answer
+        // would force the TA merge to re-run this whole query as a
+        // counts_for round (and again at doubled k) — recomputation costs
+        // far more than the unbounded list ever could.
+        Ok(crate::engine::pushdown_partial(self.count_followees_kernel(uids)?, exclude, usize::MAX))
+    }
+
+    fn count_followers_topn_kernel(
+        &self,
+        uids: &[i64],
+        exclude: &[i64],
+        _k: usize,
+    ) -> Result<TopKPartial<i64>> {
+        Ok(crate::engine::pushdown_partial(self.count_followers_kernel(uids)?, exclude, usize::MAX))
     }
 
     fn ensure_user(&self, uid: i64) -> Result<()> {
@@ -669,6 +897,15 @@ impl MicroblogEngine for ArborEngine {
 
     fn set_exec_mode(&self, mode: ExecMode) -> bool {
         self.ql.set_exec_mode(mode);
+        true
+    }
+
+    fn batched_kernels(&self) -> Option<bool> {
+        Some(self.batched_enabled())
+    }
+
+    fn set_batched_kernels(&self, on: bool) -> bool {
+        self.batched.store(on, std::sync::atomic::Ordering::Relaxed);
         true
     }
 }

@@ -258,15 +258,19 @@ impl MicroblogEngine for BitEngine {
     fn followee_hashtags(&self, uid: i64) -> Result<Vec<String>> {
         let g = self.g.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
-        let mut tags = std::collections::BTreeSet::new();
+        // One reused Vec + final sort/dedup instead of a tree-set node
+        // allocation per insert (the distinct set is built exactly once).
+        let mut tags: Vec<String> = Vec::new();
         for f in g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?.iter() {
             for t in g.neighbors(f, self.h.posts, EdgesDirection::Outgoing)?.iter() {
                 for h in g.neighbors(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
-                    tags.insert(self.tag_of(&g, h)?);
+                    tags.push(self.tag_of(&g, h)?);
                 }
             }
         }
-        Ok(tags.into_iter().collect())
+        tags.sort_unstable();
+        tags.dedup();
+        Ok(tags)
     }
 
     fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
@@ -400,16 +404,20 @@ impl MicroblogEngine for BitEngine {
 
     fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
         let g = self.g.read();
-        let mut tags = std::collections::BTreeSet::new();
+        // Accumulate into one Vec reused across the whole uid batch and
+        // sort+dedup once at the end — no per-insert tree rebalancing.
+        let mut tags: Vec<String> = Vec::new();
         for &uid in uids {
             let Some(u) = self.user_oid(&g, uid)? else { continue };
             for t in g.neighbors(u, self.h.posts, EdgesDirection::Outgoing)?.iter() {
                 for h in g.neighbors(t, self.h.tags, EdgesDirection::Outgoing)?.iter() {
-                    tags.insert(self.tag_of(&g, h)?);
+                    tags.push(self.tag_of(&g, h)?);
                 }
             }
         }
-        Ok(tags.into_iter().collect())
+        tags.sort_unstable();
+        tags.dedup();
+        Ok(tags)
     }
 
     fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
@@ -456,14 +464,18 @@ impl MicroblogEngine for BitEngine {
 
     fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
         let g = self.g.read();
-        let mut next = std::collections::BTreeSet::new();
+        // Same flat-Vec discipline as `hashtags_kernel`: push every
+        // adjacency, sort+dedup once per batch.
+        let mut next: Vec<i64> = Vec::new();
         for &uid in uids {
             let Some(u) = self.user_oid(&g, uid)? else { continue };
             for v in g.neighbors(u, self.h.follows, EdgesDirection::Any)?.iter() {
-                next.insert(self.uid_of(&g, v)?);
+                next.push(self.uid_of(&g, v)?);
             }
         }
-        Ok(next.into_iter().collect())
+        next.sort_unstable();
+        next.dedup();
+        Ok(next)
     }
 
     // ---- top-n pushdown kernels: full count stream, bounded retention ------

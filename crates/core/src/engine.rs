@@ -234,32 +234,25 @@ pub trait MicroblogEngine: Send + Sync {
     /// Q3.1 pushdown kernel — the `k` heaviest local co-mention partners of
     /// `uid` plus the threshold bound for cut keys.
     fn co_mention_topn_kernel(&self, uid: i64, k: usize) -> Result<TopKPartial<i64>> {
-        let full = self.co_mention_counts_kernel(uid)?;
-        Ok(topk_partial(full.into_iter().map(|(key, count)| Counted { key, count }).collect(), k))
+        Ok(pushdown_partial(self.co_mention_counts_kernel(uid)?, &[], k))
     }
 
     /// Q3.1 candidate-count kernel — exact local co-mention counts for the
     /// given (ascending-sorted) candidate uids; absent keys are omitted.
     fn co_mention_counts_for_kernel(&self, uid: i64, keys: &[i64]) -> Result<Vec<(i64, u64)>> {
-        let full = self.co_mention_counts_kernel(uid)?;
-        Ok(full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect())
+        Ok(counts_for(self.co_mention_counts_kernel(uid)?, keys))
     }
 
     /// Q3.2 pushdown kernel — the `k` heaviest local co-occurring hashtags
     /// of `tag` plus the threshold bound for cut keys.
     fn co_tag_topn_kernel(&self, tag: &str, k: usize) -> Result<TopKPartial<String>> {
-        let full = self.co_tag_counts_kernel(tag)?;
-        Ok(topk_partial(full.into_iter().map(|(key, count)| Counted { key, count }).collect(), k))
+        Ok(pushdown_partial(self.co_tag_counts_kernel(tag)?, &[], k))
     }
 
     /// Q3.2 candidate-count kernel — exact local co-occurrence counts for
     /// the given (ascending-sorted) candidate tags; absent keys are omitted.
     fn co_tag_counts_for_kernel(&self, tag: &str, keys: &[String]) -> Result<Vec<(String, u64)>> {
-        let full = self.co_tag_counts_kernel(tag)?;
-        Ok(full
-            .into_iter()
-            .filter(|(key, _)| keys.binary_search_by(|probe| probe.as_str().cmp(key)).is_ok())
-            .collect())
+        Ok(counts_for(self.co_tag_counts_kernel(tag)?, keys))
     }
 
     /// Q4.1 pushdown kernel — the `k` heaviest local followee-count targets
@@ -272,14 +265,7 @@ pub trait MicroblogEngine: Send + Sync {
         exclude: &[i64],
         k: usize,
     ) -> Result<TopKPartial<i64>> {
-        let full = self.count_followees_kernel(uids)?;
-        Ok(topk_partial(
-            full.into_iter()
-                .filter(|(key, _)| exclude.binary_search(key).is_err())
-                .map(|(key, count)| Counted { key, count })
-                .collect(),
-            k,
-        ))
+        Ok(pushdown_partial(self.count_followees_kernel(uids)?, exclude, k))
     }
 
     /// Q4.1 candidate-count kernel — exact local followee counts for the
@@ -289,8 +275,7 @@ pub trait MicroblogEngine: Send + Sync {
         uids: &[i64],
         keys: &[i64],
     ) -> Result<Vec<(i64, u64)>> {
-        let full = self.count_followees_kernel(uids)?;
-        Ok(full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect())
+        Ok(counts_for(self.count_followees_kernel(uids)?, keys))
     }
 
     /// Q4.2 pushdown kernel — the `k` heaviest local follower-count sources
@@ -302,14 +287,7 @@ pub trait MicroblogEngine: Send + Sync {
         exclude: &[i64],
         k: usize,
     ) -> Result<TopKPartial<i64>> {
-        let full = self.count_followers_kernel(uids)?;
-        Ok(topk_partial(
-            full.into_iter()
-                .filter(|(key, _)| exclude.binary_search(key).is_err())
-                .map(|(key, count)| Counted { key, count })
-                .collect(),
-            k,
-        ))
+        Ok(pushdown_partial(self.count_followers_kernel(uids)?, exclude, k))
     }
 
     /// Q4.2 candidate-count kernel — exact local follower counts for the
@@ -319,8 +297,7 @@ pub trait MicroblogEngine: Send + Sync {
         uids: &[i64],
         keys: &[i64],
     ) -> Result<Vec<(i64, u64)>> {
-        let full = self.count_followers_kernel(uids)?;
-        Ok(full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect())
+        Ok(counts_for(self.count_followers_kernel(uids)?, keys))
     }
 
     /// Q5 pushdown kernel — the `k` heaviest local mentioners of `uid`
@@ -411,6 +388,52 @@ pub trait MicroblogEngine: Send + Sync {
     fn set_exec_mode(&self, _mode: arbor_ql::ExecMode) -> bool {
         false
     }
+
+    /// Whether shard-local kernels execute their whole uid batch as ONE
+    /// set-oriented query (DESIGN.md §4h) — `None` for engines without a
+    /// batching toggle (bitgraph's kernels are native in-memory loops with
+    /// no per-call dispatch to amortize). Like the other toggles, a pure
+    /// performance switch: flipping it never moves a byte of any answer.
+    fn batched_kernels(&self) -> Option<bool> {
+        None
+    }
+
+    /// Switches kernel batching at runtime, returning `false` when the
+    /// engine has no toggle. `&self` like every other method — benches
+    /// flip one built engine between modes mid-run.
+    fn set_batched_kernels(&self, _on: bool) -> bool {
+        false
+    }
+}
+
+// ---- shared pushdown-kernel shapes -----------------------------------------
+// Both bounded-top-k and candidate-probe defaults derive from one full
+// count list through these two helpers; an adapter override only has to
+// reproduce *these* transformations to stay byte-compatible with the
+// defaults (the equivalence matrix checks it does).
+
+/// Filters `exclude` out of a full `(key, count)` list (ascending by key)
+/// and truncates to the `k` heaviest entries plus the threshold bound for
+/// everything cut — the shape every `*_topn_kernel` returns.
+pub fn pushdown_partial<K: Ord>(
+    full: Vec<(K, u64)>,
+    exclude: &[K],
+    k: usize,
+) -> TopKPartial<K> {
+    topk_partial(
+        full.into_iter()
+            .filter(|(key, _)| exclude.binary_search(key).is_err())
+            .map(|(key, count)| Counted { key, count })
+            .collect(),
+        k,
+    )
+}
+
+/// Restricts a full `(key, count)` list to the given ascending-sorted
+/// candidate keys, omitting absent ones — the shape every
+/// `*_counts_for_kernel` returns.
+pub fn counts_for<K: Ord>(full: Vec<(K, u64)>, keys: &[K]) -> Vec<(K, u64)> {
+    full.into_iter().filter(|(key, _)| keys.binary_search(key).is_ok()).collect()
 }
 
 #[cfg(test)]

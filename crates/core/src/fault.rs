@@ -989,6 +989,15 @@ impl MicroblogEngine for ChaosEngine {
         // Ungated, like the other instrumentation passthroughs.
         self.inner.set_exec_mode(mode)
     }
+
+    fn batched_kernels(&self) -> Option<bool> {
+        self.inner.batched_kernels()
+    }
+
+    fn set_batched_kernels(&self, on: bool) -> bool {
+        // Ungated, like the other instrumentation passthroughs.
+        self.inner.set_batched_kernels(on)
+    }
 }
 
 #[cfg(test)]

@@ -276,6 +276,15 @@ fn concat_sorted<T: Ord>(parts: Vec<Vec<T>>) -> Vec<T> {
     out
 }
 
+/// Unions per-shard sorted-distinct partials into one ascending distinct
+/// list — flat sort + dedup over a pre-sized Vec instead of a tree-set
+/// insert (and its node allocation) per element.
+fn merge_sorted_distinct<T: Ord>(parts: Vec<Vec<T>>) -> Vec<T> {
+    let mut out = concat_sorted(parts);
+    out.dedup();
+    out
+}
+
 /// Renders a caught panic payload for an `Unavailable` message.
 fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
     payload
@@ -564,6 +573,9 @@ pub struct ShardedEngine {
     /// Whether Q3/Q4/Q5 merges use the bounded `*_topn_kernel` pushdown
     /// paths (default) or gather full per-shard count maps.
     pushdown: AtomicBool,
+    /// Whether Q6.1 runs the bidirectional frontier exchange (default) or
+    /// the one-sided BFS oracle; answers are identical either way.
+    bidir_bfs: AtomicBool,
     counters: Arc<FaultCounters>,
     pool: WorkerPool,
 }
@@ -594,6 +606,7 @@ impl ShardedEngine {
             scatter_mode: AtomicU8::new(ScatterMode::default().to_u8()),
             hedge_threshold_us: AtomicU64::new(0),
             pushdown: AtomicBool::new(true),
+            bidir_bfs: AtomicBool::new(true),
             counters: Arc::new(FaultCounters::default()),
             pool,
         }
@@ -643,6 +656,13 @@ impl ShardedEngine {
         self.hedge_threshold_us.store(threshold_us.unwrap_or(0), Ordering::Relaxed);
     }
 
+    /// Builder: enables/disables the Q6.1 bidirectional frontier exchange
+    /// (on by default; the one-sided BFS gives identical answers).
+    pub fn with_bidirectional_bfs(self, on: bool) -> Self {
+        self.bidir_bfs.store(on, Ordering::Relaxed);
+        self
+    }
+
     /// Whether Q3/Q4/Q5 merges run over the bounded pushdown kernels.
     pub fn pushdown_enabled(&self) -> bool {
         self.pushdown.load(Ordering::Relaxed)
@@ -652,6 +672,18 @@ impl ShardedEngine {
     /// only how much each merge round-trips per shard.
     pub fn set_pushdown(&self, on: bool) {
         self.pushdown.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether Q6.1 expands two frontiers that meet in the middle.
+    pub fn bidirectional_bfs_enabled(&self) -> bool {
+        self.bidir_bfs.load(Ordering::Relaxed)
+    }
+
+    /// Flips the Q6.1 BFS strategy at runtime — answers never change, only
+    /// how many broadcast rounds (and how large a frontier each ships) a
+    /// path query costs.
+    pub fn set_bidirectional_bfs(&self, on: bool) {
+        self.bidir_bfs.store(on, Ordering::Relaxed);
     }
 
     /// The active retry policy.
@@ -925,6 +957,92 @@ impl ShardedEngine {
         }
         Ok(parts)
     }
+
+    // ---- Q6.1 distributed BFS (DESIGN.md §4h) ------------------------------
+
+    /// One BFS round: broadcast the frontier as a single batched
+    /// `follow_frontier_kernel` call per shard and union the sorted
+    /// distinct partials (sort + dedup on a flat Vec; no tree set).
+    fn bfs_round(&self, frontier: &Arc<Vec<i64>>) -> Result<Vec<i64>> {
+        let shared = Arc::clone(frontier);
+        let parts = self.broadcast(move |_, s| s.follow_frontier_kernel(&shared))?;
+        let mut next: Vec<i64> = parts.into_iter().flatten().collect();
+        next.sort_unstable();
+        next.dedup();
+        Ok(next)
+    }
+
+    /// The one-sided BFS oracle: expand from `a` one hop per round until
+    /// `b` shows up. Kept selectable (`set_bidirectional_bfs(false)`) so
+    /// the frontier exchange below has an in-tree semantic baseline.
+    fn one_sided_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
+        let mut visited: Vec<i64> = vec![a];
+        let mut frontier = Arc::new(vec![a]);
+        for depth in 1..=max_hops {
+            let next = self.bfs_round(&frontier)?;
+            if next.binary_search(&b).is_ok() {
+                return Ok(Some(depth));
+            }
+            // Reuse the frontier allocation across rounds when the workers
+            // have released their handles (opportunistic — a straggler
+            // drop just costs one fresh Vec).
+            let mut buf = Arc::try_unwrap(frontier).unwrap_or_default();
+            buf.clear();
+            buf.extend(next.into_iter().filter(|u| visited.binary_search(u).is_err()));
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            visited.extend_from_slice(&buf);
+            visited.sort_unstable();
+            frontier = Arc::new(buf);
+        }
+        Ok(None)
+    }
+
+    /// Bidirectional frontier exchange: grow a frontier from each endpoint
+    /// and expand the SMALLER one each round (ties expand the a-side, so
+    /// the schedule is deterministic), meeting in the middle after
+    /// ~half the rounds over ~sqrt-sized frontiers.
+    ///
+    /// Exactness with plain visited *sets* (no per-node depth maps): at a
+    /// round's start no detection has fired, so d = dist(a,b) > da + db.
+    /// After expanding (say) the a-side to depth da+1, the fresh frontier
+    /// is exactly the nodes at a-distance da+1, and the node sitting at
+    /// position da+1 on a shortest path has b-distance d-(da+1) — inside
+    /// b's visited set iff d ≤ da+1+db. So the first intersection fires
+    /// exactly when the depth sum first reaches d, and `da + db` at that
+    /// moment IS the answer; no shorter path can have been missed.
+    fn bidirectional_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
+        let mut visited_a: Vec<i64> = vec![a];
+        let mut visited_b: Vec<i64> = vec![b];
+        let mut frontier_a = Arc::new(vec![a]);
+        let mut frontier_b = Arc::new(vec![b]);
+        let mut depth_sum = 0u32;
+        while depth_sum < max_hops {
+            let expand_a = frontier_a.len() <= frontier_b.len();
+            let (frontier, own_visited, other_visited) = if expand_a {
+                (&mut frontier_a, &mut visited_a, &visited_b)
+            } else {
+                (&mut frontier_b, &mut visited_b, &visited_a)
+            };
+            let next = self.bfs_round(frontier)?;
+            depth_sum += 1;
+            let fresh: Vec<i64> = next
+                .into_iter()
+                .filter(|u| own_visited.binary_search(u).is_err())
+                .collect();
+            if fresh.iter().any(|u| other_visited.binary_search(u).is_ok()) {
+                return Ok(Some(depth_sum));
+            }
+            if fresh.is_empty() {
+                return Ok(None);
+            }
+            own_visited.extend_from_slice(&fresh);
+            own_visited.sort_unstable();
+            *frontier = Arc::new(fresh);
+        }
+        Ok(None)
+    }
 }
 
 impl MicroblogEngine for ShardedEngine {
@@ -972,8 +1090,7 @@ impl MicroblogEngine for ShardedEngine {
             let buckets = self.route(&frontier);
             let selected = Self::non_empty(&buckets);
             let parts = self.scatter(selected, move |i, s| s.hashtags_kernel(&buckets[i]))?;
-            let tags: BTreeSet<String> = parts.into_iter().flatten().collect();
-            Ok(tags.into_iter().collect())
+            Ok(merge_sorted_distinct(parts))
         })
     }
 
@@ -1141,13 +1258,15 @@ impl MicroblogEngine for ShardedEngine {
     }
 
     fn shortest_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
-        // Distributed BFS: each round broadcasts the frontier to every
-        // shard (a user's undirected adjacency is split between their own
-        // shard's out-edges and other shards' in-edges) and unions the
-        // results. Path LENGTH is exploration-order independent, so the
-        // round-per-hop schedule reproduces the single-engine answer.
-        // Under Partial degradation a skipped shard can only lengthen or
-        // lose a path, never invent one.
+        // Distributed BFS: each round broadcasts a frontier to every shard
+        // (a user's undirected adjacency is split between their own
+        // shard's out-edges and other shards' in-edges) as ONE batched
+        // kernel call per shard, and unions the results. Path LENGTH is
+        // exploration-order independent, so both round schedules — the
+        // one-sided oracle and the bidirectional frontier exchange
+        // (default) — reproduce the single-engine answer. Under Partial
+        // degradation a skipped shard can only lengthen or lose a path,
+        // never invent one.
         self.q(|| {
             if !self.point(a, |s| s.has_user(a))? || !self.point(b, |s| s.has_user(b))? {
                 return Ok(None);
@@ -1155,27 +1274,11 @@ impl MicroblogEngine for ShardedEngine {
             if a == b {
                 return Ok(Some(0));
             }
-            let mut visited: BTreeSet<i64> = BTreeSet::from([a]);
-            let mut frontier = Arc::new(vec![a]);
-            for depth in 1..=max_hops {
-                let shared = Arc::clone(&frontier);
-                let parts = self.broadcast(move |_, s| s.follow_frontier_kernel(&shared))?;
-                let next: BTreeSet<i64> = parts.into_iter().flatten().collect();
-                if next.contains(&b) {
-                    return Ok(Some(depth));
-                }
-                // Reuse the frontier allocation across rounds when the
-                // workers have released their handles (opportunistic — a
-                // straggler drop just costs one fresh Vec).
-                let mut buf = Arc::try_unwrap(frontier).unwrap_or_default();
-                buf.clear();
-                buf.extend(next.into_iter().filter(|&u| visited.insert(u)));
-                if buf.is_empty() {
-                    return Ok(None);
-                }
-                frontier = Arc::new(buf);
+            if self.bidirectional_bfs_enabled() {
+                self.bidirectional_path_len(a, b, max_hops)
+            } else {
+                self.one_sided_path_len(a, b, max_hops)
             }
-            Ok(None)
         })
     }
 
@@ -1247,8 +1350,7 @@ impl MicroblogEngine for ShardedEngine {
             let buckets = self.route(uids);
             let selected = Self::non_empty(&buckets);
             let parts = self.scatter(selected, move |i, s| s.hashtags_kernel(&buckets[i]))?;
-            let tags: BTreeSet<String> = parts.into_iter().flatten().collect();
-            Ok(tags.into_iter().collect())
+            Ok(merge_sorted_distinct(parts))
         })
     }
 
@@ -1289,8 +1391,7 @@ impl MicroblogEngine for ShardedEngine {
         self.q(|| {
             let uids = uids.to_vec();
             let parts = self.broadcast(move |_, s| s.follow_frontier_kernel(&uids))?;
-            let next: BTreeSet<i64> = parts.into_iter().flatten().collect();
-            Ok(next.into_iter().collect())
+            Ok(merge_sorted_distinct(parts))
         })
     }
 
@@ -1406,6 +1507,20 @@ impl MicroblogEngine for ShardedEngine {
         let mut ok = true;
         for s in &self.shards {
             ok &= s.set_exec_mode(mode);
+        }
+        ok
+    }
+
+    fn batched_kernels(&self) -> Option<bool> {
+        // All shards run the same backend; the first one speaks for all.
+        self.shards.first().and_then(|s| s.batched_kernels())
+    }
+
+    fn set_batched_kernels(&self, on: bool) -> bool {
+        // Flip every shard (no short-circuit), like `set_exec_mode`.
+        let mut ok = true;
+        for s in &self.shards {
+            ok &= s.set_batched_kernels(on);
         }
         ok
     }
