@@ -855,6 +855,161 @@ pub fn gap_axis(f: &Fixture) -> Vec<GapRow> {
     rows
 }
 
+/// One measurement on the replication axis ([`replica_axis`]): the serve
+/// mix over a 2-shard composition with R replicas behind each shard slot
+/// (DESIGN.md §4i), 4 reader threads.
+pub struct ReplicaRow {
+    /// Engine name (includes shard count and replica factor).
+    pub engine: &'static str,
+    /// Hash-partition count.
+    pub shards: usize,
+    /// Replicas behind each shard slot.
+    pub replicas: usize,
+    /// Reader threads used.
+    pub threads: usize,
+    /// `"healthy"` for an all-replicas-up run, `"degraded"` for the same
+    /// stream with one replica of every shard killed mid-axis.
+    pub condition: &'static str,
+    /// Aggregate throughput (requests/s), errors included.
+    pub qps: f64,
+    /// Useful throughput: full-coverage, non-error answers per second.
+    /// Equals `qps` while healthy; the number replication exists to
+    /// protect — at R = 1 a dead replica drives it to zero, at R ≥ 2 the
+    /// failover ladder keeps it at the healthy level.
+    pub goodput: f64,
+    /// Requests that errored (0 on every healthy run).
+    pub errors: u64,
+    /// Median request latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile request latency (ms).
+    pub p99_ms: f64,
+    /// Failover hops the run recorded.
+    pub failovers: u64,
+    /// Reads the run routed to a non-zero primary replica.
+    pub replica_reads: u64,
+}
+
+/// Measures the replication axis: both backends at 2 shards × R ∈
+/// {1, 2, 3}, 4 reader threads over the same stream, healthy and then
+/// degraded (replica 0 of every shard permanently killed, same stream
+/// replayed). The healthy rows record whatever read scale-out the host
+/// offers — spreading reads across R engine instances needs spare cores
+/// to turn into qps, so on a single-core runner they stay flat. The
+/// degraded rows are the axis's headline and are host-independent: at
+/// R = 1 the dead replica drives goodput to zero (every request errors,
+/// fast-failing on the torn group), while at R ≥ 2 the failover ladder
+/// keeps goodput at the healthy level with byte-identical answers.
+/// Asserts no R (and, for R ≥ 2, no replica loss) moves the serving
+/// digest, and that R = 1 replica loss errors every request.
+pub fn replica_axis(f: &Fixture) -> Vec<ReplicaRow> {
+    use micrograph_core::ingest::build_replicated_engines;
+    let users = f.dataset.users.len() as u64;
+    let threads = 4usize;
+    let requests = 512usize;
+    let config =
+        ServeConfig { threads, requests, seed: 42, users, vocab: 16, ..Default::default() };
+    let shards = 2usize;
+    let mut rows = Vec::new();
+    let mut digests: [Option<u64>; 2] = [None, None];
+    let goodput = |report: &micrograph_core::serve::ServeReport| {
+        report.qps * (requests as u64 - report.errors - report.degraded) as f64 / requests as f64
+    };
+    for replicas in [1usize, 2, 3] {
+        let (sharded_arbor, sharded_bit) = build_replicated_engines(
+            &f.dataset,
+            &f.dir.join(format!("replica-axis-{replicas}")),
+            shards,
+            replicas,
+        )
+        .expect("build replicated engines");
+        for (which, engine) in
+            [&sharded_arbor as &dyn MicroblogEngine, &sharded_bit].into_iter().enumerate()
+        {
+            serve(engine, &config).expect("warmup");
+            let before = engine.fault_stats();
+            let report = serve(engine, &config).expect("serve");
+            let spent = engine.fault_stats().since(&before);
+            let d = report.digest();
+            assert_eq!(
+                *digests[which].get_or_insert(d),
+                d,
+                "{} answers changed with R={replicas}",
+                engine.name()
+            );
+            rows.push(ReplicaRow {
+                engine: report.engine,
+                shards,
+                replicas,
+                threads,
+                condition: "healthy",
+                qps: report.qps,
+                goodput: goodput(&report),
+                errors: report.errors,
+                p50_ms: report.p50_ms,
+                p95_ms: report.p95_ms,
+                p99_ms: report.p99_ms,
+                failovers: spent.failovers,
+                replica_reads: spent.replica_reads,
+            });
+        }
+        // Kill replica 0 of every shard and replay the stream. With a
+        // spare replica the failover ladder must absorb the loss
+        // byte-identically; with R = 1 the whole stream must fail fast
+        // (goodput 0) — never a stale or partial answer in Strict mode.
+        for (which, (concrete, engine)) in [
+            (&sharded_arbor, &sharded_arbor as &dyn MicroblogEngine),
+            (&sharded_bit, &sharded_bit),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for shard in 0..shards {
+                concrete.kill_replica(shard, 0);
+            }
+            let before = engine.fault_stats();
+            let report = serve(engine, &config).expect("serve degraded");
+            let spent = engine.fault_stats().since(&before);
+            if replicas == 1 {
+                assert_eq!(
+                    report.errors, requests as u64,
+                    "{}: a dead sole replica must fail every request",
+                    engine.name()
+                );
+            } else {
+                assert_eq!(
+                    Some(report.digest()),
+                    digests[which],
+                    "{} answers changed after losing a replica of every shard",
+                    engine.name()
+                );
+                assert!(
+                    spent.failovers > 0,
+                    "{}: surviving replica loss must have hopped",
+                    engine.name()
+                );
+            }
+            rows.push(ReplicaRow {
+                engine: report.engine,
+                shards,
+                replicas,
+                threads,
+                condition: "degraded",
+                qps: report.qps,
+                goodput: goodput(&report),
+                errors: report.errors,
+                p50_ms: report.p50_ms,
+                p95_ms: report.p95_ms,
+                p99_ms: report.p99_ms,
+                failovers: spent.failovers,
+                replica_reads: spent.replica_reads,
+            });
+        }
+    }
+    rows
+}
+
 /// Renders the scatter-mode axis as the `BENCH_serving.json` artifact:
 /// sequential vs parallel throughput and latency percentiles per backend
 /// and shard count, one reader thread.
@@ -923,6 +1078,67 @@ pub fn serving_json(f: &Fixture, scale: &str) -> String {
         ));
     }
     out.push_str("  ],\n");
+    // Replication axis (DESIGN.md §4i): qps and goodput vs R at 2 shards
+    // / 4 reader threads, healthy plus the degraded (replica 0 of every
+    // shard killed) replay at every R. Digests asserted equal inside
+    // replica_axis.
+    let replica_rows = replica_axis(f);
+    out.push_str("  \"replica_rows\": [\n");
+    for (i, r) in replica_rows.iter().enumerate() {
+        let comma = if i + 1 == replica_rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"shards\": {}, \"replicas\": {}, \"threads\": {}, \
+             \"condition\": \"{}\", \"qps\": {:.1}, \"goodput\": {:.1}, \"errors\": {}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"failovers\": {}, \
+             \"replica_reads\": {}}}{comma}\n",
+            r.engine,
+            r.shards,
+            r.replicas,
+            r.threads,
+            r.condition,
+            r.qps,
+            r.goodput,
+            r.errors,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.failovers,
+            r.replica_reads,
+        ));
+    }
+    out.push_str("  ],\n");
+    // The replication headline: scatter goodput from R = 1 to R = 2 per
+    // backend with one replica of every shard permanently dead (2 shards,
+    // 4 readers) — the comparison replication exists for, and one that
+    // holds on any host: R = 1 fails the whole stream (goodput 0) while
+    // R = 2 serves it byte-identically. Healthy qps at both R is recorded
+    // alongside; turning the replica spread into healthy-read scale-out
+    // additionally needs spare cores on the measurement host.
+    let replica_val = |engine_contains: &str, replicas: usize, condition: &str| {
+        replica_rows
+            .iter()
+            .find(|r| {
+                r.condition == condition
+                    && r.replicas == replicas
+                    && r.engine.contains(engine_contains)
+            })
+            .map(|r| if condition == "healthy" { r.qps } else { r.goodput })
+            .unwrap_or(0.0)
+    };
+    let (a1, a2) = (replica_val("arbordb", 1, "healthy"), replica_val("arbordb", 2, "healthy"));
+    let (b1, b2) = (replica_val("bitgraph", 1, "healthy"), replica_val("bitgraph", 2, "healthy"));
+    let (ad1, ad2) =
+        (replica_val("arbordb", 1, "degraded"), replica_val("arbordb", 2, "degraded"));
+    let (bd1, bd2) =
+        (replica_val("bitgraph", 1, "degraded"), replica_val("bitgraph", 2, "degraded"));
+    out.push_str(&format!(
+        "  \"replica_headline\": {{\"arbordb_r1_qps\": {a1:.1}, \"arbordb_r2_qps\": {a2:.1}, \
+         \"bitgraph_r1_qps\": {b1:.1}, \"bitgraph_r2_qps\": {b2:.1}, \
+         \"arbordb_replica_dead_r1_goodput\": {ad1:.1}, \
+         \"arbordb_replica_dead_r2_goodput\": {ad2:.1}, \
+         \"bitgraph_replica_dead_r1_goodput\": {bd1:.1}, \
+         \"bitgraph_replica_dead_r2_goodput\": {bd2:.1}}},\n",
+    ));
     // The headline the gap axis exists for: batched parallel arbordb
     // throughput as a fraction of parallel bitgraph, both at 4 shards.
     let arbor_qps = gap_rows

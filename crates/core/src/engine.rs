@@ -404,6 +404,15 @@ pub trait MicroblogEngine: Send + Sync {
     fn set_batched_kernels(&self, _on: bool) -> bool {
         false
     }
+
+    /// Replicas behind each shard slot when this engine is (or wraps) a
+    /// replicated sharded composition (DESIGN.md §4i) — `None` for
+    /// monoliths. `Some(1)` means sharded but unreplicated; `Some(R)` with
+    /// R > 1 means every shard is served by an R-way replica group with
+    /// deterministic primary routing and failover.
+    fn replica_count(&self) -> Option<usize> {
+        None
+    }
 }
 
 // ---- shared pushdown-kernel shapes -----------------------------------------

@@ -60,29 +60,36 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// Argument keys: fold whatever identifies the call into one u64 so the
-/// fault schedule distinguishes calls without caring about types.
-pub(crate) fn key_u64(x: u64) -> u64 {
+/// Argument keys: fold whatever identifies a call into one u64 so the
+/// fault schedule distinguishes calls without caring about types. The
+/// same keys route replicated reads ([`crate::shard::replica_of`]), so
+/// they are public: tests predict a query's primary replica with them.
+pub fn key_u64(x: u64) -> u64 {
     mix(x)
 }
 
-pub(crate) fn key_i64(x: i64) -> u64 {
+/// [`key_u64`] for signed ids (uids, tids, thresholds).
+pub fn key_i64(x: i64) -> u64 {
     mix(x as u64)
 }
 
-pub(crate) fn key_str(s: &str) -> u64 {
+/// Argument key for a string argument (tags, method names).
+pub fn key_str(s: &str) -> u64 {
     fnv(s)
 }
 
-pub(crate) fn key_slice(xs: &[i64]) -> u64 {
+/// Argument key for an id-list argument (batched kernel uid lists).
+pub fn key_slice(xs: &[i64]) -> u64 {
     xs.iter().fold(0x51AF_D0A3_BAAD_F00Du64, |acc, &x| mix(acc ^ x as u64))
 }
 
-pub(crate) fn key_str_slice(xs: &[String]) -> u64 {
+/// Argument key for a string-list argument.
+pub fn key_str_slice(xs: &[String]) -> u64 {
     xs.iter().fold(0x6B5F_23C1_0DDB_A11Cu64, |acc, x| mix(acc ^ fnv(x)))
 }
 
-pub(crate) fn key2(a: u64, b: u64) -> u64 {
+/// Combines two argument keys into one (order-sensitive).
+pub fn key2(a: u64, b: u64) -> u64 {
     mix(a ^ mix(b))
 }
 
@@ -220,6 +227,15 @@ pub struct FaultStats {
     /// Scatter shard calls shed at a deadline in `Partial` mode (counted
     /// as unanswered coverage instead of failing the whole query).
     pub shed: u64,
+    /// Failover hops: shard calls re-routed to the next replica in the
+    /// group after the previous replica stayed `Unavailable` (DESIGN.md
+    /// §4i). Counted per hop, so a call that walks past two dead replicas
+    /// counts twice.
+    pub failovers: u64,
+    /// Read shard calls whose deterministic primary was a non-zero
+    /// replica — the share of read traffic the replica groups absorbed
+    /// beyond what a single-replica deployment would serve.
+    pub replica_reads: u64,
 }
 
 impl FaultStats {
@@ -234,6 +250,8 @@ impl FaultStats {
             hedges: self.hedges + other.hedges,
             hedge_wins: self.hedge_wins + other.hedge_wins,
             shed: self.shed + other.shed,
+            failovers: self.failovers + other.failovers,
+            replica_reads: self.replica_reads + other.replica_reads,
         }
     }
 
@@ -249,6 +267,8 @@ impl FaultStats {
             hedges: self.hedges.saturating_sub(earlier.hedges),
             hedge_wins: self.hedge_wins.saturating_sub(earlier.hedge_wins),
             shed: self.shed.saturating_sub(earlier.shed),
+            failovers: self.failovers.saturating_sub(earlier.failovers),
+            replica_reads: self.replica_reads.saturating_sub(earlier.replica_reads),
         }
     }
 
@@ -268,7 +288,7 @@ impl fmt::Display for FaultStats {
         write!(
             f,
             "injected {} errors + {} panics, {} retries, {} panics caught, {} exhausted, \
-             {} hedges ({} won), {} shed",
+             {} hedges ({} won), {} shed, {} failovers, {} replica reads",
             self.injected_errors,
             self.injected_panics,
             self.retries,
@@ -276,7 +296,9 @@ impl fmt::Display for FaultStats {
             self.exhausted,
             self.hedges,
             self.hedge_wins,
-            self.shed
+            self.shed,
+            self.failovers,
+            self.replica_reads
         )
     }
 }
@@ -294,6 +316,8 @@ pub struct FaultCounters {
     hedges: AtomicU64,
     hedge_wins: AtomicU64,
     shed: AtomicU64,
+    failovers: AtomicU64,
+    replica_reads: AtomicU64,
 }
 
 impl FaultCounters {
@@ -337,6 +361,16 @@ impl FaultCounters {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one failover hop to the next replica in a group.
+    pub fn note_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a read shard call routed to a non-zero primary replica.
+    pub fn note_replica_read(&self) {
+        self.replica_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads all counters.
     pub fn snapshot(&self) -> FaultStats {
         FaultStats {
@@ -348,6 +382,8 @@ impl FaultCounters {
             hedges: self.hedges.load(Ordering::Relaxed),
             hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            replica_reads: self.replica_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -998,6 +1034,10 @@ impl MicroblogEngine for ChaosEngine {
         // Ungated, like the other instrumentation passthroughs.
         self.inner.set_batched_kernels(on)
     }
+
+    fn replica_count(&self) -> Option<usize> {
+        self.inner.replica_count()
+    }
 }
 
 #[cfg(test)]
@@ -1201,6 +1241,8 @@ mod tests {
             hedges: 4,
             hedge_wins: 2,
             shed: 1,
+            failovers: 3,
+            replica_reads: 6,
         };
         let b = FaultStats {
             injected_errors: 1,
@@ -1211,18 +1253,26 @@ mod tests {
             hedges: 1,
             hedge_wins: 1,
             shed: 0,
+            failovers: 1,
+            replica_reads: 2,
         };
         assert_eq!(a.plus(&b).injected_errors, 4);
         assert_eq!(a.plus(&b).hedges, 5);
+        assert_eq!(a.plus(&b).failovers, 4);
+        assert_eq!(a.plus(&b).replica_reads, 8);
         assert_eq!(a.since(&b).retries, 3);
         assert_eq!(a.since(&b).hedge_wins, 1);
         assert_eq!(a.since(&b).shed, 1);
+        assert_eq!(a.since(&b).failovers, 2);
+        assert_eq!(a.since(&b).replica_reads, 4);
         assert_eq!(a.total_injected(), 4);
         assert!(!a.is_zero());
         assert!(FaultStats::default().is_zero());
         assert!(a.to_string().contains("3 errors"));
         assert!(a.to_string().contains("4 hedges (2 won)"));
         assert!(a.to_string().contains("1 shed"));
+        assert!(a.to_string().contains("3 failovers"));
+        assert!(a.to_string().contains("6 replica reads"));
     }
 
     #[test]

@@ -356,6 +356,78 @@ pub fn build_chaos_sharded_engines(
     ))
 }
 
+/// Like [`build_sharded_engines`], but every shard slot is an R-way
+/// [`crate::shard`] replica group (DESIGN.md §4i): each partition's CSV
+/// bundle is written once and ingested `replicas` times per backend, so
+/// all replicas of a shard hold identical data. With `replicas = 1` this
+/// is exactly [`build_sharded_engines`] — same name, same digests.
+pub fn build_replicated_engines(
+    dataset: &Dataset,
+    dir: &Path,
+    shards: usize,
+    replicas: usize,
+) -> Result<(ShardedEngine, ShardedEngine)> {
+    let parts = partition_dataset(dataset, shards);
+    let mut arbors: Vec<Vec<Box<dyn MicroblogEngine>>> = Vec::with_capacity(shards);
+    let mut bits: Vec<Vec<Box<dyn MicroblogEngine>>> = Vec::with_capacity(shards);
+    for (i, part) in parts.iter().enumerate() {
+        let files = part
+            .write_csv(&dir.join(format!("shard-{i}")))
+            .map_err(|e| CoreError::Ingest(e.to_string()))?;
+        let mut arbor_group: Vec<Box<dyn MicroblogEngine>> = Vec::with_capacity(replicas);
+        let mut bit_group: Vec<Box<dyn MicroblogEngine>> = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            let (arbor, bit, _) = build_engines(&files)?;
+            arbor_group.push(Box::new(arbor));
+            bit_group.push(Box::new(bit));
+        }
+        arbors.push(arbor_group);
+        bits.push(bit_group);
+    }
+    Ok((ShardedEngine::new_replicated(arbors), ShardedEngine::new_replicated(bits)))
+}
+
+/// Like [`build_replicated_engines`], but wraps every replica of every
+/// shard in a [`ChaosEngine`] under the plan `plan_for(shard, replica)`
+/// returns, salted by the flat replica index `shard * replicas + replica`
+/// — at R = 1 that reduces to the shard index, so an R = 1 chaos build
+/// faults **identically** to [`build_chaos_sharded_engines`]. The
+/// per-slot plan closure is what the permanent-fault tests use to kill
+/// one replica of every shard while its groupmates stay clean.
+pub fn build_chaos_replicated_engines(
+    dataset: &Dataset,
+    dir: &Path,
+    shards: usize,
+    replicas: usize,
+    plan_for: impl Fn(usize, usize) -> FaultPlan,
+    policy: RetryPolicy,
+    mode: DegradationMode,
+) -> Result<(ShardedEngine, ShardedEngine)> {
+    let parts = partition_dataset(dataset, shards);
+    let mut arbors: Vec<Vec<Box<dyn MicroblogEngine>>> = Vec::with_capacity(shards);
+    let mut bits: Vec<Vec<Box<dyn MicroblogEngine>>> = Vec::with_capacity(shards);
+    for (i, part) in parts.iter().enumerate() {
+        let files = part
+            .write_csv(&dir.join(format!("shard-{i}")))
+            .map_err(|e| CoreError::Ingest(e.to_string()))?;
+        let mut arbor_group: Vec<Box<dyn MicroblogEngine>> = Vec::with_capacity(replicas);
+        let mut bit_group: Vec<Box<dyn MicroblogEngine>> = Vec::with_capacity(replicas);
+        for r in 0..replicas {
+            let (arbor, bit, _) = build_engines(&files)?;
+            let plan = plan_for(i, r);
+            let salt = (i * replicas + r) as u64;
+            arbor_group.push(Box::new(ChaosEngine::new(Box::new(arbor), plan, salt)));
+            bit_group.push(Box::new(ChaosEngine::new(Box::new(bit), plan, salt)));
+        }
+        arbors.push(arbor_group);
+        bits.push(bit_group);
+    }
+    Ok((
+        ShardedEngine::new_replicated(arbors).with_policy(policy).with_degradation(mode),
+        ShardedEngine::new_replicated(bits).with_policy(policy).with_degradation(mode),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,7 +30,11 @@
 //!   concurrently by default ([`shard::ScatterMode`]) on a work-stealing
 //!   worker pool the caller participates in, with in-shard-order gathers
 //!   and max-latency fault accounting keeping every answer
-//!   interleaving-independent.
+//!   interleaving-independent. Each shard slot holds N replicas: reads
+//!   route to a pure-hash primary ([`shard::replica_of`]) and heal
+//!   permanent single-replica loss through a deterministic failover
+//!   ladder, writes fan out to every replica (a replica that misses one
+//!   is torn and fails fast), and answers never move a byte with R.
 //! * [`ingest`] — drives both bulk loaders over the same CSV sources
 //!   (§3.2), capturing the Figure 2/3 progress curves; also builds
 //!   sharded engine pairs from a partitioned dataset.

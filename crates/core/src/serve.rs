@@ -214,6 +214,9 @@ pub struct ServeReport {
     pub qps: f64,
     /// Scatter execution mode of the engine (`None` for monoliths).
     pub scatter_mode: Option<crate::shard::ScatterMode>,
+    /// Replicas behind each shard slot (`None` for monoliths, `Some(1)`
+    /// for unreplicated sharded engines — DESIGN.md §4i).
+    pub replicas: Option<usize>,
     /// Overall latency percentiles across every request (ms).
     pub p50_ms: f64,
     /// 95th percentile across every request (ms).
@@ -263,10 +266,15 @@ impl ServeReport {
 
     /// Renders the report as an aligned text table.
     pub fn render(&self) -> String {
-        let mode = self
+        let mut mode = self
             .scatter_mode
             .map(|m| format!(", scatter {}", m.label()))
             .unwrap_or_default();
+        if let Some(r) = self.replicas {
+            if r > 1 {
+                mode.push_str(&format!(", R={r}"));
+            }
+        }
         let mut out = format!(
             "== serving: {} — {} requests / {} thread(s){}: {:.0} req/s (wall {:.1} ms) ==\n",
             self.engine, self.requests, self.threads, mode, self.qps, self.wall_ms
@@ -452,6 +460,7 @@ pub fn serve(engine: &dyn MicroblogEngine, config: &ServeConfig) -> Result<Serve
         wall_ms,
         qps: requests.len() as f64 / (wall_ms / 1_000.0).max(1e-9),
         scatter_mode: engine.scatter_mode(),
+        replicas: engine.replica_count(),
         p50_ms: percentile(&all_ms, 50.0),
         p95_ms: percentile(&all_ms, 95.0),
         p99_ms: percentile(&all_ms, 99.0),

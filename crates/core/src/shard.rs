@@ -42,6 +42,21 @@
 //! threshold-algorithm merge over bounded `*_topn_kernel` partials that
 //! replaces full per-shard count maps for Q3/Q4/Q5). Both are on/off
 //! togglable at runtime and flipping either never moves a digest.
+//!
+//! Replication (DESIGN.md §4i): every shard slot holds a [`ReplicaGroup`]
+//! — R engines ingested from the **same** partition dataset
+//! ([`ShardedEngine::new_replicated`]; plain [`ShardedEngine::new`] builds
+//! single-replica groups, so R = 1 behavior is untouched). Reads route to
+//! a deterministic primary replica ([`replica_of`] — a pure hash of the
+//! query's routing key and the shard index), spreading traffic across the
+//! group so read qps scales with R, and fail over along a deterministic
+//! ladder ([`replica_call`], attempt band [`FAILOVER_ATTEMPT_BASE`]) when
+//! a replica stays `Unavailable` after retries — so Strict mode survives
+//! the permanent loss of any single replica of every shard with
+//! byte-identical answers (pinned by `tests/chaos_serving.rs`). Writes fan
+//! out to every replica of the owning shard; a replica that misses a write
+//! the group accepted is marked **torn** and never serves again — failing
+//! fast beats serving stale.
 
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -487,22 +502,30 @@ const HEDGE_ATTEMPT_BASE: u32 = 32;
 /// With hedging disarmed (`threshold_us == 0`) or no ambient budget
 /// installed (no virtual clock to race against), this is exactly
 /// [`retry_call`]. Never used for writes: a hedge re-executes the call.
+///
+/// `base_attempt` shifts both ladders' ambient attempt indices — the hook
+/// replica failover uses ([`replica_call`], band
+/// [`FAILOVER_ATTEMPT_BASE`]) so each failover hop looks like a fresh
+/// request to the fault schedule while the hedge ladder stays offset by
+/// [`HEDGE_ATTEMPT_BASE`] *within* the hop's band.
 fn hedged_call<T>(
     shard: usize,
     engine: &dyn MicroblogEngine,
     policy: &RetryPolicy,
     counters: &FaultCounters,
     threshold_us: u64,
+    base_attempt: u32,
     op: impl Fn(&dyn MicroblogEngine) -> Result<T>,
 ) -> Result<T> {
     let snapshot = fault::remaining_budget_us();
     if threshold_us == 0 || snapshot.is_none() {
-        return retry_call(shard, engine, policy, counters, &op);
+        return retry_call_from(shard, engine, policy, counters, base_attempt, &op);
     }
     // Primary ladder under a detached meter holding the same remaining
     // budget, so a genuine overrun still surfaces as a Timeout inside.
-    let (primary, p_spend) =
-        fault::with_worker_budget(snapshot, || retry_call(shard, engine, policy, counters, &op));
+    let (primary, p_spend) = fault::with_worker_budget(snapshot, || {
+        retry_call_from(shard, engine, policy, counters, base_attempt, &op)
+    });
     if p_spend.spent_us <= threshold_us {
         fault::absorb_worker_spend(&p_spend);
         fault::charge(p_spend.spent_us)?;
@@ -511,7 +534,7 @@ fn hedged_call<T>(
     counters.note_hedge();
     let hedge_budget = snapshot.map(|s| s.saturating_sub(threshold_us));
     let (hedge, h_spend) = fault::with_worker_budget(hedge_budget, || {
-        retry_call_from(shard, engine, policy, counters, HEDGE_ATTEMPT_BASE, &op)
+        retry_call_from(shard, engine, policy, counters, base_attempt + HEDGE_ATTEMPT_BASE, &op)
     });
     let p_total = p_spend.spent_us;
     let h_total = threshold_us.saturating_add(h_spend.spent_us);
@@ -543,6 +566,127 @@ fn hedged_call<T>(
     winner
 }
 
+// ---- replication (DESIGN.md §4i) ------------------------------------------
+
+/// Attempt-index offset between replica failover hops. Each hop `h` of the
+/// failover ladder runs its retry (and nested hedge) ladders on band
+/// `h * FAILOVER_ATTEMPT_BASE`, so the fault schedule treats every hop as
+/// a fresh request on a different machine: a transient burst on one
+/// replica never implies a burst on the next, while permanent faults
+/// (which ignore the attempt index) are never masked by hopping. The band
+/// is far above [`HEDGE_ATTEMPT_BASE`] plus any plausible retry count, so
+/// retry, hedge and failover offsets can never collide.
+const FAILOVER_ATTEMPT_BASE: u32 = 256;
+
+/// The replicas of one shard slot: R engines ingested from the **same**
+/// partition dataset, plus a per-replica *torn* flag. A replica is torn
+/// when it missed a write the rest of the group accepted; torn replicas
+/// are permanently excluded from reads and writes (they would serve stale
+/// answers), surfacing as synthetic `Unavailable` legs the failover
+/// ladder walks past.
+struct ReplicaGroup {
+    replicas: Vec<Arc<dyn MicroblogEngine>>,
+    torn: Vec<AtomicBool>,
+}
+
+impl ReplicaGroup {
+    fn new(replicas: Vec<Box<dyn MicroblogEngine>>) -> Self {
+        assert!(!replicas.is_empty(), "a replica group needs at least one replica");
+        let torn = replicas.iter().map(|_| AtomicBool::new(false)).collect();
+        ReplicaGroup { replicas: replicas.into_iter().map(Arc::from).collect(), torn }
+    }
+
+    fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn engine(&self, replica: usize) -> &dyn MicroblogEngine {
+        self.replicas[replica].as_ref()
+    }
+
+    fn is_torn(&self, replica: usize) -> bool {
+        self.torn[replica].load(Ordering::Relaxed)
+    }
+
+    fn mark_torn(&self, replica: usize) {
+        self.torn[replica].store(true, Ordering::Relaxed);
+    }
+
+    fn torn_count(&self) -> usize {
+        (0..self.len()).filter(|&r| self.is_torn(r)).count()
+    }
+}
+
+/// The deterministic primary replica serving a read routed by `route` at
+/// `shard`: a pure hash of `(route, shard)` modulo the group size. The
+/// same query always lands on the same replica (cache locality, and the
+/// serving counters stay thread-count-invariant), while distinct queries
+/// spread uniformly across the group — round-robin in expectation, which
+/// is what scales read qps with R. No RNG, no rotating counter: every
+/// routing decision is replayable.
+pub fn replica_of(route: u64, shard: usize, replicas: usize) -> usize {
+    debug_assert!(replicas > 0, "replica count must be positive");
+    if replicas <= 1 {
+        return 0;
+    }
+    (fault::key2(route, shard as u64) % replicas as u64) as usize
+}
+
+/// One read shard call with **deterministic replica failover**: try the
+/// primary replica first (its retry + hedge ladders on attempt band 0),
+/// then walk the group in ring order — hop `h` tries replica
+/// `(primary + h) % R` on attempt band `h * FAILOVER_ATTEMPT_BASE` — until
+/// a replica answers. Torn replicas are skipped as synthetic
+/// `Unavailable` legs without being called. Only retryable errors
+/// (`Unavailable`: dead or exhausted replicas) fail over; semantic errors
+/// and `Timeout` (the budget is spent — another replica cannot mint more)
+/// propagate immediately. When every replica fails, the **primary's**
+/// error text is reported, mirroring the hedging convention, so R never
+/// perturbs error digests. At R = 1 this is exactly [`hedged_call`].
+fn replica_call<T>(
+    shard: usize,
+    group: &ReplicaGroup,
+    primary: usize,
+    policy: &RetryPolicy,
+    counters: &FaultCounters,
+    threshold_us: u64,
+    op: impl Fn(&dyn MicroblogEngine) -> Result<T>,
+) -> Result<T> {
+    let r = group.len();
+    let mut primary_err: Option<CoreError> = None;
+    for hop in 0..r as u32 {
+        let replica = (primary + hop as usize) % r;
+        if hop > 0 {
+            counters.note_failover();
+        }
+        let result = if group.is_torn(replica) {
+            Err(CoreError::Unavailable(format!(
+                "shard {shard} replica {replica} torn (missed a group write)"
+            )))
+        } else {
+            hedged_call(
+                shard,
+                group.engine(replica),
+                policy,
+                counters,
+                threshold_us,
+                hop * FAILOVER_ATTEMPT_BASE,
+                &op,
+            )
+        };
+        match result {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() => {
+                if primary_err.is_none() {
+                    primary_err = Some(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(primary_err.expect("non-empty replica group recorded an error"))
+}
+
 /// N inner engines behind one [`MicroblogEngine`] facade.
 ///
 /// Point lookups route to the owner shard; scatter/gather queries broadcast
@@ -562,7 +706,9 @@ fn hedged_call<T>(
 /// cross-engine equivalence matrix holds for default-configured sharded
 /// engines.
 pub struct ShardedEngine {
-    shards: Vec<Arc<dyn MicroblogEngine>>,
+    shards: Vec<Arc<ReplicaGroup>>,
+    /// Replicas per shard slot (uniform across the engine; 1 = unreplicated).
+    replicas: usize,
     name: &'static str,
     policy: RetryPolicy,
     mode: DegradationMode,
@@ -590,16 +736,44 @@ impl ShardedEngine {
     /// # Panics
     /// Panics when `shards` is empty.
     pub fn new(shards: Vec<Box<dyn MicroblogEngine>>) -> Self {
-        assert!(!shards.is_empty(), "ShardedEngine needs at least one shard");
+        Self::new_replicated(shards.into_iter().map(|e| vec![e]).collect())
+    }
+
+    /// Wraps `groups[shard]` = the R replicas of shard `shard` — each a
+    /// full engine ingested from the **same** partition dataset
+    /// (DESIGN.md §4i). Reads route to a deterministic primary replica and
+    /// fail over along the group ring on `Unavailable`; writes apply to
+    /// every live replica of the owning shard. With R = 1 this is exactly
+    /// [`ShardedEngine::new`] — same name, same routing, same digests.
+    ///
+    /// # Panics
+    /// Panics when `groups` is empty, any group is empty, or the groups
+    /// are not all the same size (the replica count is engine-uniform).
+    pub fn new_replicated(groups: Vec<Vec<Box<dyn MicroblogEngine>>>) -> Self {
+        assert!(!groups.is_empty(), "ShardedEngine needs at least one shard");
+        let replicas = groups[0].len();
+        assert!(replicas > 0, "every shard needs at least one replica");
+        assert!(
+            groups.iter().all(|g| g.len() == replicas),
+            "all shards must have the same replica count"
+        );
         // The trait hands out `&'static str`; one leaked label per engine
         // construction is bounded by the number of engines built.
-        let name: &'static str =
-            Box::leak(format!("sharded[{}/{}]", shards[0].name(), shards.len()).into_boxed_str());
-        let shards: Vec<Arc<dyn MicroblogEngine>> =
-            shards.into_iter().map(Arc::from).collect();
+        let backend = groups[0][0].name();
+        let name: &'static str = Box::leak(
+            if replicas > 1 {
+                format!("sharded[{}/{}x{}]", backend, groups.len(), replicas)
+            } else {
+                format!("sharded[{}/{}]", backend, groups.len())
+            }
+            .into_boxed_str(),
+        );
+        let shards: Vec<Arc<ReplicaGroup>> =
+            groups.into_iter().map(|g| Arc::new(ReplicaGroup::new(g))).collect();
         let pool = WorkerPool::new(shards.len());
         ShardedEngine {
             shards,
+            replicas,
             name,
             policy: RetryPolicy::default(),
             mode: DegradationMode::Strict,
@@ -701,6 +875,23 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    /// Permanently marks `replica` of `shard` as torn — the operational
+    /// kill switch. A torn replica is skipped by reads (the failover
+    /// ladder walks past it) and writes (the rest of the group keeps
+    /// accepting), exactly as if it had missed a group write.
+    ///
+    /// # Panics
+    /// Panics when `shard` or `replica` is out of range.
+    pub fn kill_replica(&self, shard: usize, replica: usize) {
+        assert!(replica < self.replicas, "replica index out of range");
+        self.shards[shard].mark_torn(replica);
+    }
+
+    /// Total torn replicas across all shard groups.
+    pub fn torn_replicas(&self) -> usize {
+        self.shards.iter().map(|g| g.torn_count()).sum()
+    }
+
     fn load_scatter_mode(&self) -> ScatterMode {
         ScatterMode::from_u8(self.scatter_mode.load(Ordering::Relaxed))
     }
@@ -721,19 +912,86 @@ impl ShardedEngine {
         fault::with_fallback_budget(self.policy.deadline_us, f)
     }
 
-    /// One shard call under the retry policy, on the caller thread.
-    fn retrying<T>(
-        &self,
-        shard: usize,
-        op: impl FnMut(&dyn MicroblogEngine) -> Result<T>,
-    ) -> Result<T> {
-        retry_call(shard, self.shards[shard].as_ref(), &self.policy, &self.counters, op)
+    /// The primary replica serving a read routed by `route` at `shard` —
+    /// [`replica_of`], plus the replica-read counter when the primary is a
+    /// non-zero replica. Computed on the caller thread (never inside a
+    /// scatter worker) so the counter tape is thread-count-invariant.
+    fn read_primary(&self, shard: usize, route: u64) -> usize {
+        let primary = replica_of(route, shard, self.replicas);
+        if primary != 0 {
+            self.counters.note_replica_read();
+        }
+        primary
     }
 
-    /// Point lookup/write on the owner shard — never degrades: a single
-    /// owner is not optional, so exhausted retries propagate in both modes.
-    fn point<T>(&self, uid: i64, op: impl FnMut(&dyn MicroblogEngine) -> Result<T>) -> Result<T> {
-        self.retrying(shard_of(uid, self.shards.len()), op)
+    /// One read shard call on the caller thread: deterministic primary,
+    /// failover along the replica ring, no hedging (point reads are cheap
+    /// enough that a replica hop *is* the hedge).
+    fn read_at<T>(
+        &self,
+        shard: usize,
+        route: u64,
+        op: impl Fn(&dyn MicroblogEngine) -> Result<T>,
+    ) -> Result<T> {
+        let primary = self.read_primary(shard, route);
+        replica_call(shard, &self.shards[shard], primary, &self.policy, &self.counters, 0, op)
+    }
+
+    /// Point lookup on the owner shard — never degrades: a single owner
+    /// group is not optional, so exhausted failover propagates in both
+    /// modes.
+    fn point<T>(&self, uid: i64, op: impl Fn(&dyn MicroblogEngine) -> Result<T>) -> Result<T> {
+        self.read_at(shard_of(uid, self.shards.len()), fault::key_i64(uid), op)
+    }
+
+    /// One write applied to **every live replica** of `shard` (DESIGN.md
+    /// §4i). Writes never degrade and never hedge or fail over — each
+    /// replica must apply the write itself. A replica that still fails
+    /// after retries while a groupmate succeeded has *missed* the write:
+    /// it is marked torn and excluded from all future reads and writes —
+    /// failing fast beats serving stale. When every live replica fails,
+    /// nothing mutated anywhere (the chaos gate fires before the inner
+    /// engine mutates), so the group stays consistent and the first error
+    /// propagates untorn. When every replica is already torn the shard is
+    /// lost and the write fails.
+    fn write_at(&self, shard: usize, op: impl Fn(&dyn MicroblogEngine) -> Result<()>) -> Result<()> {
+        let group = &self.shards[shard];
+        let mut live = 0usize;
+        let mut applied = false;
+        let mut first_err: Option<CoreError> = None;
+        let mut missed: Vec<usize> = Vec::new();
+        for r in 0..group.len() {
+            if group.is_torn(r) {
+                continue;
+            }
+            live += 1;
+            match retry_call(shard, group.engine(r), &self.policy, &self.counters, |e| op(e)) {
+                Ok(()) => applied = true,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    missed.push(r);
+                }
+            }
+        }
+        if live == 0 {
+            return Err(CoreError::Unavailable(format!(
+                "shard {shard}: every replica is torn"
+            )));
+        }
+        match (applied, first_err) {
+            (_, None) => Ok(()),
+            (true, Some(_)) => {
+                // The write is in: the group answers it. Replicas that
+                // missed it are torn from here on.
+                for r in missed {
+                    group.mark_torn(r);
+                }
+                Ok(())
+            }
+            (false, Some(e)) => Err(e),
+        }
     }
 
     /// Shard indices of non-empty routing buckets — the selection for a
@@ -748,11 +1006,13 @@ impl ShardedEngine {
     }
 
     /// Runs `op` on every shard, gathering partials in shard order.
+    /// `route` picks each shard's primary replica (ignored at R = 1).
     fn broadcast<T: Send + 'static>(
         &self,
+        route: u64,
         op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T> + Send + Sync + 'static,
     ) -> Result<Vec<T>> {
-        self.scatter((0..self.shards.len()).collect(), op)
+        self.scatter(route, (0..self.shards.len()).collect(), op)
     }
 
     /// Scatter fan-out: runs `op` on every shard in `selected` (ascending
@@ -774,14 +1034,26 @@ impl ShardedEngine {
     /// same coverage tape and the same first error.
     fn scatter<T: Send + 'static>(
         &self,
+        route: u64,
         selected: Vec<usize>,
         op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T> + Send + Sync + 'static,
     ) -> Result<Vec<T>> {
         fault::note_fanout(selected.len() as u32);
+        // Primaries resolve on the caller thread, before any dispatch, so
+        // the replica-read counter tape is identical across scatter modes
+        // and thread counts. Each selected shard serves this request from
+        // the primary `replica_of(route, shard, R)` picks — distinct
+        // requests spread across the group, which is the read scale-out.
+        let primaries: Vec<usize> =
+            selected.iter().map(|&i| self.read_primary(i, route)).collect();
         match self.load_scatter_mode() {
-            ScatterMode::Parallel if selected.len() > 2 => self.scatter_parallel(selected, op),
-            ScatterMode::Parallel if selected.len() > 1 => self.scatter_inline(&selected, op),
-            _ => self.scatter_sequential(&selected, op),
+            ScatterMode::Parallel if selected.len() > 2 => {
+                self.scatter_parallel(selected, primaries, op)
+            }
+            ScatterMode::Parallel if selected.len() > 1 => {
+                self.scatter_inline(&selected, &primaries, op)
+            }
+            _ => self.scatter_sequential(&selected, &primaries, op),
         }
     }
 
@@ -816,14 +1088,16 @@ impl ShardedEngine {
     fn scatter_sequential<T>(
         &self,
         selected: &[usize],
+        primaries: &[usize],
         op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T>,
     ) -> Result<Vec<T>> {
         let threshold = self.hedge_threshold();
         let mut parts = Vec::with_capacity(selected.len());
-        for &i in selected {
-            let result = hedged_call(
+        for (slot, &i) in selected.iter().enumerate() {
+            let result = replica_call(
                 i,
-                self.shards[i].as_ref(),
+                &self.shards[i],
+                primaries[slot],
                 &self.policy,
                 &self.counters,
                 threshold,
@@ -844,16 +1118,18 @@ impl ShardedEngine {
     fn scatter_inline<T>(
         &self,
         selected: &[usize],
+        primaries: &[usize],
         op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T>,
     ) -> Result<Vec<T>> {
         let snapshot = fault::remaining_budget_us();
         let threshold = self.hedge_threshold();
         let mut slots = Vec::with_capacity(selected.len());
-        for &i in selected {
+        for (slot, &i) in selected.iter().enumerate() {
             slots.push(fault::with_worker_budget(snapshot, || {
-                hedged_call(
+                replica_call(
                     i,
-                    self.shards[i].as_ref(),
+                    &self.shards[i],
+                    primaries[slot],
                     &self.policy,
                     &self.counters,
                     threshold,
@@ -885,6 +1161,7 @@ impl ShardedEngine {
     fn scatter_parallel<T: Send + 'static>(
         &self,
         selected: Vec<usize>,
+        primaries: Vec<usize>,
         op: impl Fn(usize, &dyn MicroblogEngine) -> Result<T> + Send + Sync + 'static,
     ) -> Result<Vec<T>> {
         let snapshot = fault::remaining_budget_us();
@@ -894,9 +1171,9 @@ impl ShardedEngine {
             let policy = self.policy;
             let counters = Arc::clone(&self.counters);
             let threshold = self.hedge_threshold();
-            Arc::new(move |i: usize, engine: &dyn MicroblogEngine| {
+            Arc::new(move |i: usize, primary: usize, group: &ReplicaGroup| {
                 fault::with_worker_budget(snapshot, || {
-                    hedged_call(i, engine, &policy, &counters, threshold, |e| op(i, e))
+                    replica_call(i, group, primary, &policy, &counters, threshold, |e| op(i, e))
                 })
             })
         };
@@ -906,13 +1183,14 @@ impl ShardedEngine {
         for (slot, &i) in selected.iter().enumerate() {
             let exec = Arc::clone(&exec);
             let claims = Arc::clone(&claims);
-            let engine = Arc::clone(&self.shards[i]);
+            let group = Arc::clone(&self.shards[i]);
+            let primary = primaries[slot];
             let tx_task = tx.clone();
             let task: Task = Box::new(move || {
                 if claims[slot].swap(true, Ordering::AcqRel) {
                     return; // the caller already stole this slot
                 }
-                let (result, spend) = exec(i, engine.as_ref());
+                let (result, spend) = exec(i, primary, group.as_ref());
                 let _ = tx_task.send((slot, result, spend));
             });
             // A failed submit (pool gone) is fine: the slot stays
@@ -925,7 +1203,7 @@ impl ShardedEngine {
         // Steal pass: run whatever no worker has picked up yet.
         for (slot, &i) in selected.iter().enumerate() {
             if !claims[slot].swap(true, Ordering::AcqRel) {
-                slots[slot] = Some(exec(i, self.shards[i].as_ref()));
+                slots[slot] = Some(exec(i, primaries[slot], self.shards[i].as_ref()));
             }
         }
         // Gather the worker-claimed slots. Every pending task holds a
@@ -963,9 +1241,9 @@ impl ShardedEngine {
     /// One BFS round: broadcast the frontier as a single batched
     /// `follow_frontier_kernel` call per shard and union the sorted
     /// distinct partials (sort + dedup on a flat Vec; no tree set).
-    fn bfs_round(&self, frontier: &Arc<Vec<i64>>) -> Result<Vec<i64>> {
+    fn bfs_round(&self, route: u64, frontier: &Arc<Vec<i64>>) -> Result<Vec<i64>> {
         let shared = Arc::clone(frontier);
-        let parts = self.broadcast(move |_, s| s.follow_frontier_kernel(&shared))?;
+        let parts = self.broadcast(route, move |_, s| s.follow_frontier_kernel(&shared))?;
         let mut next: Vec<i64> = parts.into_iter().flatten().collect();
         next.sort_unstable();
         next.dedup();
@@ -975,11 +1253,11 @@ impl ShardedEngine {
     /// The one-sided BFS oracle: expand from `a` one hop per round until
     /// `b` shows up. Kept selectable (`set_bidirectional_bfs(false)`) so
     /// the frontier exchange below has an in-tree semantic baseline.
-    fn one_sided_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
+    fn one_sided_path_len(&self, route: u64, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
         let mut visited: Vec<i64> = vec![a];
         let mut frontier = Arc::new(vec![a]);
         for depth in 1..=max_hops {
-            let next = self.bfs_round(&frontier)?;
+            let next = self.bfs_round(route, &frontier)?;
             if next.binary_search(&b).is_ok() {
                 return Ok(Some(depth));
             }
@@ -1012,7 +1290,13 @@ impl ShardedEngine {
     /// b's visited set iff d ≤ da+1+db. So the first intersection fires
     /// exactly when the depth sum first reaches d, and `da + db` at that
     /// moment IS the answer; no shorter path can have been missed.
-    fn bidirectional_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
+    fn bidirectional_path_len(
+        &self,
+        route: u64,
+        a: i64,
+        b: i64,
+        max_hops: u32,
+    ) -> Result<Option<u32>> {
         let mut visited_a: Vec<i64> = vec![a];
         let mut visited_b: Vec<i64> = vec![b];
         let mut frontier_a = Arc::new(vec![a]);
@@ -1025,7 +1309,7 @@ impl ShardedEngine {
             } else {
                 (&mut frontier_b, &mut visited_b, &visited_a)
             };
-            let next = self.bfs_round(frontier)?;
+            let next = self.bfs_round(route, frontier)?;
             depth_sum += 1;
             let fresh: Vec<i64> = next
                 .into_iter()
@@ -1056,7 +1340,7 @@ impl MicroblogEngine for ShardedEngine {
         // duplicate). Owned sets are disjoint, so concat + sort is exact.
         self.q(|| {
             let n = self.shards.len();
-            let parts = self.broadcast(move |i, s| {
+            let parts = self.broadcast(fault::key_i64(threshold), move |i, s| {
                 Ok(s.users_with_followers_over(threshold)?
                     .into_iter()
                     .filter(|&uid| shard_of(uid, n) == i)
@@ -1078,8 +1362,10 @@ impl MicroblogEngine for ShardedEngine {
             let frontier = self.point(uid, |s| s.followees(uid))?;
             let buckets = self.route(&frontier);
             let selected = Self::non_empty(&buckets);
-            let parts =
-                self.scatter(selected, move |i, s| s.posted_tweets_kernel(&buckets[i]))?;
+            let parts = self
+                .scatter(fault::key_i64(uid), selected, move |i, s| {
+                    s.posted_tweets_kernel(&buckets[i])
+                })?;
             Ok(concat_sorted(parts))
         })
     }
@@ -1089,7 +1375,9 @@ impl MicroblogEngine for ShardedEngine {
             let frontier = self.point(uid, |s| s.followees(uid))?;
             let buckets = self.route(&frontier);
             let selected = Self::non_empty(&buckets);
-            let parts = self.scatter(selected, move |i, s| s.hashtags_kernel(&buckets[i]))?;
+            let parts = self.scatter(fault::key_i64(uid), selected, move |i, s| {
+                s.hashtags_kernel(&buckets[i])
+            })?;
             Ok(merge_sorted_distinct(parts))
         })
     }
@@ -1102,41 +1390,47 @@ impl MicroblogEngine for ShardedEngine {
         // (DESIGN.md §4f), but each round ships O(k) rows per shard rather
         // than every co-mentioned user.
         self.q(|| {
+            let route = fault::key_i64(uid);
             if self.pushdown_enabled() {
                 let top = pushdown_top_n(
                     n,
-                    |k| self.broadcast(move |_, s| s.co_mention_topn_kernel(uid, k)),
+                    |k| self.broadcast(route, move |_, s| s.co_mention_topn_kernel(uid, k)),
                     |keys| {
-                        self.broadcast(move |_, s| s.co_mention_counts_for_kernel(uid, &keys))
+                        self.broadcast(route, move |_, s| {
+                            s.co_mention_counts_for_kernel(uid, &keys)
+                        })
                     },
                 )?;
                 return Ok(to_ranked(top));
             }
-            let parts =
-                self.broadcast(move |_, s| Ok(counted(s.co_mention_counts_kernel(uid)?)))?;
+            let parts = self
+                .broadcast(route, move |_, s| Ok(counted(s.co_mention_counts_kernel(uid)?)))?;
             Ok(to_ranked(merge_top_n(parts, n)))
         })
     }
 
     fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
         self.q(|| {
+            let route = fault::key_str(tag);
             let tag = tag.to_owned();
             if self.pushdown_enabled() {
                 let top = pushdown_top_n(
                     n,
                     |k| {
                         let tag = tag.clone();
-                        self.broadcast(move |_, s| s.co_tag_topn_kernel(&tag, k))
+                        self.broadcast(route, move |_, s| s.co_tag_topn_kernel(&tag, k))
                     },
                     |keys| {
                         let tag = tag.clone();
-                        self.broadcast(move |_, s| s.co_tag_counts_for_kernel(&tag, &keys))
+                        self.broadcast(route, move |_, s| {
+                            s.co_tag_counts_for_kernel(&tag, &keys)
+                        })
                     },
                 )?;
                 return Ok(to_ranked(top));
             }
             let parts =
-                self.broadcast(move |_, s| Ok(counted(s.co_tag_counts_kernel(&tag)?)))?;
+                self.broadcast(route, move |_, s| Ok(counted(s.co_tag_counts_kernel(&tag)?)))?;
             Ok(to_ranked(merge_top_n(parts, n)))
         })
     }
@@ -1149,6 +1443,7 @@ impl MicroblogEngine for ShardedEngine {
         // exclude list applied before truncation), so the TA loop's bounded
         // partials rank exactly the same candidate set.
         self.q(|| {
+            let route = fault::key_i64(uid);
             let followed = self.point(uid, |s| s.followees(uid))?;
             if self.pushdown_enabled() {
                 let exclude = Arc::new(exclusion_list(uid, &followed));
@@ -1159,13 +1454,13 @@ impl MicroblogEngine for ShardedEngine {
                     |k| {
                         let buckets = Arc::clone(&buckets);
                         let exclude = Arc::clone(&exclude);
-                        self.scatter(selected.clone(), move |i, s| {
+                        self.scatter(route, selected.clone(), move |i, s| {
                             s.count_followees_topn_kernel(&buckets[i], &exclude, k)
                         })
                     },
                     |keys| {
                         let buckets = Arc::clone(&buckets);
-                        self.scatter(selected.clone(), move |i, s| {
+                        self.scatter(route, selected.clone(), move |i, s| {
                             s.count_followees_counts_for_kernel(&buckets[i], &keys)
                         })
                     },
@@ -1174,8 +1469,9 @@ impl MicroblogEngine for ShardedEngine {
             }
             let buckets = self.route(&followed);
             let selected = Self::non_empty(&buckets);
-            let parts =
-                self.scatter(selected, move |i, s| s.count_followees_kernel(&buckets[i]))?;
+            let parts = self.scatter(route, selected, move |i, s| {
+                s.count_followees_kernel(&buckets[i])
+            })?;
             Ok(merge_recommend(uid, &followed, parts, n))
         })
     }
@@ -1187,6 +1483,7 @@ impl MicroblogEngine for ShardedEngine {
         // mirrors Q4.1: the exclude filter moves into the kernels, the TA
         // loop bounds what each shard ships.
         self.q(|| {
+            let route = fault::key_i64(uid);
             let followed = Arc::new(self.point(uid, |s| s.followees(uid))?);
             if followed.is_empty() {
                 return Ok(Vec::new());
@@ -1198,13 +1495,13 @@ impl MicroblogEngine for ShardedEngine {
                     |k| {
                         let followed = Arc::clone(&followed);
                         let exclude = Arc::clone(&exclude);
-                        self.broadcast(move |_, s| {
+                        self.broadcast(route, move |_, s| {
                             s.count_followers_topn_kernel(&followed, &exclude, k)
                         })
                     },
                     |keys| {
                         let followed = Arc::clone(&followed);
-                        self.broadcast(move |_, s| {
+                        self.broadcast(route, move |_, s| {
                             s.count_followers_counts_for_kernel(&followed, &keys)
                         })
                     },
@@ -1212,7 +1509,7 @@ impl MicroblogEngine for ShardedEngine {
                 return Ok(to_ranked(top));
             }
             let shared = Arc::clone(&followed);
-            let parts = self.broadcast(move |_, s| s.count_followers_kernel(&shared))?;
+            let parts = self.broadcast(route, move |_, s| s.count_followers_kernel(&shared))?;
             Ok(merge_recommend(uid, &followed, parts, n))
         })
     }
@@ -1224,12 +1521,13 @@ impl MicroblogEngine for ShardedEngine {
         // round of bounded `influence_topn_kernel` partials suffices, no
         // TA loop or exact-count phase (the bound is ignored).
         self.q(|| {
+            let route = fault::key_i64(uid);
             if self.pushdown_enabled() {
                 let parts = self
-                    .broadcast(move |_, s| Ok(s.influence_topn_kernel(uid, true, n)?.top))?;
+                    .broadcast(route, move |_, s| Ok(s.influence_topn_kernel(uid, true, n)?.top))?;
                 return Ok(to_ranked(merge_top_n(parts, n)));
             }
-            let parts = self.broadcast(move |_, s| {
+            let parts = self.broadcast(route, move |_, s| {
                 Ok(counted(
                     s.current_influence(uid, n)?.into_iter().map(|r| (r.key, r.count)).collect(),
                 ))
@@ -1240,12 +1538,15 @@ impl MicroblogEngine for ShardedEngine {
 
     fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
         self.q(|| {
+            let route = fault::key_i64(uid);
             if self.pushdown_enabled() {
                 let parts = self
-                    .broadcast(move |_, s| Ok(s.influence_topn_kernel(uid, false, n)?.top))?;
+                    .broadcast(route, move |_, s| {
+                        Ok(s.influence_topn_kernel(uid, false, n)?.top)
+                    })?;
                 return Ok(to_ranked(merge_top_n(parts, n)));
             }
-            let parts = self.broadcast(move |_, s| {
+            let parts = self.broadcast(route, move |_, s| {
                 Ok(counted(
                     s.potential_influence(uid, n)?
                         .into_iter()
@@ -1268,6 +1569,10 @@ impl MicroblogEngine for ShardedEngine {
         // degradation a skipped shard can only lengthen or lose a path,
         // never invent one.
         self.q(|| {
+            // One route per (a, b) request: every BFS round of this query
+            // reads the same replica of each shard, so a mid-path replica
+            // switch can never mix frontier snapshots.
+            let route = fault::key2(fault::key_i64(a), fault::key_i64(b));
             if !self.point(a, |s| s.has_user(a))? || !self.point(b, |s| s.has_user(b))? {
                 return Ok(None);
             }
@@ -1275,9 +1580,9 @@ impl MicroblogEngine for ShardedEngine {
                 return Ok(Some(0));
             }
             if self.bidirectional_bfs_enabled() {
-                self.bidirectional_path_len(a, b, max_hops)
+                self.bidirectional_path_len(route, a, b, max_hops)
             } else {
-                self.one_sided_path_len(a, b, max_hops)
+                self.one_sided_path_len(route, a, b, max_hops)
             }
         })
     }
@@ -1285,8 +1590,9 @@ impl MicroblogEngine for ShardedEngine {
     fn tweets_with_hashtag(&self, tag: &str) -> Result<Vec<i64>> {
         // `tags` edges live only on the owning tweet's shard — disjoint.
         self.q(|| {
+            let route = fault::key_str(tag);
             let tag = tag.to_owned();
-            let parts = self.broadcast(move |_, s| s.tweets_with_hashtag(&tag))?;
+            let parts = self.broadcast(route, move |_, s| s.tweets_with_hashtag(&tag))?;
             Ok(concat_sorted(parts))
         })
     }
@@ -1295,7 +1601,7 @@ impl MicroblogEngine for ShardedEngine {
         // Each retweet edge is stored once (at the retweeting poster's
         // shard); shards without the tweet report 0.
         self.q(|| {
-            let parts = self.broadcast(move |_, s| s.retweet_count(tid))?;
+            let parts = self.broadcast(fault::key_i64(tid), move |_, s| s.retweet_count(tid))?;
             Ok(parts.into_iter().sum())
         })
     }
@@ -1307,8 +1613,9 @@ impl MicroblogEngine for ShardedEngine {
         // missed ghost can only turn the answer into NotFound, never a
         // wrong uid).
         self.q(|| {
+            let route = fault::key_i64(tid);
             for i in 0..self.shards.len() {
-                match self.retrying(i, |s| s.poster_of(tid)) {
+                match self.read_at(i, route, |s| s.poster_of(tid)) {
                     Ok(uid) => {
                         fault::note_shard(true);
                         return Ok(uid);
@@ -1337,71 +1644,83 @@ impl MicroblogEngine for ShardedEngine {
 
     fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
         self.q(|| {
+            let route = fault::key_slice(uids);
             let buckets = self.route(uids);
             let selected = Self::non_empty(&buckets);
-            let parts =
-                self.scatter(selected, move |i, s| s.posted_tweets_kernel(&buckets[i]))?;
+            let parts = self.scatter(route, selected, move |i, s| {
+                s.posted_tweets_kernel(&buckets[i])
+            })?;
             Ok(concat_sorted(parts))
         })
     }
 
     fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
         self.q(|| {
+            let route = fault::key_slice(uids);
             let buckets = self.route(uids);
             let selected = Self::non_empty(&buckets);
-            let parts = self.scatter(selected, move |i, s| s.hashtags_kernel(&buckets[i]))?;
+            let parts =
+                self.scatter(route, selected, move |i, s| s.hashtags_kernel(&buckets[i]))?;
             Ok(merge_sorted_distinct(parts))
         })
     }
 
     fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
         self.q(|| {
+            let route = fault::key_slice(uids);
             let buckets = self.route(uids);
             let selected = Self::non_empty(&buckets);
-            let parts =
-                self.scatter(selected, move |i, s| s.count_followees_kernel(&buckets[i]))?;
+            let parts = self.scatter(route, selected, move |i, s| {
+                s.count_followees_kernel(&buckets[i])
+            })?;
             Ok(sum_counts(parts))
         })
     }
 
     fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
         self.q(|| {
+            let route = fault::key_slice(uids);
             let uids = uids.to_vec();
-            let parts = self.broadcast(move |_, s| s.count_followers_kernel(&uids))?;
+            let parts = self.broadcast(route, move |_, s| s.count_followers_kernel(&uids))?;
             Ok(sum_counts(parts))
         })
     }
 
     fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>> {
         self.q(|| {
-            let parts = self.broadcast(move |_, s| s.co_mention_counts_kernel(uid))?;
+            let parts =
+                self.broadcast(fault::key_i64(uid), move |_, s| s.co_mention_counts_kernel(uid))?;
             Ok(sum_counts(parts))
         })
     }
 
     fn co_tag_counts_kernel(&self, tag: &str) -> Result<Vec<(String, u64)>> {
         self.q(|| {
+            let route = fault::key_str(tag);
             let tag = tag.to_owned();
-            let parts = self.broadcast(move |_, s| s.co_tag_counts_kernel(&tag))?;
+            let parts = self.broadcast(route, move |_, s| s.co_tag_counts_kernel(&tag))?;
             Ok(sum_counts(parts))
         })
     }
 
     fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
         self.q(|| {
+            let route = fault::key_slice(uids);
             let uids = uids.to_vec();
-            let parts = self.broadcast(move |_, s| s.follow_frontier_kernel(&uids))?;
+            let parts = self.broadcast(route, move |_, s| s.follow_frontier_kernel(&uids))?;
             Ok(merge_sorted_distinct(parts))
         })
     }
 
     fn ensure_user(&self, uid: i64) -> Result<()> {
         // Writes never degrade — the owner shard is not optional.
-        self.q(|| self.point(uid, |s| s.ensure_user(uid)))
+        self.q(|| self.write_at(shard_of(uid, self.shards.len()), |s| s.ensure_user(uid)))
     }
 
     fn bump_followers(&self, uid: i64, delta: i64) -> Result<()> {
-        self.q(|| self.point(uid, |s| s.bump_followers(uid, delta)))
+        self.q(|| {
+            self.write_at(shard_of(uid, self.shards.len()), |s| s.bump_followers(uid, delta))
+        })
     }
 
     fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
@@ -1414,12 +1733,13 @@ impl MicroblogEngine for ShardedEngine {
         let n = self.shards.len();
         self.q(|| match event {
             UpdateEvent::NewUser { uid, .. } => {
-                self.point(*uid as i64, |s| s.apply_event(event))
+                self.write_at(shard_of(*uid as i64, n), |s| s.apply_event(event))
             }
             UpdateEvent::NewFollow { follower, followee } => {
                 let (fa, fb) = (*follower as i64, *followee as i64);
                 // Validate both endpoints against their OWNERS, in the same
-                // order the unsharded adapters do.
+                // order the unsharded adapters do. Validation is a read —
+                // it routes like one (primary + failover).
                 if !self.point(fa, |s| s.has_user(fa))? {
                     return Err(CoreError::NotFound(format!("user {follower}")));
                 }
@@ -1428,22 +1748,22 @@ impl MicroblogEngine for ShardedEngine {
                 }
                 let (src, dst) = (shard_of(fa, n), shard_of(fb, n));
                 if src == dst {
-                    self.retrying(src, |s| s.apply_event(event))
+                    self.write_at(src, |s| s.apply_event(event))
                 } else {
                     // Edge + ghost followee at the follower's shard. The
                     // inner engine also bumps the ghost's follower count,
                     // which is invisible globally: only Q1 reads the
                     // property, and its merge filters by ownership.
-                    self.retrying(src, |s| s.ensure_user(fb))?;
-                    self.retrying(src, |s| s.apply_event(event))?;
+                    self.write_at(src, |s| s.ensure_user(fb))?;
+                    self.write_at(src, |s| s.apply_event(event))?;
                     // The real count lives at the owner.
-                    self.retrying(dst, |s| s.bump_followers(fb, 1))
+                    self.write_at(dst, |s| s.bump_followers(fb, 1))
                 }
             }
             UpdateEvent::NewTweet { uid, mentions, .. } => {
                 let poster = *uid as i64;
                 let home = shard_of(poster, n);
-                if !self.retrying(home, |s| s.has_user(poster))? {
+                if !self.read_at(home, fault::key_i64(poster), |s| s.has_user(poster))? {
                     return Err(CoreError::NotFound(format!("user {uid}")));
                 }
                 for m in mentions {
@@ -1452,28 +1772,32 @@ impl MicroblogEngine for ShardedEngine {
                         return Err(CoreError::NotFound(format!("user {m}")));
                     }
                     if shard_of(mi, n) != home {
-                        self.retrying(home, |s| s.ensure_user(mi))?;
+                        self.write_at(home, |s| s.ensure_user(mi))?;
                     }
                 }
                 // Hashtags are replicated, so tag lookups resolve locally.
-                self.retrying(home, |s| s.apply_event(event))
+                self.write_at(home, |s| s.apply_event(event))
             }
         })
     }
 
     fn reset_stats(&self) {
-        for s in &self.shards {
-            s.reset_stats();
+        for g in &self.shards {
+            for s in &g.replicas {
+                s.reset_stats();
+            }
         }
     }
 
     fn ops_count(&self) -> u64 {
-        self.shards.iter().map(|s| s.ops_count()).sum()
+        self.shards.iter().flat_map(|g| g.replicas.iter()).map(|s| s.ops_count()).sum()
     }
 
     fn drop_caches(&self) -> Result<()> {
-        for s in &self.shards {
-            s.drop_caches()?;
+        for g in &self.shards {
+            for s in &g.replicas {
+                s.drop_caches()?;
+            }
         }
         Ok(())
     }
@@ -1483,6 +1807,7 @@ impl MicroblogEngine for ShardedEngine {
         // whatever the inner engines injected/handled themselves.
         self.shards
             .iter()
+            .flat_map(|g| g.replicas.iter())
             .fold(self.counters.snapshot(), |acc, s| acc.plus(&s.fault_stats()))
     }
 
@@ -1496,33 +1821,41 @@ impl MicroblogEngine for ShardedEngine {
     }
 
     fn exec_mode(&self) -> Option<arbor_ql::ExecMode> {
-        // All shards run the same backend; the first one speaks for all.
-        self.shards.first().and_then(|s| s.exec_mode())
+        // All replicas run the same backend; the first one speaks for all.
+        self.shards.first().and_then(|g| g.replicas.first()).and_then(|s| s.exec_mode())
     }
 
     fn set_exec_mode(&self, mode: arbor_ql::ExecMode) -> bool {
-        // Flip every shard (no short-circuit); succeeds only when every
-        // shard has the toggle (shards are homogeneous, so this is
-        // all-or-nothing in practice).
+        // Flip every replica of every shard (no short-circuit); succeeds
+        // only when every one has the toggle (the engine is homogeneous,
+        // so this is all-or-nothing in practice).
         let mut ok = true;
-        for s in &self.shards {
-            ok &= s.set_exec_mode(mode);
+        for g in &self.shards {
+            for s in &g.replicas {
+                ok &= s.set_exec_mode(mode);
+            }
         }
         ok
     }
 
     fn batched_kernels(&self) -> Option<bool> {
-        // All shards run the same backend; the first one speaks for all.
-        self.shards.first().and_then(|s| s.batched_kernels())
+        // All replicas run the same backend; the first one speaks for all.
+        self.shards.first().and_then(|g| g.replicas.first()).and_then(|s| s.batched_kernels())
     }
 
     fn set_batched_kernels(&self, on: bool) -> bool {
-        // Flip every shard (no short-circuit), like `set_exec_mode`.
+        // Flip every replica of every shard, like `set_exec_mode`.
         let mut ok = true;
-        for s in &self.shards {
-            ok &= s.set_batched_kernels(on);
+        for g in &self.shards {
+            for s in &g.replicas {
+                ok &= s.set_batched_kernels(on);
+            }
         }
         ok
+    }
+
+    fn replica_count(&self) -> Option<usize> {
+        Some(self.replicas)
     }
 }
 
@@ -1537,6 +1870,40 @@ mod tests {
                 let s = shard_of(uid, shards);
                 assert!(s < shards);
                 assert_eq!(s, shard_of(uid, shards), "must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_of_is_deterministic_in_range_and_spreads() {
+        for replicas in [1usize, 2, 3, 5] {
+            let mut hist = vec![0u32; replicas];
+            for route in 0..400u64 {
+                for shard in 0..4usize {
+                    let r = replica_of(route, shard, replicas);
+                    assert!(r < replicas);
+                    assert_eq!(r, replica_of(route, shard, replicas), "must be pure");
+                    hist[r] += 1;
+                }
+            }
+            // Every replica serves a healthy share of distinct routes —
+            // that spread IS the read scale-out.
+            if replicas > 1 {
+                assert!(
+                    hist.iter().all(|&c| c > 0),
+                    "every replica must serve some routes: {hist:?}"
+                );
+                let (min, max) = (hist.iter().min().unwrap(), hist.iter().max().unwrap());
+                assert!(max / min.max(&1) < 3, "spread too skewed: {hist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_of_single_replica_is_zero() {
+        for route in 0..50u64 {
+            for shard in 0..8usize {
+                assert_eq!(replica_of(route, shard, 1), 0);
             }
         }
     }

@@ -9,7 +9,11 @@
 //! 3. a hostile plan (permanent faults + panics) in `Strict` mode —
 //!    defeated requests surface as typed `<error:…>` markers,
 //! 4. the same hostile plan in `Partial` mode — scatter queries skip dead
-//!    shards and answer with `<coverage:a/t>` tags instead.
+//!    shards and answer with `<coverage:a/t>` tags instead,
+//! 5. replication (DESIGN.md §4i): an R = 2 composition loses replica 0
+//!    of **every** shard mid-serve and keeps answering byte-identically
+//!    through the failover ladder — no retries heal a permanent loss,
+//!    only a spare replica does.
 //!
 //! Everything is virtual-time: the chaos schedule, backoff, and deadline
 //! budget never read a wall clock, so each regime's report is reproducible
@@ -20,9 +24,11 @@
 //! ```
 
 use micrograph_core::fault::silence_injected_panics;
-use micrograph_core::ingest::{build_chaos_sharded_engines, build_sharded_engines};
+use micrograph_core::ingest::{
+    build_chaos_sharded_engines, build_replicated_engines, build_sharded_engines,
+};
 use micrograph_core::serve::{serve, ClassDeadlines, ServeConfig};
-use micrograph_core::{DegradationMode, FaultPlan, RetryPolicy};
+use micrograph_core::{DegradationMode, FaultPlan, MicroblogEngine, RetryPolicy};
 use micrograph_datagen::{generate, GenConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -110,8 +116,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "Strict errored {} request(s); Partial errored {} and degraded {} — \
-         availability bought with coverage tags, never silent truncation.",
+         availability bought with coverage tags, never silent truncation.\n",
         strict.errors, partial.errors, partial.degraded
+    );
+
+    // Regime 5: kill a replica mid-serve. Two replicas behind every shard
+    // slot; after a healthy pass, replica 0 of every shard is permanently
+    // lost. Strict mode keeps the digest byte-identical — reads hop to the
+    // surviving replica on a deterministic failover ladder.
+    let (replicated, _) = build_replicated_engines(&dataset, &dir.join("replicated"), shards, 2)?;
+    let healthy = serve(&replicated, &serve_config)?;
+    println!("--- replicated (R = 2), all replicas up ---\n{}", healthy.render());
+    assert_eq!(healthy.digest(), baseline.digest(), "replication must not move answers");
+    for shard in 0..shards {
+        replicated.kill_replica(shard, 0);
+    }
+    let before = replicated.fault_stats();
+    let survived = serve(&replicated, &serve_config)?;
+    let spent = replicated.fault_stats().since(&before);
+    println!("--- replicated (R = 2), replica 0 of every shard dead ---\n{}", survived.render());
+    assert_eq!(
+        survived.digest(),
+        baseline.digest(),
+        "losing one replica of every shard must not move a byte in Strict mode"
+    );
+    assert!(survived.errors == 0 && spent.failovers > 0);
+    println!(
+        "lost {} of {} replicas, healed every read with {} failover hop(s) — digest still \
+         {:#018x}",
+        shards,
+        shards * 2,
+        spent.failovers,
+        survived.digest()
     );
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -9,7 +9,9 @@
 
 use micrograph_core::engine::MicroblogEngine;
 use micrograph_core::fault::silence_injected_panics;
-use micrograph_core::ingest::{build_chaos_sharded_engines, build_sharded_engines};
+use micrograph_core::ingest::{
+    build_chaos_replicated_engines, build_chaos_sharded_engines, build_sharded_engines,
+};
 use micrograph_core::serve::{serve, ServeConfig, ServeReport};
 use micrograph_core::{DegradationMode, FaultPlan, RetryPolicy};
 use micrograph_datagen::{generate, Dataset, GenConfig};
@@ -199,6 +201,113 @@ fn deadlines_bound_virtual_time_with_typed_timeouts() {
     // Thread-count invariance holds under deadlines as well.
     let tight4 = serve(&chaos_arbor, &config(4, Some(40))).unwrap();
     assert_eq!(fingerprint(&tight4), fingerprint(&tight));
+}
+
+/// A plan that kills a slot outright: every call fails permanently.
+fn kill_plan(seed: u64) -> FaultPlan {
+    FaultPlan { permanent_rate: 1.0, ..FaultPlan::new(seed) }
+}
+
+#[test]
+fn strict_mode_survives_permanent_loss_of_any_single_replica() {
+    // The replication headline (DESIGN.md §4i): with R ≥ 2, kill replica
+    // `r` of EVERY shard — for each r < R — and Strict mode still serves
+    // the full workload mix byte-identically to the fault-free run, on
+    // both backends, with zero errors and zero degradation. The failover
+    // ladder, not luck: the report must show failover hops.
+    silence_injected_panics();
+    let (ds, g) = dataset(67, "replica-kill");
+    let (clean_arbor, clean_bit) = build_sharded_engines(&ds, &g.0.join("clean"), 2).unwrap();
+    let base_arbor = serve(&clean_arbor, &config(1, None)).unwrap();
+    let base_bit = serve(&clean_bit, &config(1, None)).unwrap();
+    for replicas in [2usize, 3] {
+        for dead in 0..replicas {
+            let (chaos_arbor, chaos_bit) = build_chaos_replicated_engines(
+                &ds,
+                &g.0.join(format!("kill-{replicas}-{dead}")),
+                2,
+                replicas,
+                |_, r| if r == dead { kill_plan(0) } else { FaultPlan::new(0) },
+                RetryPolicy::default(),
+                DegradationMode::Strict,
+            )
+            .unwrap();
+            for (chaos, base) in [(&chaos_arbor, &base_arbor), (&chaos_bit, &base_bit)] {
+                let report = serve(chaos, &config(1, None)).unwrap();
+                assert_eq!(
+                    report.rendered,
+                    base.rendered,
+                    "{} R={replicas} dead={dead}: replica loss leaked into answers",
+                    chaos.name()
+                );
+                assert_eq!(report.digest(), base.digest(), "{} digest", chaos.name());
+                assert_eq!(report.errors, 0, "failover must mask a single dead replica");
+                assert_eq!(report.degraded, 0, "Strict mode must never degrade");
+                assert!(
+                    report.faults.failovers > 0,
+                    "{} R={replicas} dead={dead}: recovery must have hopped replicas",
+                    chaos.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replicated_chaos_reports_are_thread_count_invariant() {
+    // Replica routing + failover stays a pure function of the request:
+    // the full fingerprint (answers, errors, degraded, every counter
+    // including failovers and replica reads) is identical at any reader
+    // thread count.
+    silence_injected_panics();
+    let (ds, g) = dataset(68, "replica-threads");
+    let (chaos_arbor, _chaos_bit) = build_chaos_replicated_engines(
+        &ds,
+        &g.0.join("chaos"),
+        2,
+        2,
+        |_, r| if r == 0 { kill_plan(0) } else { FaultPlan::transient(3) },
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .unwrap();
+    let base = fingerprint(&serve(&chaos_arbor, &config(1, None)).unwrap());
+    assert!(base.3.contains("failovers"), "fingerprint must carry the failover counter");
+    for threads in [2usize, 4] {
+        let got = fingerprint(&serve(&chaos_arbor, &config(threads, None)).unwrap());
+        assert_eq!(got, base, "replicated chaos run diverged at {threads} reader threads");
+    }
+}
+
+#[test]
+fn unreplicated_chaos_digests_are_unchanged_by_the_replica_layer() {
+    // R = 1 through the replicated builder is the old chaos builder,
+    // byte for byte: same salts, same schedule, same fingerprint.
+    silence_injected_panics();
+    let (ds, g) = dataset(69, "r1-compat");
+    let (old_arbor, _old_bit) = build_chaos_sharded_engines(
+        &ds,
+        &g.0.join("old"),
+        2,
+        FaultPlan::hostile(11),
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .unwrap();
+    let (new_arbor, _new_bit) = build_chaos_replicated_engines(
+        &ds,
+        &g.0.join("new"),
+        2,
+        1,
+        |_, _| FaultPlan::hostile(11),
+        RetryPolicy::default(),
+        DegradationMode::Strict,
+    )
+    .unwrap();
+    assert_eq!(old_arbor.name(), new_arbor.name(), "R=1 must not change the engine label");
+    let old = fingerprint(&serve(&old_arbor, &config(1, None)).unwrap());
+    let new = fingerprint(&serve(&new_arbor, &config(1, None)).unwrap());
+    assert_eq!(old, new, "R=1 replicated chaos must be byte-identical to the old builder");
 }
 
 #[test]

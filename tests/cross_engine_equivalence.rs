@@ -5,16 +5,17 @@
 //! is only meaningful because the answers agree.
 //!
 //! Every workload assertion goes through one generic path ([`agree`]) over
-//! `&dyn MicroblogEngine`. The [`matrix`] builds eight engines per
-//! dataset: the two monolithic adapters plus `ShardedEngine` over each
-//! backend at N ∈ {1, 2, 4} shards — adding a backend or a partitioning
-//! scheme means adding elements there, not another copy of the
-//! assertions. Engine-specific alternate implementations (phrasings,
+//! `&dyn MicroblogEngine`. The [`matrix`] builds twelve engines per
+//! dataset: the two monolithic adapters, `ShardedEngine` over each
+//! backend at N ∈ {1, 2, 4} shards, plus R-way replicated sharded
+//! engines at 2 shards × R ∈ {2, 3} — adding a backend, a partitioning
+//! scheme or a replication factor means adding elements there, not
+//! another copy of the assertions. Engine-specific alternate implementations (phrasings,
 //! traversal-API variants) are compared against the trait answer on their
 //! concrete types at the end.
 
 use micrograph_core::engine::MicroblogEngine;
-use micrograph_core::ingest::{build_engines, build_sharded_engines};
+use micrograph_core::ingest::{build_engines, build_replicated_engines, build_sharded_engines};
 use micrograph_core::{ArborEngine, BitEngine};
 use micrograph_datagen::{generate, GenConfig};
 
@@ -50,8 +51,9 @@ fn pair<'a>(a: &'a ArborEngine, b: &'a BitEngine) -> [&'a dyn MicroblogEngine; 2
     [a, b]
 }
 
-/// The full agreement matrix over one dataset: both monolithic engines
-/// plus `ShardedEngine` over each backend at 1, 2 and 4 shards.
+/// The full agreement matrix over one dataset: both monolithic engines,
+/// `ShardedEngine` over each backend at 1, 2 and 4 shards, and R-way
+/// replicated sharded engines at 2 shards × R ∈ {2, 3}.
 struct Matrix {
     engines: Vec<Box<dyn MicroblogEngine>>,
     _guard: Guard,
@@ -77,6 +79,15 @@ fn matrix(seed: u64, users: u64) -> Matrix {
                 .unwrap();
         engines.push(Box::new(sa));
         engines.push(Box::new(sb));
+    }
+    // The replica axis (DESIGN.md §4i): R-way replica groups at 2 shards —
+    // replication shapes only routing and failover, never answers.
+    for replicas in [2usize, 3] {
+        let (ra, rb) =
+            build_replicated_engines(&dataset, &dir.join(format!("replicas-{replicas}")), 2, replicas)
+                .unwrap();
+        engines.push(Box::new(ra));
+        engines.push(Box::new(rb));
     }
     Matrix { engines, _guard: Guard(dir) }
 }
