@@ -20,7 +20,7 @@ use micrograph_common::{CommonError, EdgeId, LabelId, NodeId, Value};
 use micrograph_pagestore::backend::{DiskBackend, MemBackend, StorageBackend};
 use micrograph_pagestore::buffer::{PoolConfig, PoolStats};
 use micrograph_pagestore::wal::Wal;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::dict::Dict;
 use crate::error::ArborError;
@@ -97,6 +97,15 @@ pub struct GraphDb {
     dir: Option<PathBuf>,
     next_tx: AtomicU64,
     write_mutex: Mutex<()>,
+    /// Coarse read/write latch for mixed serving (DESIGN.md §4j): every
+    /// [`WriteTxn`] holds it exclusively for its whole lifetime, and query
+    /// entry points take it shared via [`GraphDb::read_latch`], so a reader
+    /// never observes a half-applied multi-page mutation. Pages were always
+    /// individually locked; this guards the *record-graph* invariants
+    /// (chain splices, prop chains) that span pages. Acquired after
+    /// `write_mutex`, and readers never touch `write_mutex`, so the order
+    /// is acyclic.
+    latch: RwLock<()>,
     config: DbConfig,
 }
 
@@ -120,6 +129,7 @@ impl GraphDb {
             dir: None,
             next_tx: AtomicU64::new(1),
             write_mutex: Mutex::new(()),
+            latch: RwLock::new(()),
             config,
         })
     }
@@ -156,6 +166,7 @@ impl GraphDb {
             dir: Some(dir.to_path_buf()),
             next_tx: AtomicU64::new(1),
             write_mutex: Mutex::new(()),
+            latch: RwLock::new(()),
             config,
         };
 
@@ -698,9 +709,19 @@ impl GraphDb {
 
     // -- write API -----------------------------------------------------------
 
+    /// Takes the shared side of the serving latch. Query entry points hold
+    /// this for the duration of one query so they never interleave with a
+    /// live [`WriteTxn`] (which holds the exclusive side). Do **not** call
+    /// while a `WriteTxn` on the same thread is open — the latch is not
+    /// reentrant; in-transaction reads go through the store APIs directly.
+    pub fn read_latch(&self) -> RwLockReadGuard<'_, ()> {
+        self.latch.read()
+    }
+
     /// Begins a write transaction. Blocks while another writer is active.
     pub fn begin_write(&self) -> Result<WriteTxn<'_>> {
         let guard = self.write_mutex.lock();
+        let latch = self.latch.write();
         let ctx = match &self.wal {
             Some(wal) => TxCtx::logged(wal, self.next_tx.fetch_add(1, Ordering::AcqRel))?,
             None => TxCtx::undo_only(),
@@ -709,6 +730,33 @@ impl GraphDb {
             db: self,
             ctx: Some(ctx),
             _guard: guard,
+            _latch: latch,
+            index_ops: Vec::new(),
+            stat_ops: Vec::new(),
+            dict_dirty: false,
+        })
+    }
+
+    /// Begins a group-commit write transaction (DESIGN.md §4j): on a
+    /// disk-backed database every WAL record is buffered in memory and the
+    /// whole tape is appended + synced under ONE log lock acquisition at
+    /// commit; in-memory databases use the undo-only context as always.
+    /// Because nothing touches the log before commit, the transaction also
+    /// supports partial rollback via [`WriteTxn::savepoint`] /
+    /// [`WriteTxn::rollback_to`] — the machinery `apply_event_batch` uses
+    /// to commit a batch's successful prefix when a mid-batch event fails.
+    pub fn begin_write_batched(&self) -> Result<WriteTxn<'_>> {
+        let guard = self.write_mutex.lock();
+        let latch = self.latch.write();
+        let ctx = match &self.wal {
+            Some(wal) => TxCtx::buffered(wal, self.next_tx.fetch_add(1, Ordering::AcqRel)),
+            None => TxCtx::undo_only(),
+        };
+        Ok(WriteTxn {
+            db: self,
+            ctx: Some(ctx),
+            _guard: guard,
+            _latch: latch,
             index_ops: Vec::new(),
             stat_ops: Vec::new(),
             dict_dirty: false,
@@ -906,6 +954,17 @@ enum StatOp {
     EdgeRemove(NodeId, NodeId, u32),
 }
 
+/// A point inside a live [`WriteTxn`] that [`WriteTxn::rollback_to`] can
+/// restore — the coordinates of the undo list, the pending WAL tape, and
+/// the buffered index/stat ops at [`WriteTxn::savepoint`] time.
+#[derive(Debug, Clone, Copy)]
+pub struct TxSavepoint {
+    undo_len: usize,
+    wal_len: usize,
+    index_len: usize,
+    stat_len: usize,
+}
+
 /// A write transaction. Exactly one exists at a time (single-writer).
 ///
 /// Mutations are visible to readers immediately (read-uncommitted with
@@ -916,6 +975,9 @@ pub struct WriteTxn<'db> {
     db: &'db GraphDb,
     ctx: Option<TxCtx<'db>>,
     _guard: MutexGuard<'db, ()>,
+    /// Exclusive side of the serving latch: readers queue behind the whole
+    /// transaction, which is exactly what group commit amortizes.
+    _latch: RwLockWriteGuard<'db, ()>,
     index_ops: Vec<IndexOp>,
     stat_ops: Vec<StatOp>,
     dict_dirty: bool,
@@ -1189,6 +1251,38 @@ impl<'db> WriteTxn<'db> {
                 self.index_ops.push(IndexOp::PropRemove(ik, v, node));
             }
         }
+        Ok(())
+    }
+
+    /// Marks a point in this transaction that [`WriteTxn::rollback_to`]
+    /// can restore: the current undo/pending-WAL/index/stat lengths.
+    /// Meaningful only for transactions from
+    /// [`GraphDb::begin_write_batched`] (an eagerly-logged transaction has
+    /// already shipped its WAL records).
+    pub fn savepoint(&self) -> TxSavepoint {
+        let ctx = self.ctx.as_ref().expect("txn live");
+        TxSavepoint {
+            undo_len: ctx.undo_len(),
+            wal_len: ctx.pending_wal_len(),
+            index_len: self.index_ops.len(),
+            stat_len: self.stat_ops.len(),
+        }
+    }
+
+    /// Rolls the transaction back to `sp`: restores before-images of every
+    /// write since the savepoint (newest first), truncates the pending WAL
+    /// tape, and discards the buffered index/stat ops staged since. The
+    /// transaction stays live — later writes and a final commit see
+    /// exactly the pre-savepoint state, which is how a failed event inside
+    /// a batch leaves the same state as the failed looped prefix. Name
+    /// interning is intentionally not undone: a dropped per-event
+    /// transaction leaks interned names identically.
+    pub fn rollback_to(&mut self, sp: &TxSavepoint) -> Result<()> {
+        let ctx = self.ctx.as_mut().expect("txn live");
+        let undo = ctx.rollback_to(sp.undo_len, sp.wal_len);
+        self.db.apply_undo(undo)?;
+        self.index_ops.truncate(sp.index_len);
+        self.stat_ops.truncate(sp.stat_len);
         Ok(())
     }
 

@@ -84,6 +84,20 @@ pub enum WalSink<'a> {
     /// In-memory database mode: undo is captured so abort works, but there
     /// is no WAL (nothing to recover after a process exit).
     UndoOnly,
+    /// Group-commit mode (DESIGN.md §4j): `Update` records are buffered in
+    /// memory and the whole tape — `Begin`, every `Update`, `Commit` — is
+    /// appended and synced under ONE WAL lock acquisition at commit.
+    /// Nothing touches the log before commit, which is what makes partial
+    /// rollback safe: a savepoint rollback just truncates the pending
+    /// buffer, and an abort writes nothing at all.
+    Buffered {
+        /// The database WAL.
+        wal: &'a Mutex<Wal>,
+        /// This transaction's id.
+        tx: TxId,
+        /// Update records awaiting the commit-time append.
+        pending: Vec<WalRecord>,
+    },
 }
 
 /// Mutation context threaded through every store write.
@@ -109,9 +123,49 @@ impl<'a> TxCtx<'a> {
         TxCtx { sink: WalSink::UndoOnly, undo: Vec::new() }
     }
 
+    /// Creates a buffered group-commit context. Unlike [`TxCtx::logged`]
+    /// this appends nothing yet — the `Begin` record is part of the
+    /// commit-time tape.
+    pub fn buffered(wal: &'a Mutex<Wal>, tx: TxId) -> Self {
+        TxCtx { sink: WalSink::Buffered { wal, tx, pending: Vec::new() }, undo: Vec::new() }
+    }
+
     /// True when this context performs WAL logging.
     pub fn is_logged(&self) -> bool {
-        matches!(self.sink, WalSink::Logged { .. })
+        matches!(self.sink, WalSink::Logged { .. } | WalSink::Buffered { .. })
+    }
+
+    /// Current undo-list length — a savepoint coordinate.
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Buffered WAL records so far (0 for non-buffered sinks) — the other
+    /// savepoint coordinate.
+    pub fn pending_wal_len(&self) -> usize {
+        match &self.sink {
+            WalSink::Buffered { pending, .. } => pending.len(),
+            _ => 0,
+        }
+    }
+
+    /// Rolls this context back to a savepoint: truncates the pending WAL
+    /// buffer and splits off the undo suffix, returned newest-first so the
+    /// caller can restore before-images in reverse application order.
+    /// Only meaningful for [`TxCtx::buffered`]/[`TxCtx::undo_only`]
+    /// contexts — an eagerly-logged sink has already shipped its `Update`
+    /// records, which a later commit of the same transaction would replay.
+    pub fn rollback_to(&mut self, undo_len: usize, wal_len: usize) -> Vec<UndoEntry> {
+        debug_assert!(
+            !matches!(self.sink, WalSink::Logged { .. }),
+            "savepoint rollback requires a buffered or undo-only sink"
+        );
+        if let WalSink::Buffered { pending, .. } = &mut self.sink {
+            pending.truncate(wal_len);
+        }
+        let mut suffix = self.undo.split_off(undo_len.min(self.undo.len()));
+        suffix.reverse();
+        suffix
     }
 
     /// Records a write: `before` → `after` at `(store, page, offset)`.
@@ -124,7 +178,7 @@ impl<'a> TxCtx<'a> {
         before: &[u8],
         after: &[u8],
     ) -> Result<()> {
-        match &self.sink {
+        match &mut self.sink {
             WalSink::Logged { wal, tx } => {
                 self.undo.push(UndoEntry {
                     store,
@@ -138,6 +192,20 @@ impl<'a> TxCtx<'a> {
                     offset,
                     bytes: after.to_vec(),
                 })?;
+            }
+            WalSink::Buffered { tx, pending, .. } => {
+                self.undo.push(UndoEntry {
+                    store,
+                    page,
+                    offset,
+                    before: before.to_vec(),
+                });
+                pending.push(WalRecord::Update {
+                    tx: *tx,
+                    page: tag_page(store, page),
+                    offset,
+                    bytes: after.to_vec(),
+                });
             }
             WalSink::UndoOnly => {
                 self.undo.push(UndoEntry {
@@ -156,16 +224,31 @@ impl<'a> TxCtx<'a> {
     /// length for statistics.
     pub fn commit(self) -> Result<usize> {
         let n = self.undo.len();
-        if let WalSink::Logged { wal, tx } = &self.sink {
-            let mut w = wal.lock();
-            w.append(&WalRecord::Commit { tx: *tx })?;
-            w.sync()?;
+        match &self.sink {
+            WalSink::Logged { wal, tx } => {
+                let mut w = wal.lock();
+                w.append(&WalRecord::Commit { tx: *tx })?;
+                w.sync()?;
+            }
+            WalSink::Buffered { wal, tx, pending } => {
+                // The group commit: the entire transaction tape lands under
+                // one lock acquisition and one sync.
+                let mut w = wal.lock();
+                w.append(&WalRecord::Begin { tx: *tx })?;
+                for rec in pending {
+                    w.append(rec)?;
+                }
+                w.append(&WalRecord::Commit { tx: *tx })?;
+                w.sync()?;
+            }
+            WalSink::UndoOnly | WalSink::Unlogged => {}
         }
         Ok(n)
     }
 
     /// Emits the abort record and hands back the undo list so the database
-    /// can restore before-images (newest first).
+    /// can restore before-images (newest first). A buffered context writes
+    /// nothing — its tape never reached the log.
     pub fn abort(self) -> Result<Vec<UndoEntry>> {
         if let WalSink::Logged { wal, tx } = &self.sink {
             wal.lock().append(&WalRecord::Abort { tx: *tx })?;

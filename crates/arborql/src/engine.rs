@@ -236,6 +236,11 @@ impl QueryEngine {
     ) -> Result<QueryResult> {
         let params: HashMap<String, Value> =
             params.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect();
+        // Hold the serving read latch for the whole execution (DESIGN.md
+        // §4j): a live write transaction holds the exclusive side, so a
+        // query never observes a half-applied multi-page mutation. Query
+        // execution is strictly read-only — the latch cannot self-deadlock.
+        let _latch = self.db.read_latch();
         let ctx = ExecContext::new(&self.db, &params);
         let hits_before = self.db.stats().db_hits();
         let timer = Timer::start();

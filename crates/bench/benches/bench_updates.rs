@@ -1,11 +1,31 @@
 //! The future-work update workload (§5): event-application throughput on
 //! both engines. The transactional engine pays WAL + commit per event; the
 //! navigation engine updates in-memory structures and its extent log.
+//!
+//! The batch-size axis (1 / 16 / 256 / 1024) measures group commit
+//! (DESIGN.md §4j): batch 1 goes through the per-event `apply_event` loop
+//! (the oracle), larger batches through `apply_event_batch` — one WAL tape
+//! append on arbordb, one snapshot publish on bitgraph, per batch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use micrograph_core::engine::MicroblogEngine;
 use micrograph_core::ingest::build_engines;
-use micrograph_datagen::{generate, GenConfig, StreamGen, StreamMix};
+use micrograph_datagen::{generate, GenConfig, StreamGen, StreamMix, UpdateEvent};
+
+const EVENTS: usize = 1_024;
+const BATCHES: [usize; 4] = [1, 16, 256, 1024];
+
+fn apply_stream(engine: &dyn MicroblogEngine, events: &[UpdateEvent], batch: usize) {
+    if batch <= 1 {
+        for e in events {
+            engine.apply_event(e).unwrap();
+        }
+    } else {
+        for chunk in events.chunks(batch) {
+            engine.apply_event_batch(chunk).unwrap();
+        }
+    }
+}
 
 fn bench_updates(c: &mut Criterion) {
     let mut cfg = GenConfig::unit();
@@ -15,38 +35,32 @@ fn bench_updates(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
     let files = dataset.write_csv(&dir).unwrap();
 
-    let mut g = c.benchmark_group("update_stream_100_events");
+    let mut g = c.benchmark_group(format!("update_stream_{EVENTS}_events"));
     g.sample_size(10);
-    g.bench_function("arbordb_transactional", |b| {
-        b.iter_with_setup(
-            || {
-                let (arbor, _bit, _) = build_engines(&files).unwrap();
-                let events =
-                    StreamGen::new(&dataset, &cfg, 5, StreamMix::default()).events(100);
-                (arbor, events)
-            },
-            |(arbor, events)| {
-                for e in &events {
-                    arbor.apply_event(e).unwrap();
-                }
-            },
-        )
-    });
-    g.bench_function("bitgraph_navigation", |b| {
-        b.iter_with_setup(
-            || {
-                let (_arbor, bit, _) = build_engines(&files).unwrap();
-                let events =
-                    StreamGen::new(&dataset, &cfg, 5, StreamMix::default()).events(100);
-                (bit, events)
-            },
-            |(bit, events)| {
-                for e in &events {
-                    bit.apply_event(e).unwrap();
-                }
-            },
-        )
-    });
+    for batch in BATCHES {
+        g.bench_function(format!("arbordb_transactional_batch_{batch}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let (arbor, _bit, _) = build_engines(&files).unwrap();
+                    let events =
+                        StreamGen::new(&dataset, &cfg, 5, StreamMix::default()).events(EVENTS);
+                    (arbor, events)
+                },
+                |(arbor, events)| apply_stream(&arbor, &events, batch),
+            )
+        });
+        g.bench_function(format!("bitgraph_navigation_batch_{batch}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let (_arbor, bit, _) = build_engines(&files).unwrap();
+                    let events =
+                        StreamGen::new(&dataset, &cfg, 5, StreamMix::default()).events(EVENTS);
+                    (bit, events)
+                },
+                |(bit, events)| apply_stream(&bit, &events, batch),
+            )
+        });
+    }
     g.finish();
 }
 

@@ -489,6 +489,129 @@ pub fn update_throughput(f: &Fixture) -> String {
     )
 }
 
+/// One measurement on the mixed read/write axis of [`serving`]
+/// (DESIGN.md §4j): one writer drains a firehose event stream in batches
+/// while two readers serve the Q1–Q6 mix against the same engine.
+pub struct MixedRow {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Write-path label: bitgraph's write mode (`snapshot` / `locked`), or
+    /// `latched` for arbordb (readers queue behind the transaction latch).
+    pub mode: &'static str,
+    /// Events per write batch.
+    pub batch: usize,
+    /// Whether batches took the group-commit path (`false` = the per-event
+    /// loop, the semantic oracle).
+    pub batched: bool,
+    /// Ingest throughput during the burst (events/s).
+    pub write_eps: f64,
+    /// 99th-percentile per-batch commit latency (ms).
+    pub write_p99_ms: f64,
+    /// Reader throughput during the burst (requests/s).
+    pub read_qps: f64,
+    /// Median reader latency during the burst (ms).
+    pub read_p50_ms: f64,
+    /// 95th-percentile reader latency during the burst (ms).
+    pub read_p95_ms: f64,
+    /// 99th-percentile reader latency during the burst (ms).
+    pub read_p99_ms: f64,
+}
+
+/// Measures the mixed read/write axis: arbordb on disk (real WAL) at batch
+/// sizes 1 (per-event loop) / 64 / 256, then bitgraph at the same ladder in
+/// `Snapshot` write mode plus the `Locked` oracle at batch 64 — the
+/// reader-tail comparison non-blocking snapshot reads exist for. Every run
+/// rebuilds its engine from the fixture's CSV bundle, applies the same
+/// event stream, and must land on the same quiesced serving digest: batch
+/// size, batching, and write mode are pure performance toggles (asserted
+/// here; `tests/mixed_serving.rs` pins the same property across the full
+/// engine matrix).
+pub fn mixed_axis(f: &Fixture) -> Vec<MixedRow> {
+    use micrograph_core::adapters::BitEngine;
+    use micrograph_core::ingest::ingest_arbor;
+    use micrograph_core::serve::{serve_mixed, MixedConfig};
+    use micrograph_core::WriteMode;
+    use micrograph_datagen::{StreamGen, StreamMix};
+
+    const EVENTS: usize = 1_000;
+    let users = f.dataset.users.len() as u64;
+    let stream_config = crate::fixture::Scale::Small.config();
+    let mut events_gen = StreamGen::new(&f.dataset, &stream_config, 7, StreamMix::default());
+    let events = events_gen.events(EVENTS);
+    let base = MixedConfig {
+        threads: 2,
+        requests: 128,
+        seed: 42,
+        users,
+        vocab: 16,
+        batch: 1,
+        batched: false,
+    };
+
+    let mut rows = Vec::new();
+    let mut digest = None;
+    let mut run = |engine: &dyn MicroblogEngine, mode: &'static str, batch: usize, batched: bool| {
+        let report = serve_mixed(engine, &events, &MixedConfig { batch, batched, ..base })
+            .expect("mixed serve");
+        let d = report.digest();
+        assert_eq!(
+            *digest.get_or_insert(d),
+            d,
+            "{} quiesced answers changed with batch={batch} batched={batched} mode={mode}",
+            engine.name()
+        );
+        rows.push(MixedRow {
+            engine: report.engine,
+            mode,
+            batch,
+            batched,
+            write_eps: report.writer.events_per_s,
+            write_p99_ms: report.writer.p99_ms,
+            read_qps: report.reader.qps,
+            read_p50_ms: report.reader.p50_ms,
+            read_p95_ms: report.reader.p95_ms,
+            read_p99_ms: report.reader.p99_ms,
+        });
+    };
+
+    // arbordb on disk — the WAL is what group commit amortizes.
+    for (i, (batch, batched)) in [(1usize, false), (64, true), (256, true)].iter().enumerate() {
+        // The axis may run twice in one process (text report + JSON
+        // artifact) — each run needs a fresh on-disk database.
+        let dir = f.dir.join(format!("mixed-arbordb-{i}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (db, _) = ingest_arbor(
+            &f.files,
+            Some(&dir),
+            arbordb::db::DbConfig::default(),
+            &arbordb::import::ImportOptions::default(),
+        )
+        .expect("ingest");
+        let arbor = ArborEngine::new(db);
+        run(&arbor, "latched", *batch, *batched);
+    }
+    // bitgraph: the same ladder with snapshot reads, plus the locked
+    // oracle at batch 64 for the reader-p99 contrast.
+    for (batch, batched, mode) in [
+        (1usize, false, WriteMode::Snapshot),
+        (64, true, WriteMode::Snapshot),
+        (256, true, WriteMode::Snapshot),
+        (64, true, WriteMode::Locked),
+    ] {
+        let (g, _) = ingest_bit(
+            &f.files,
+            None,
+            bitgraph::loader::LoadConfig::default(),
+            &bitgraph::loader::LoadOptions { sample_interval: 5_000, abort_after: None },
+        )
+        .expect("load");
+        let bit = BitEngine::new(g).expect("engine");
+        assert!(bit.set_write_mode(mode), "bitgraph lost its write-mode toggle");
+        run(&bit, mode.as_str(), batch, batched);
+    }
+    rows
+}
+
 /// The concurrent-serving experiment: a mixed Q1–Q6 request stream from
 /// 1/2/4 reader threads over each shared engine — per-query latency
 /// percentiles and aggregate throughput (the LDBC-style multi-client axis
@@ -619,6 +742,46 @@ pub fn serving(f: &Fixture) -> String {
     out.push_str(&format!(
         "\ngap headline: bitgraph/arbordb = {:.2}x (parallel, batched)\n",
         bit_qps / arbor_qps.max(f64::MIN_POSITIVE)
+    ));
+    // Mixed read/write axis (DESIGN.md §4j): group-commit batching and
+    // non-blocking snapshot reads under a firehose write burst. Quiesced
+    // digests are asserted equal inside mixed_axis.
+    out.push_str("\n-- Mixed read/write: group commit x write mode (1 writer, 2 readers) --\n\n");
+    let rows = mixed_axis(f);
+    for r in &rows {
+        out.push_str(&format!(
+            "{} ({}, batch {}, {}): write {:.0} ev/s (batch p99 {:.3} ms), \
+             read {:.0} q/s p50/p95/p99 {:.3}/{:.3}/{:.3} ms\n",
+            r.engine,
+            r.mode,
+            r.batch,
+            if r.batched { "group commit" } else { "per event" },
+            r.write_eps,
+            r.write_p99_ms,
+            r.read_qps,
+            r.read_p50_ms,
+            r.read_p95_ms,
+            r.read_p99_ms,
+        ));
+    }
+    let eps = |engine: &str, mode: &str, batch: usize| {
+        rows.iter()
+            .find(|r| r.engine.contains(engine) && r.mode == mode && r.batch == batch)
+            .map(|r| r.write_eps)
+            .unwrap_or(0.0)
+    };
+    let p99 = |mode: &str, batch: usize| {
+        rows.iter()
+            .find(|r| r.engine.contains("bitgraph") && r.mode == mode && r.batch == batch)
+            .map(|r| r.read_p99_ms)
+            .unwrap_or(0.0)
+    };
+    out.push_str(&format!(
+        "\nmixed headline: arbordb group commit x256 = {:.1}x events/s over per-event; \
+         bitgraph reader p99 under burst: snapshot {:.3} ms vs locked {:.3} ms\n",
+        eps("arbordb", "latched", 256) / eps("arbordb", "latched", 1).max(f64::MIN_POSITIVE),
+        p99("snapshot", 64),
+        p99("locked", 64),
     ));
     out
 }
@@ -1157,8 +1320,57 @@ pub fn serving_json(f: &Fixture, scale: &str) -> String {
         .unwrap_or(0.0);
     out.push_str(&format!(
         "  \"gap_headline\": {{\"arbordb_batched_parallel_qps\": {arbor_qps:.1}, \
-         \"bitgraph_parallel_qps\": {bit_qps:.1}, \"bitgraph_over_arbordb\": {:.3}}}\n",
+         \"bitgraph_parallel_qps\": {bit_qps:.1}, \"bitgraph_over_arbordb\": {:.3}}},\n",
         bit_qps / arbor_qps.max(f64::MIN_POSITIVE)
+    ));
+    // Mixed read/write axis (DESIGN.md §4j): a write burst drained by one
+    // writer (group commit vs per-event loop) while two readers serve the
+    // query mix. Quiesced digests asserted equal inside mixed_axis — batch
+    // size, batching, and write mode are pure performance toggles.
+    let mixed_rows = mixed_axis(f);
+    out.push_str("  \"mixed_rows\": [\n");
+    for (i, r) in mixed_rows.iter().enumerate() {
+        let comma = if i + 1 == mixed_rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"batched\": {}, \
+             \"write_eps\": {:.1}, \"write_p99_ms\": {:.4}, \"read_qps\": {:.1}, \
+             \"read_p50_ms\": {:.4}, \"read_p95_ms\": {:.4}, \"read_p99_ms\": {:.4}}}{comma}\n",
+            r.engine,
+            r.mode,
+            r.batch,
+            r.batched,
+            r.write_eps,
+            r.write_p99_ms,
+            r.read_qps,
+            r.read_p50_ms,
+            r.read_p95_ms,
+            r.read_p99_ms,
+        ));
+    }
+    out.push_str("  ],\n");
+    // The mixed headline: group-commit ingest scaling on arbordb's WAL and
+    // the snapshot-vs-locked reader tail on bitgraph.
+    let mixed_val = |engine: &str, mode: &str, batch: usize, read: bool| {
+        mixed_rows
+            .iter()
+            .find(|r| r.engine.contains(engine) && r.mode == mode && r.batch == batch)
+            .map(|r| if read { r.read_p99_ms } else { r.write_eps })
+            .unwrap_or(0.0)
+    };
+    let (a1, a256) =
+        (mixed_val("arbordb", "latched", 1, false), mixed_val("arbordb", "latched", 256, false));
+    let (b1, b256) = (
+        mixed_val("bitgraph", "snapshot", 1, false),
+        mixed_val("bitgraph", "snapshot", 256, false),
+    );
+    out.push_str(&format!(
+        "  \"mixed_headline\": {{\"arbordb_perevent_eps\": {a1:.1}, \
+         \"arbordb_batch256_eps\": {a256:.1}, \"arbordb_group_commit_speedup\": {:.3}, \
+         \"bitgraph_perevent_eps\": {b1:.1}, \"bitgraph_batch256_eps\": {b256:.1}, \
+         \"bitgraph_snapshot_read_p99_ms\": {:.4}, \"bitgraph_locked_read_p99_ms\": {:.4}}}\n",
+        a256 / a1.max(f64::MIN_POSITIVE),
+        mixed_val("bitgraph", "snapshot", 64, true),
+        mixed_val("bitgraph", "locked", 64, true),
     ));
     out.push_str("}\n");
     out

@@ -8,6 +8,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use micrograph_common::Value;
 
@@ -93,14 +94,14 @@ pub struct GraphStats {
     pub values_read: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TypeMeta {
     name: String,
     is_node: bool,
     objects: Bitmap,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AttrMeta {
     name: String,
     owner: u32,
@@ -132,7 +133,9 @@ pub struct Graph {
     /// Materialized `node → neighbor-node bitmap` (same keying).
     neighbor_index: Option<HashMap<(u32, u8), HashMap<Oid, Bitmap>>>,
     extents: Option<ExtentStore>,
-    stats: Stats,
+    /// Shared with every [`Graph::snapshot_clone`], so operation counters
+    /// stay coherent no matter which generation served a read.
+    stats: Arc<Stats>,
     /// True while a bulk replay is running (suppresses oplog re-append).
     replaying: bool,
 }
@@ -159,7 +162,27 @@ impl Graph {
             ends: Vec::new(),
             adjacency: HashMap::new(),
             extents: None,
-            stats: Stats::default(),
+            stats: Arc::default(),
+            replaying: false,
+        }
+    }
+
+    /// Deep-copies the in-memory structure into a detached read-only
+    /// generation for epoch publication (DESIGN.md §4j): the clone shares
+    /// the operation counters with the canonical graph but carries no
+    /// extent handle, so it can never log — mutations stay the canonical
+    /// copy's job. Cost is O(graph); the snapshot write path amortizes it
+    /// over a whole commit (one clone per publish, not per event).
+    pub fn snapshot_clone(&self) -> Graph {
+        Graph {
+            config: self.config.clone(),
+            types: self.types.clone(),
+            attrs: self.attrs.clone(),
+            ends: self.ends.clone(),
+            adjacency: self.adjacency.clone(),
+            neighbor_index: self.neighbor_index.clone(),
+            extents: None,
+            stats: Arc::clone(&self.stats),
             replaying: false,
         }
     }

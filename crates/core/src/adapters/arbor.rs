@@ -329,6 +329,101 @@ impl ArborEngine {
             .and_then(|v| v.into_iter().next()))
     }
 
+    /// User lookup that sees through the group-commit window: property
+    /// index updates apply only at commit, so a user node created earlier
+    /// in the same batched transaction is invisible to `node_of_uid` —
+    /// the batch-local `created` overlay carries exactly those nodes.
+    fn find_user(&self, created: &HashMap<i64, NodeId>, uid: i64) -> Result<Option<NodeId>> {
+        if let Some(&n) = created.get(&uid) {
+            return Ok(Some(n));
+        }
+        self.node_of_uid(uid)
+    }
+
+    /// Stages one event into a live transaction — the shared body of
+    /// [`MicroblogEngine::apply_event`] (one transaction per event, the
+    /// oracle) and [`MicroblogEngine::apply_event_batch`] (one group-commit
+    /// transaction for the whole batch). Page-level writes are visible to
+    /// later events immediately (read-uncommitted within the writer);
+    /// user-index visibility goes through the `created` overlay.
+    fn stage_event(
+        &self,
+        tx: &mut arbordb::db::WriteTxn<'_>,
+        created: &mut HashMap<i64, NodeId>,
+        event: &micrograph_datagen::UpdateEvent,
+    ) -> Result<()> {
+        use micrograph_datagen::UpdateEvent;
+        match event {
+            UpdateEvent::NewUser { uid, name } => {
+                // Upsert: when a placeholder exists (ensure_user ghost, or
+                // bump_followers racing ahead of this event), fill in the
+                // attributes and keep the accumulated follower count.
+                match self.find_user(created, *uid as i64)? {
+                    Some(node) => {
+                        tx.set_node_prop(node, crate::schema::NAME, Value::Str(name.clone()))?;
+                    }
+                    None => {
+                        let node = tx.create_node(
+                            crate::schema::USER,
+                            &[
+                                (crate::schema::UID, Value::Int(*uid as i64)),
+                                (crate::schema::NAME, Value::Str(name.clone())),
+                                (crate::schema::FOLLOWERS, Value::Int(0)),
+                                (crate::schema::VERIFIED, Value::Int(0)),
+                            ],
+                        )?;
+                        created.insert(*uid as i64, node);
+                    }
+                }
+            }
+            UpdateEvent::NewFollow { follower, followee } => {
+                let a = self
+                    .find_user(created, *follower as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
+                let b = self
+                    .find_user(created, *followee as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
+                tx.create_rel(a, b, crate::schema::FOLLOWS, &[])?;
+                let count = self
+                    .db
+                    .node_prop(b, crate::schema::FOLLOWERS)?
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                tx.set_node_prop(b, crate::schema::FOLLOWERS, Value::Int(count + 1))?;
+            }
+            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
+                let poster = self
+                    .find_user(created, *uid as i64)?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+                let tweet = tx.create_node(
+                    crate::schema::TWEET,
+                    &[
+                        (crate::schema::TID, Value::Int(*tid as i64)),
+                        (crate::schema::TEXT, Value::Str(text.clone())),
+                    ],
+                )?;
+                tx.create_rel(poster, tweet, crate::schema::POSTS, &[])?;
+                for m in mentions {
+                    let target = self
+                        .find_user(created, *m as i64)?
+                        .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?;
+                    tx.create_rel(tweet, target, crate::schema::MENTIONS, &[])?;
+                }
+                for t in tags {
+                    // Hashtags are never created by the stream, so the
+                    // committed index is authoritative (no overlay needed).
+                    let tag = self
+                        .db
+                        .index_seek(crate::schema::HASHTAG, crate::schema::TAG, &Value::from(t.as_str()))
+                        .and_then(|v| v.into_iter().next())
+                        .ok_or_else(|| CoreError::NotFound(format!("hashtag {t}")))?;
+                    tx.create_rel(tweet, tag, crate::schema::TAGS, &[])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the Q4.1 recommendation in the given phrasing (ablation D2).
     pub fn recommend_phrasing(
         &self,
@@ -348,6 +443,7 @@ impl ArborEngine {
 
     /// Q2.1 through the traversal framework instead of the language.
     pub fn followees_via_api(&self, uid: i64) -> Result<Vec<i64>> {
+        let _latch = self.db.read_latch();
         let Some(node) = self.node_of_uid(uid)? else { return Ok(Vec::new()) };
         let follows = self.db.rel_type_id(crate::schema::FOLLOWS);
         let visits = Traversal::new(&self.db)
@@ -367,6 +463,7 @@ impl ArborEngine {
     /// Q4.1 through the traversal framework: expand two steps manually,
     /// count, filter, top-n.
     pub fn recommend_followees_via_api(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
+        let _latch = self.db.read_latch();
         let Some(node) = self.node_of_uid(uid)? else { return Ok(Vec::new()) };
         let follows = self.db.rel_type_id(crate::schema::FOLLOWS);
         let mut followed: Vec<NodeId> = Vec::new();
@@ -457,7 +554,10 @@ impl MicroblogEngine for ArborEngine {
 
     fn shortest_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
         // Use the engine's native bidirectional BFS (what the shortestPath
-        // plan operator executes) — endpoints via index seeks.
+        // plan operator executes) — endpoints via index seeks. This path
+        // bypasses the query engine, so it takes the serving read latch
+        // itself (the inner db calls are latch-free).
+        let _latch = self.db.read_latch();
         let (Some(na), Some(nb)) = (self.node_of_uid(a)?, self.node_of_uid(b)?) else {
             return Ok(None);
         };
@@ -807,71 +907,33 @@ impl MicroblogEngine for ArborEngine {
     /// path serializes on the database's single-writer mutex, so concurrent
     /// readers keep working while an event commits.
     fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
-        use micrograph_datagen::UpdateEvent;
         let mut tx = self.db.begin_write()?;
-        match event {
-            UpdateEvent::NewUser { uid, name } => {
-                // Upsert: when a placeholder exists (ensure_user ghost, or
-                // bump_followers racing ahead of this event), fill in the
-                // attributes and keep the accumulated follower count.
-                match self.node_of_uid(*uid as i64)? {
-                    Some(node) => {
-                        tx.set_node_prop(node, crate::schema::NAME, Value::Str(name.clone()))?;
-                    }
-                    None => {
-                        tx.create_node(
-                            crate::schema::USER,
-                            &[
-                                (crate::schema::UID, Value::Int(*uid as i64)),
-                                (crate::schema::NAME, Value::Str(name.clone())),
-                                (crate::schema::FOLLOWERS, Value::Int(0)),
-                                (crate::schema::VERIFIED, Value::Int(0)),
-                            ],
-                        )?;
-                    }
-                }
-            }
-            UpdateEvent::NewFollow { follower, followee } => {
-                let a = self
-                    .node_of_uid(*follower as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
-                let b = self
-                    .node_of_uid(*followee as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
-                tx.create_rel(a, b, crate::schema::FOLLOWS, &[])?;
-                let count = self
-                    .db
-                    .node_prop(b, crate::schema::FOLLOWERS)?
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(0);
-                tx.set_node_prop(b, crate::schema::FOLLOWERS, Value::Int(count + 1))?;
-            }
-            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
-                let poster = self
-                    .node_of_uid(*uid as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
-                let tweet = tx.create_node(
-                    crate::schema::TWEET,
-                    &[
-                        (crate::schema::TID, Value::Int(*tid as i64)),
-                        (crate::schema::TEXT, Value::Str(text.clone())),
-                    ],
-                )?;
-                tx.create_rel(poster, tweet, crate::schema::POSTS, &[])?;
-                for m in mentions {
-                    let target = self
-                        .node_of_uid(*m as i64)?
-                        .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?;
-                    tx.create_rel(tweet, target, crate::schema::MENTIONS, &[])?;
-                }
-                for t in tags {
-                    let tag = self
-                        .db
-                        .index_seek(crate::schema::HASHTAG, crate::schema::TAG, &Value::from(t.as_str()))
-                        .and_then(|v| v.into_iter().next())
-                        .ok_or_else(|| CoreError::NotFound(format!("hashtag {t}")))?;
-                    tx.create_rel(tweet, tag, crate::schema::TAGS, &[])?;
-                }
+        // One event per transaction: the overlay starts (and stays) empty —
+        // everything the event references committed before it began.
+        let mut created = HashMap::new();
+        self.stage_event(&mut tx, &mut created, event)?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    /// Group commit (DESIGN.md §4j): the whole batch in ONE buffered
+    /// transaction — every WAL record appended and synced under one log
+    /// lock acquisition, index and statistics ops published once at
+    /// commit. A mid-batch failure rolls back just the failing event (to
+    /// its savepoint) and commits the successful prefix, leaving exactly
+    /// the state — and returning exactly the error — of the looped oracle.
+    fn apply_event_batch(&self, events: &[micrograph_datagen::UpdateEvent]) -> Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut tx = self.db.begin_write_batched()?;
+        let mut created = HashMap::new();
+        for event in events {
+            let sp = tx.savepoint();
+            if let Err(e) = self.stage_event(&mut tx, &mut created, event) {
+                tx.rollback_to(&sp)?;
+                tx.commit()?;
+                return Err(e);
             }
         }
         tx.commit()?;

@@ -17,6 +17,9 @@
 //! waiting writer would deadlock.
 
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 use bitgraph::graph::{Condition, EdgesDirection, Graph, Oid};
 use bitgraph::traversal::single_pair_shortest_path_bfs;
@@ -24,7 +27,7 @@ use micrograph_common::topn::{merge_top_n, Counted, TopKPartial, TopN};
 use micrograph_common::Value;
 use parking_lot::{RwLock, RwLockReadGuard};
 
-use crate::engine::{MicroblogEngine, Ranked};
+use crate::engine::{MicroblogEngine, Ranked, WriteMode};
 use crate::schema;
 use crate::{CoreError, Result};
 
@@ -43,9 +46,52 @@ struct Handles {
 }
 
 /// The navigation adapter over a loaded [`Graph`].
+///
+/// Two read disciplines coexist (DESIGN.md §4j): in
+/// [`WriteMode::Snapshot`] (the default) every query clones one `Arc` of
+/// the published immutable generation and runs lock-free, so a write burst
+/// never blocks a reader; in [`WriteMode::Locked`] queries take the
+/// canonical graph's read lock — the pre-snapshot oracle. Writers always
+/// mutate the canonical copy under the write lock and, in Snapshot mode,
+/// republish a fresh generation at commit.
 pub struct BitEngine {
+    /// Canonical graph: owns the extent log, takes every write.
     g: RwLock<Graph>,
+    /// The published read generation (Snapshot mode). Swapped wholesale at
+    /// every commit; the lock is held only long enough to clone the `Arc`.
+    snap: RwLock<Arc<Graph>>,
+    /// [`WriteMode`] as a u8 (0 = Locked, 1 = Snapshot).
+    mode: AtomicU8,
     h: Handles,
+}
+
+/// A read view of the graph under either discipline: a borrowed lock guard
+/// (Locked) or an owned generation handle (Snapshot). Derefs to [`Graph`]
+/// so query code is mode-oblivious.
+enum ReadView<'a> {
+    Locked(RwLockReadGuard<'a, Graph>),
+    Snapshot(Arc<Graph>),
+}
+
+impl Deref for ReadView<'_> {
+    type Target = Graph;
+    fn deref(&self) -> &Graph {
+        match self {
+            ReadView::Locked(g) => g,
+            ReadView::Snapshot(g) => g,
+        }
+    }
+}
+
+fn mode_to_u8(mode: WriteMode) -> u8 {
+    match mode {
+        WriteMode::Locked => 0,
+        WriteMode::Snapshot => 1,
+    }
+}
+
+fn mode_from_u8(v: u8) -> WriteMode {
+    if v == 0 { WriteMode::Locked } else { WriteMode::Snapshot }
 }
 
 /// Bounded top-k with a threshold bound — the adapter's client-side answer
@@ -94,16 +140,165 @@ impl BitEngine {
             tag: attr(hashtag, schema::TAG)?,
             followers: attr(user, schema::FOLLOWERS)?,
         };
-        Ok(BitEngine { g: RwLock::new(g), h })
+        let snap = RwLock::new(Arc::new(g.snapshot_clone()));
+        Ok(BitEngine {
+            g: RwLock::new(g),
+            snap,
+            mode: AtomicU8::new(mode_to_u8(WriteMode::default())),
+            h,
+        })
     }
 
-    /// Read access to the underlying graph (for examples and benches).
+    /// Read access to the underlying canonical graph (for examples and
+    /// benches).
     ///
     /// The guard holds the engine's read lock: drop it before applying
     /// events, and do not call the engine's own query methods while
-    /// holding it (they take the lock themselves).
+    /// holding it in Locked mode (they take the lock themselves).
     pub fn graph(&self) -> RwLockReadGuard<'_, Graph> {
         self.g.read()
+    }
+
+    fn load_write_mode(&self) -> WriteMode {
+        mode_from_u8(self.mode.load(Ordering::Acquire))
+    }
+
+    /// One read view per public query method: an `Arc` clone of the
+    /// published generation (Snapshot — no reader ever touches the write
+    /// lock) or the canonical read guard (Locked). Acquired exactly once
+    /// per call, like the old `self.g.read()` sites.
+    fn read(&self) -> ReadView<'_> {
+        match self.load_write_mode() {
+            WriteMode::Snapshot => ReadView::Snapshot(Arc::clone(&self.snap.read())),
+            WriteMode::Locked => ReadView::Locked(self.g.read()),
+        }
+    }
+
+    /// Republishes the read generation from the canonical graph (Snapshot
+    /// mode only; a no-op in Locked mode, where readers see the canonical
+    /// copy directly).
+    fn publish(&self, g: &Graph) {
+        if self.load_write_mode() == WriteMode::Snapshot {
+            *self.snap.write() = Arc::new(g.snapshot_clone());
+        }
+    }
+
+    /// The single write commit path: mutates the canonical graph under the
+    /// write lock, then (Snapshot mode) republishes a fresh generation —
+    /// even when `f` failed, because a batch may have applied a valid
+    /// prefix before the failing event, and that prefix is committed state
+    /// the looped oracle exposes too.
+    fn with_write<T>(&self, f: impl FnOnce(&mut Graph) -> Result<T>) -> Result<T> {
+        let mut g = self.g.write();
+        let out = f(&mut g);
+        self.publish(&g);
+        out
+    }
+
+    /// Creates a bare user node (empty name, 0 followers, unverified) —
+    /// the placeholder shape `ensure_user`/`bump_followers` upsert and a
+    /// later `NewUser` event fills in.
+    fn create_placeholder(&self, g: &mut Graph, uid: i64) -> Result<Oid> {
+        let user_ty = g.find_type(schema::USER).expect("schema loaded");
+        let name_attr = g
+            .find_attribute(user_ty, schema::NAME)
+            .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
+        let verified_attr = g
+            .find_attribute(user_ty, schema::VERIFIED)
+            .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
+        let o = g.add_node(user_ty)?;
+        g.set_attr(o, self.h.uid, Value::Int(uid))?;
+        g.set_attr(o, name_attr, Value::Str(String::new()))?;
+        g.set_attr(o, self.h.followers, Value::Int(0))?;
+        g.set_attr(o, verified_attr, Value::Int(0))?;
+        Ok(o)
+    }
+
+    /// Applies one event to the canonical graph — the shared body of
+    /// [`MicroblogEngine::apply_event`] (one event per lock hold) and
+    /// [`MicroblogEngine::apply_event_batch`] (the whole batch under one
+    /// lock hold, one snapshot publish at the end).
+    fn stage_event(&self, g: &mut Graph, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
+        use micrograph_datagen::UpdateEvent;
+        let user_ty = g.find_type(schema::USER).expect("schema loaded");
+        let tweet_ty = g.find_type(schema::TWEET).expect("schema loaded");
+        let name_attr = g
+            .find_attribute(user_ty, schema::NAME)
+            .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
+        let verified_attr = g
+            .find_attribute(user_ty, schema::VERIFIED)
+            .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
+        let text_attr = g
+            .find_attribute(tweet_ty, schema::TEXT)
+            .ok_or_else(|| CoreError::Bit("text attribute missing".into()))?;
+        match event {
+            UpdateEvent::NewUser { uid, name } => {
+                // Upsert: when a placeholder exists (ensure_user ghost, or
+                // bump_followers racing ahead of this event), fill in the
+                // attributes and keep the accumulated follower count.
+                match g.find_object(self.h.uid, &Value::Int(*uid as i64))? {
+                    Some(o) => {
+                        g.set_attr(o, name_attr, Value::Str(name.clone()))?;
+                    }
+                    None => {
+                        let o = g.add_node(user_ty)?;
+                        g.set_attr(o, self.h.uid, Value::Int(*uid as i64))?;
+                        g.set_attr(o, name_attr, Value::Str(name.clone()))?;
+                        g.set_attr(o, self.h.followers, Value::Int(0))?;
+                        g.set_attr(o, verified_attr, Value::Int(0))?;
+                    }
+                }
+            }
+            UpdateEvent::NewFollow { follower, followee } => {
+                let a = g
+                    .find_object(self.h.uid, &Value::Int(*follower as i64))?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
+                let b = g
+                    .find_object(self.h.uid, &Value::Int(*followee as i64))?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
+                g.add_edge(self.h.follows, a, b)?;
+                let count = g
+                    .get_attr(b, self.h.followers)?
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                g.set_attr(b, self.h.followers, Value::Int(count + 1))?;
+            }
+            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
+                // Resolve EVERY referenced entity before the first write:
+                // the navigation engine has no transactions, so validating
+                // mentions/tags after creating the tweet node would leave a
+                // half-applied tweet behind on error (a state divergence
+                // the error-path parity tests would catch).
+                let poster = g
+                    .find_object(self.h.uid, &Value::Int(*uid as i64))?
+                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
+                let mut mention_oids = Vec::with_capacity(mentions.len());
+                for m in mentions {
+                    mention_oids.push(
+                        g.find_object(self.h.uid, &Value::Int(*m as i64))?
+                            .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?,
+                    );
+                }
+                let mut tag_oids = Vec::with_capacity(tags.len());
+                for tag in tags {
+                    tag_oids.push(
+                        g.find_object(self.h.tag, &Value::Str(tag.clone()))?
+                            .ok_or_else(|| CoreError::NotFound(format!("hashtag {tag}")))?,
+                    );
+                }
+                let t = g.add_node(tweet_ty)?;
+                g.set_attr(t, self.h.tid, Value::Int(*tid as i64))?;
+                g.set_attr(t, text_attr, Value::Str(text.clone()))?;
+                g.add_edge(self.h.posts, poster, t)?;
+                for target in mention_oids {
+                    g.add_edge(self.h.mentions, t, target)?;
+                }
+                for h in tag_oids {
+                    g.add_edge(self.h.tags, t, h)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn user_oid(&self, g: &Graph, uid: i64) -> Result<Option<Oid>> {
@@ -219,7 +414,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn users_with_followers_over(&self, threshold: i64) -> Result<Vec<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         // Single-predicate select; the result set is mapped and sorted here.
         let sel = g.select(self.h.followers, Condition::GreaterThan, &Value::Int(threshold))?;
         let mut out = Vec::with_capacity(sel.count() as usize);
@@ -231,7 +426,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn followees(&self, uid: i64) -> Result<Vec<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let nb = g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
         let mut out = Vec::with_capacity(nb.count() as usize);
@@ -243,7 +438,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn followee_tweets(&self, uid: i64) -> Result<Vec<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let mut out = Vec::new();
         for f in g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?.iter() {
@@ -256,7 +451,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn followee_hashtags(&self, uid: i64) -> Result<Vec<String>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         // One reused Vec + final sort/dedup instead of a tree-set node
         // allocation per insert (the distinct set is built exactly once).
@@ -274,14 +469,14 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn co_mentioned_users(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let counts = self.co_mention_counts(&g, a)?;
         self.top_uids(&g, counts, n)
     }
 
     fn co_occurring_hashtags(&self, tag: &str, n: usize) -> Result<Vec<Ranked<String>>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(g0) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
         let counts = self.co_tag_counts(&g, g0)?;
         let mut part = Vec::with_capacity(counts.len());
@@ -292,7 +487,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn recommend_followees(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         // "A separate neighbours call has to be executed for each 1-step
         // followee of A, which makes the execution of this query expensive."
@@ -309,7 +504,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn recommend_followers(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let followed = g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
         let mut counts: HashMap<Oid, u64> = HashMap::new();
@@ -324,17 +519,17 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn current_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let g = self.g.read();
+        let g = self.read();
         self.influence(&g, uid, n, true)
     }
 
     fn potential_influence(&self, uid: i64, n: usize) -> Result<Vec<Ranked<i64>>> {
-        let g = self.g.read();
+        let g = self.read();
         self.influence(&g, uid, n, false)
     }
 
     fn shortest_path_len(&self, a: i64, b: i64, max_hops: u32) -> Result<Option<u32>> {
-        let g = self.g.read();
+        let g = self.read();
         let (Some(oa), Some(ob)) = (self.user_oid(&g, a)?, self.user_oid(&g, b)?) else {
             return Ok(None);
         };
@@ -350,7 +545,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn tweets_with_hashtag(&self, tag: &str) -> Result<Vec<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(h) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
         let mut out = Vec::new();
         for t in g.neighbors(h, self.h.tags, EdgesDirection::Ingoing)?.iter() {
@@ -361,14 +556,14 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn retweet_count(&self, tid: i64) -> Result<u64> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(retweets) = self.h.retweets else { return Ok(0) };
         let Some(t) = self.tweet_oid(&g, tid)? else { return Ok(0) };
         Ok(g.degree(t, retweets, EdgesDirection::Ingoing)?)
     }
 
     fn poster_of(&self, tid: i64) -> Result<i64> {
-        let g = self.g.read();
+        let g = self.read();
         let t = self
             .tweet_oid(&g, tid)?
             .ok_or_else(|| CoreError::NotFound(format!("tweet {tid}")))?;
@@ -385,12 +580,12 @@ impl MicroblogEngine for BitEngine {
     // graph stores; the merge layer (shard.rs) owns cross-shard semantics.
 
     fn has_user(&self, uid: i64) -> Result<bool> {
-        let g = self.g.read();
+        let g = self.read();
         Ok(self.user_oid(&g, uid)?.is_some())
     }
 
     fn posted_tweets_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let mut out = Vec::new();
         for &uid in uids {
             let Some(u) = self.user_oid(&g, uid)? else { continue };
@@ -403,7 +598,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn hashtags_kernel(&self, uids: &[i64]) -> Result<Vec<String>> {
-        let g = self.g.read();
+        let g = self.read();
         // Accumulate into one Vec reused across the whole uid batch and
         // sort+dedup once at the end — no per-insert tree rebalancing.
         let mut tags: Vec<String> = Vec::new();
@@ -421,7 +616,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn count_followees_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
-        let g = self.g.read();
+        let g = self.read();
         let mut counts: HashMap<Oid, u64> = HashMap::new();
         for &uid in uids {
             let Some(u) = self.user_oid(&g, uid)? else { continue };
@@ -433,7 +628,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn count_followers_kernel(&self, uids: &[i64]) -> Result<Vec<(i64, u64)>> {
-        let g = self.g.read();
+        let g = self.read();
         let mut counts: HashMap<Oid, u64> = HashMap::new();
         for &uid in uids {
             let Some(u) = self.user_oid(&g, uid)? else { continue };
@@ -445,14 +640,14 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn co_mention_counts_kernel(&self, uid: i64) -> Result<Vec<(i64, u64)>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let counts = self.co_mention_counts(&g, a)?;
         self.counts_by_uid(&g, counts)
     }
 
     fn co_tag_counts_kernel(&self, tag: &str) -> Result<Vec<(String, u64)>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(g0) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
         let mut out = Vec::new();
         for (oid, count) in self.co_tag_counts(&g, g0)? {
@@ -463,7 +658,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn follow_frontier_kernel(&self, uids: &[i64]) -> Result<Vec<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         // Same flat-Vec discipline as `hashtags_kernel`: push every
         // adjacency, sort+dedup once per batch.
         let mut next: Vec<i64> = Vec::new();
@@ -481,7 +676,7 @@ impl MicroblogEngine for BitEngine {
     // ---- top-n pushdown kernels: full count stream, bounded retention ------
 
     fn co_mention_topn_kernel(&self, uid: i64, k: usize) -> Result<TopKPartial<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else {
             return Ok(TopKPartial { top: Vec::new(), bound: 0 });
         };
@@ -490,7 +685,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn co_mention_counts_for_kernel(&self, uid: i64, keys: &[i64]) -> Result<Vec<(i64, u64)>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let counts = self.co_mention_counts(&g, a)?;
         let mut out = Vec::new();
@@ -505,7 +700,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn co_tag_topn_kernel(&self, tag: &str, k: usize) -> Result<TopKPartial<String>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(g0) = self.tag_oid(&g, tag)? else {
             return Ok(TopKPartial { top: Vec::new(), bound: 0 });
         };
@@ -518,7 +713,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn co_tag_counts_for_kernel(&self, tag: &str, keys: &[String]) -> Result<Vec<(String, u64)>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(g0) = self.tag_oid(&g, tag)? else { return Ok(Vec::new()) };
         let mut out = Vec::new();
         for (oid, count) in self.co_tag_counts(&g, g0)? {
@@ -537,7 +732,7 @@ impl MicroblogEngine for BitEngine {
         exclude: &[i64],
         k: usize,
     ) -> Result<TopKPartial<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let mut counts: HashMap<Oid, u64> = HashMap::new();
         for &uid in uids {
             let Some(u) = self.user_oid(&g, uid)? else { continue };
@@ -563,7 +758,7 @@ impl MicroblogEngine for BitEngine {
         exclude: &[i64],
         k: usize,
     ) -> Result<TopKPartial<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let mut counts: HashMap<Oid, u64> = HashMap::new();
         for &uid in uids {
             let Some(u) = self.user_oid(&g, uid)? else { continue };
@@ -584,7 +779,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn influence_topn_kernel(&self, uid: i64, current: bool, k: usize) -> Result<TopKPartial<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else {
             return Ok(TopKPartial { top: Vec::new(), bound: 0 });
         };
@@ -595,136 +790,66 @@ impl MicroblogEngine for BitEngine {
     fn ensure_user(&self, uid: i64) -> Result<()> {
         let mut g = self.g.write();
         if g.find_object(self.h.uid, &Value::Int(uid))?.is_some() {
+            // Idempotent no-op: nothing changed, keep the published
+            // generation (no clone).
             return Ok(());
         }
-        let user_ty = g.find_type(schema::USER).expect("schema loaded");
-        let name_attr = g
-            .find_attribute(user_ty, schema::NAME)
-            .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
-        let verified_attr = g
-            .find_attribute(user_ty, schema::VERIFIED)
-            .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
-        let o = g.add_node(user_ty)?;
-        g.set_attr(o, self.h.uid, Value::Int(uid))?;
-        g.set_attr(o, name_attr, Value::Str(String::new()))?;
-        g.set_attr(o, self.h.followers, Value::Int(0))?;
-        g.set_attr(o, verified_attr, Value::Int(0))?;
-        Ok(())
+        let res = self.create_placeholder(&mut g, uid).map(|_| ());
+        self.publish(&g);
+        res
     }
 
     fn bump_followers(&self, uid: i64, delta: i64) -> Result<()> {
         // Upsert: a cross-shard follow can replay before the owner saw the
         // `new user` event. Create the placeholder and count onto it; the
         // later `NewUser` fills in attributes without resetting the count.
-        let mut g = self.g.write();
-        let o = match g.find_object(self.h.uid, &Value::Int(uid))? {
-            Some(o) => o,
-            None => {
-                let user_ty = g.find_type(schema::USER).expect("schema loaded");
-                let name_attr = g
-                    .find_attribute(user_ty, schema::NAME)
-                    .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
-                let verified_attr = g
-                    .find_attribute(user_ty, schema::VERIFIED)
-                    .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
-                let o = g.add_node(user_ty)?;
-                g.set_attr(o, self.h.uid, Value::Int(uid))?;
-                g.set_attr(o, name_attr, Value::Str(String::new()))?;
-                g.set_attr(o, self.h.followers, Value::Int(0))?;
-                g.set_attr(o, verified_attr, Value::Int(0))?;
-                o
-            }
-        };
-        let count = g.get_attr(o, self.h.followers)?.and_then(|v| v.as_int()).unwrap_or(0);
-        g.set_attr(o, self.h.followers, Value::Int(count + delta))?;
-        Ok(())
+        self.with_write(|g| {
+            let o = match g.find_object(self.h.uid, &Value::Int(uid))? {
+                Some(o) => o,
+                None => self.create_placeholder(g, uid)?,
+            };
+            let count = g.get_attr(o, self.h.followers)?.and_then(|v| v.as_int()).unwrap_or(0);
+            g.set_attr(o, self.h.followers, Value::Int(count + delta))?;
+            Ok(())
+        })
     }
 
     /// Applies one streaming update (the paper's future-work update
     /// workload) through the navigation engine's write API, behind the
-    /// adapter's write lock.
+    /// adapter's write lock; in Snapshot mode the commit republishes the
+    /// read generation.
     fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()> {
-        use micrograph_datagen::UpdateEvent;
-        let mut g = self.g.write();
-        let user_ty = g.find_type(schema::USER).expect("schema loaded");
-        let tweet_ty = g.find_type(schema::TWEET).expect("schema loaded");
-        let name_attr = g
-            .find_attribute(user_ty, schema::NAME)
-            .ok_or_else(|| CoreError::Bit("name attribute missing".into()))?;
-        let verified_attr = g
-            .find_attribute(user_ty, schema::VERIFIED)
-            .ok_or_else(|| CoreError::Bit("verified attribute missing".into()))?;
-        let text_attr = g
-            .find_attribute(tweet_ty, schema::TEXT)
-            .ok_or_else(|| CoreError::Bit("text attribute missing".into()))?;
-        match event {
-            UpdateEvent::NewUser { uid, name } => {
-                // Upsert: when a placeholder exists (ensure_user ghost, or
-                // bump_followers racing ahead of this event), fill in the
-                // attributes and keep the accumulated follower count.
-                match self.user_oid(&g, *uid as i64)? {
-                    Some(o) => {
-                        g.set_attr(o, name_attr, Value::Str(name.clone()))?;
-                    }
-                    None => {
-                        let o = g.add_node(user_ty)?;
-                        g.set_attr(o, self.h.uid, Value::Int(*uid as i64))?;
-                        g.set_attr(o, name_attr, Value::Str(name.clone()))?;
-                        g.set_attr(o, self.h.followers, Value::Int(0))?;
-                        g.set_attr(o, verified_attr, Value::Int(0))?;
-                    }
-                }
+        self.with_write(|g| self.stage_event(g, event))
+    }
+
+    /// Group commit (DESIGN.md §4j): the whole batch under ONE write-lock
+    /// acquisition and ONE snapshot publish. Stops at the first failing
+    /// event — the committed prefix is exactly what the looped oracle
+    /// leaves, because each `stage_event` validates every referenced
+    /// entity before its first mutation.
+    fn apply_event_batch(&self, events: &[micrograph_datagen::UpdateEvent]) -> Result<()> {
+        self.with_write(|g| {
+            for event in events {
+                self.stage_event(g, event)?;
             }
-            UpdateEvent::NewFollow { follower, followee } => {
-                let a = self
-                    .user_oid(&g, *follower as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {follower}")))?;
-                let b = self
-                    .user_oid(&g, *followee as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {followee}")))?;
-                g.add_edge(self.h.follows, a, b)?;
-                let count = g
-                    .get_attr(b, self.h.followers)?
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(0);
-                g.set_attr(b, self.h.followers, Value::Int(count + 1))?;
-            }
-            UpdateEvent::NewTweet { tid, uid, text, mentions, tags } => {
-                // Resolve EVERY referenced entity before the first write:
-                // the navigation engine has no transactions, so validating
-                // mentions/tags after creating the tweet node would leave a
-                // half-applied tweet behind on error (a state divergence
-                // the error-path parity tests would catch).
-                let poster = self
-                    .user_oid(&g, *uid as i64)?
-                    .ok_or_else(|| CoreError::NotFound(format!("user {uid}")))?;
-                let mut mention_oids = Vec::with_capacity(mentions.len());
-                for m in mentions {
-                    mention_oids.push(
-                        self.user_oid(&g, *m as i64)?
-                            .ok_or_else(|| CoreError::NotFound(format!("user {m}")))?,
-                    );
-                }
-                let mut tag_oids = Vec::with_capacity(tags.len());
-                for tag in tags {
-                    tag_oids.push(
-                        self.tag_oid(&g, tag)?
-                            .ok_or_else(|| CoreError::NotFound(format!("hashtag {tag}")))?,
-                    );
-                }
-                let t = g.add_node(tweet_ty)?;
-                g.set_attr(t, self.h.tid, Value::Int(*tid as i64))?;
-                g.set_attr(t, text_attr, Value::Str(text.clone()))?;
-                g.add_edge(self.h.posts, poster, t)?;
-                for target in mention_oids {
-                    g.add_edge(self.h.mentions, t, target)?;
-                }
-                for h in tag_oids {
-                    g.add_edge(self.h.tags, t, h)?;
-                }
-            }
+            Ok(())
+        })
+    }
+
+    fn write_mode(&self) -> Option<WriteMode> {
+        Some(self.load_write_mode())
+    }
+
+    fn set_write_mode(&self, mode: WriteMode) -> bool {
+        if mode == WriteMode::Snapshot {
+            // Republish from the canonical graph BEFORE flipping: Locked-
+            // mode writes bypass publication, so the stored generation may
+            // be stale. Readers keep using the lock until the store below.
+            let g = self.g.read();
+            *self.snap.write() = Arc::new(g.snapshot_clone());
         }
-        Ok(())
+        self.mode.store(mode_to_u8(mode), Ordering::Release);
+        true
     }
 
     fn reset_stats(&self) {
@@ -732,7 +857,7 @@ impl MicroblogEngine for BitEngine {
     }
 
     fn ops_count(&self) -> u64 {
-        let g = self.g.read();
+        let g = self.read();
         let s = g.stats();
         s.neighbors_calls
             + s.explode_calls
@@ -757,7 +882,7 @@ impl BitEngine {
     /// operations ... perhaps due to the overhead involved with the
     /// traversals."
     pub fn followees_via_traversal(&self, uid: i64) -> Result<Vec<i64>> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(Vec::new()) };
         let mut out = Vec::new();
         for v in bitgraph::traversal::TraversalBfs::new(
@@ -779,7 +904,7 @@ impl BitEngine {
     /// Count of the *distinct* 2-step follows neighborhood via raw
     /// navigation (nested `neighbors` calls + set union).
     pub fn two_step_reach_nav(&self, uid: i64) -> Result<u64> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(0) };
         let first = g.neighbors(a, self.h.follows, EdgesDirection::Outgoing)?;
         let mut reach = first.clone();
@@ -792,7 +917,7 @@ impl BitEngine {
 
     /// The same 2-step reach through the traversal context.
     pub fn two_step_reach_traversal(&self, uid: i64) -> Result<u64> {
-        let g = self.g.read();
+        let g = self.read();
         let Some(a) = self.user_oid(&g, uid)? else { return Ok(0) };
         let mut n = 0u64;
         for v in bitgraph::traversal::TraversalBfs::new(

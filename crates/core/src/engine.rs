@@ -79,6 +79,37 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// BitEngine's write/publish discipline (DESIGN.md §4j) — a pure
+/// performance toggle in the style of [`arbor_ql::ExecMode`]: flipping it
+/// never moves a byte of any answer, error text, or serve digest.
+///
+/// * [`WriteMode::Snapshot`] (the default): reads run lock-free over an
+///   epoch-published immutable `Arc<Graph>` generation; every commit
+///   rebuilds and swaps the published snapshot, so a write burst never
+///   blocks a reader.
+/// * [`WriteMode::Locked`]: the original semantic oracle — every read
+///   takes the graph's `RwLock` read side and sees the canonical copy
+///   directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMode {
+    /// Readers share the writer's `RwLock` (the pre-snapshot oracle).
+    Locked,
+    /// Readers clone a published `Arc<Graph>` generation; writers swap a
+    /// fresh generation in at commit. Readers never block.
+    #[default]
+    Snapshot,
+}
+
+impl WriteMode {
+    /// Stable label for reports and bench artifacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WriteMode::Locked => "locked",
+            WriteMode::Snapshot => "snapshot",
+        }
+    }
+}
+
 impl From<arbor_ql::QlError> for CoreError {
     fn from(e: arbor_ql::QlError) -> Self {
         CoreError::Arbor(e.to_string())
@@ -339,6 +370,21 @@ pub trait MicroblogEngine: Send + Sync {
     /// equivalence invariant covers post-update state too.
     fn apply_event(&self, event: &micrograph_datagen::UpdateEvent) -> Result<()>;
 
+    /// Applies a batch of streaming events as one group commit (DESIGN.md
+    /// §4j). The default — a per-event loop — is the semantic oracle:
+    /// every override must leave byte-identical state on success, and on a
+    /// mid-batch error must fail with the same error text and leave
+    /// exactly the state the looped oracle leaves (the successful prefix
+    /// applied, the failing event absent). Batching is a pure performance
+    /// lever: one WAL lock acquisition / one snapshot publish per batch
+    /// instead of per event.
+    fn apply_event_batch(&self, events: &[micrograph_datagen::UpdateEvent]) -> Result<()> {
+        for event in events {
+            self.apply_event(event)?;
+        }
+        Ok(())
+    }
+
     // ---- instrumentation ----------------------------------------------------
 
     /// Resets the engine's operation counters.
@@ -402,6 +448,25 @@ pub trait MicroblogEngine: Send + Sync {
     /// engine has no toggle. `&self` like every other method — benches
     /// flip one built engine between modes mid-run.
     fn set_batched_kernels(&self, _on: bool) -> bool {
+        false
+    }
+
+    /// The snapshot-read/write-publish discipline, when this engine is (or
+    /// wraps/shards) the bitgraph backend — `None` for engines whose reads
+    /// never contend with a writer lock (arbordb's page store is already
+    /// MVCC-ish: readers hold no lock across a query). Like the other
+    /// toggles, a pure performance switch (DESIGN.md §4j): flipping it
+    /// never moves a byte of any answer.
+    fn write_mode(&self) -> Option<WriteMode> {
+        None
+    }
+
+    /// Switches the write/publish discipline at runtime, returning `false`
+    /// when the engine has no toggle. `&self` like every other method —
+    /// benches flip one built engine between modes mid-run. Switching into
+    /// [`WriteMode::Snapshot`] republishes from the canonical graph so a
+    /// stale generation can never serve.
+    fn set_write_mode(&self, _mode: WriteMode) -> bool {
         false
     }
 

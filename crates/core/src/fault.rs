@@ -992,6 +992,26 @@ impl MicroblogEngine for ChaosEngine {
         self.inner.apply_event(event)
     }
 
+    fn apply_event_batch(&self, events: &[micrograph_datagen::UpdateEvent]) -> Result<()> {
+        use micrograph_datagen::UpdateEvent;
+        // ONE gate per batch, keyed by a fold of the per-event keys, fired
+        // BEFORE the inner engine mutates anything: a retried batch either
+        // never started (the gate rejected it) or runs against the same
+        // pre-batch state, so it is never double-applied (DESIGN.md §4j).
+        let key = events.iter().fold(key2(4, events.len() as u64), |acc, event| {
+            let k = match event {
+                UpdateEvent::NewUser { uid, .. } => key2(1, key_u64(*uid)),
+                UpdateEvent::NewFollow { follower, followee } => {
+                    key2(2, key2(key_u64(*follower), *followee))
+                }
+                UpdateEvent::NewTweet { tid, .. } => key2(3, key_u64(*tid)),
+            };
+            key2(acc, k)
+        });
+        self.gate("apply_event_batch", key)?;
+        self.inner.apply_event_batch(events)
+    }
+
     fn reset_stats(&self) {
         self.inner.reset_stats();
     }
@@ -1033,6 +1053,15 @@ impl MicroblogEngine for ChaosEngine {
     fn set_batched_kernels(&self, on: bool) -> bool {
         // Ungated, like the other instrumentation passthroughs.
         self.inner.set_batched_kernels(on)
+    }
+
+    fn write_mode(&self) -> Option<crate::engine::WriteMode> {
+        self.inner.write_mode()
+    }
+
+    fn set_write_mode(&self, mode: crate::engine::WriteMode) -> bool {
+        // Ungated, like the other instrumentation passthroughs.
+        self.inner.set_write_mode(mode)
     }
 
     fn replica_count(&self) -> Option<usize> {

@@ -994,6 +994,48 @@ impl ShardedEngine {
         }
     }
 
+    /// The single shard an event touches, when every entity it references
+    /// routes there: its owner for `NewUser`, the shared shard for a
+    /// same-shard `NewFollow`, the poster's home for a `NewTweet` whose
+    /// mentions all live at home (hashtags are replicated everywhere).
+    /// `None` marks a cross-shard event — a batching barrier, because it
+    /// writes to (or validates against) more than one shard and may depend
+    /// on pending events of any of them.
+    fn local_shard(&self, event: &micrograph_datagen::UpdateEvent) -> Option<usize> {
+        use micrograph_datagen::UpdateEvent;
+        let n = self.shards.len();
+        match event {
+            UpdateEvent::NewUser { uid, .. } => Some(shard_of(*uid as i64, n)),
+            UpdateEvent::NewFollow { follower, followee } => {
+                let (a, b) = (shard_of(*follower as i64, n), shard_of(*followee as i64, n));
+                (a == b).then_some(a)
+            }
+            UpdateEvent::NewTweet { uid, mentions, .. } => {
+                let home = shard_of(*uid as i64, n);
+                mentions.iter().all(|m| shard_of(*m as i64, n) == home).then_some(home)
+            }
+        }
+    }
+
+    /// Fans the accumulated per-shard event runs out, one batched write
+    /// per shard per replica, in shard order. A shard-local batch carries
+    /// its own validation (the inner adapters produce the same `NotFound`
+    /// texts in the same order the looped path would), so no scatter of
+    /// point reads precedes it.
+    fn flush_event_runs(
+        &self,
+        pending: &mut [Vec<micrograph_datagen::UpdateEvent>],
+    ) -> Result<()> {
+        for (s, run) in pending.iter_mut().enumerate() {
+            if run.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(run);
+            self.write_at(s, |e| e.apply_event_batch(&batch))?;
+        }
+        Ok(())
+    }
+
     /// Shard indices of non-empty routing buckets — the selection for a
     /// routed (rather than broadcast) scatter.
     fn non_empty(buckets: &[Vec<i64>]) -> Vec<usize> {
@@ -1781,6 +1823,34 @@ impl MicroblogEngine for ShardedEngine {
         })
     }
 
+    /// Group commit across the partition (DESIGN.md §4j): consecutive
+    /// shard-local events accumulate into per-shard runs, flushed as ONE
+    /// batched write per shard per replica (writes still never degrade;
+    /// torn-replica semantics unchanged — `write_at` is the same door every
+    /// single-event write goes through). A cross-shard event is a barrier:
+    /// all pending runs flush first (in shard order), then the event takes
+    /// the validated multi-step path of [`MicroblogEngine::apply_event`].
+    /// On a valid stream this is byte-identical to the looped oracle; on a
+    /// mid-batch failure each *shard* keeps its own successful prefix (the
+    /// global interleaving across shards is not replayed — the monolithic
+    /// adapters, where the oracle-exact prefix contract lives, do that).
+    fn apply_event_batch(&self, events: &[micrograph_datagen::UpdateEvent]) -> Result<()> {
+        let n = self.shards.len();
+        self.q(|| {
+            let mut pending: Vec<Vec<micrograph_datagen::UpdateEvent>> = vec![Vec::new(); n];
+            for event in events {
+                match self.local_shard(event) {
+                    Some(s) => pending[s].push(event.clone()),
+                    None => {
+                        self.flush_event_runs(&mut pending)?;
+                        self.apply_event(event)?;
+                    }
+                }
+            }
+            self.flush_event_runs(&mut pending)
+        })
+    }
+
     fn reset_stats(&self) {
         for g in &self.shards {
             for s in &g.replicas {
@@ -1849,6 +1919,22 @@ impl MicroblogEngine for ShardedEngine {
         for g in &self.shards {
             for s in &g.replicas {
                 ok &= s.set_batched_kernels(on);
+            }
+        }
+        ok
+    }
+
+    fn write_mode(&self) -> Option<crate::engine::WriteMode> {
+        // All replicas run the same backend; the first one speaks for all.
+        self.shards.first().and_then(|g| g.replicas.first()).and_then(|s| s.write_mode())
+    }
+
+    fn set_write_mode(&self, mode: crate::engine::WriteMode) -> bool {
+        // Flip every replica of every shard, like `set_exec_mode`.
+        let mut ok = true;
+        for g in &self.shards {
+            for s in &g.replicas {
+                ok &= s.set_write_mode(mode);
             }
         }
         ok

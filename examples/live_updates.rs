@@ -3,17 +3,23 @@
 //! relationships … it would be possible to test for the ability of systems
 //! to handle update workloads as well" (§5).
 //!
-//! Streams update events into both engines while interleaving reads, then
-//! verifies the engines still agree on the workload.
+//! Streams update events into both engines twice — once through the
+//! per-event path (one WAL transaction per event on arbordb), once through
+//! the group-commit batch path (DESIGN.md §4j) — prints both throughputs,
+//! and verifies the two feeds leave every engine in byte-identical state.
 //!
 //! ```sh
 //! cargo run --release --example live_updates
 //! ```
 
 use micrograph_common::stats::Timer;
+use micrograph_core::adapters::BitEngine;
 use micrograph_core::engine::MicroblogEngine;
-use micrograph_core::ingest::{build_engines, ingest_arbor};
+use micrograph_core::ingest::{ingest_arbor, ingest_bit};
 use micrograph_datagen::{generate, GenConfig, StreamGen, StreamMix, UpdateEvent};
+
+const EVENTS: usize = 2_000;
+const BATCH: usize = 256;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = GenConfig::small();
@@ -22,19 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("micrograph-live");
     let _ = std::fs::remove_dir_all(&dir);
     let files = dataset.write_csv(&dir)?;
-    // A disk-backed arbordb (real WAL commits) against the in-memory-serving
-    // bitgraph — the two engines' natural write paths.
-    let (db, _) = ingest_arbor(
-        &files,
-        Some(&dir.join("arbordb")),
-        arbordb::db::DbConfig::default(),
-        &arbordb::import::ImportOptions::default(),
-    )?;
-    let arbor = micrograph_core::ArborEngine::new(db);
-    let (_unused, bit, _) = build_engines(&files)?;
     println!("Base graph: {}", dataset.stats().render_table());
 
-    const EVENTS: usize = 2_000;
     let events = StreamGen::new(&dataset, &config, 99, StreamMix::default()).events(EVENTS);
     let (mut users, mut follows, mut tweets) = (0u32, 0u32, 0u32);
     for e in &events {
@@ -46,37 +41,87 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("Streaming {EVENTS} events: {users} users, {follows} follows, {tweets} tweets\n");
 
-    let t = Timer::start();
-    for e in &events {
-        arbor.apply_event(e)?;
-    }
-    let arbor_ms = t.elapsed_ms();
-    println!(
-        "arbordb (one WAL transaction per event): {arbor_ms:.0} ms  ({:.0} events/s)",
-        EVENTS as f64 / arbor_ms * 1000.0
-    );
+    // A disk-backed arbordb (real WAL commits) against the in-memory-serving
+    // bitgraph — the two engines' natural write paths. Each feed mode gets
+    // its own freshly-ingested engine so the comparisons are apples-to-apples.
+    let build_arbor =
+        |name: &str| -> Result<micrograph_core::ArborEngine, Box<dyn std::error::Error>> {
+            let (db, _) = ingest_arbor(
+                &files,
+                Some(&dir.join(name)),
+                arbordb::db::DbConfig::default(),
+                &arbordb::import::ImportOptions::default(),
+            )?;
+            Ok(micrograph_core::ArborEngine::new(db))
+        };
+    let build_bit = || -> Result<BitEngine, Box<dyn std::error::Error>> {
+        let (g, _) = ingest_bit(
+            &files,
+            None,
+            bitgraph::loader::LoadConfig::default(),
+            &bitgraph::loader::LoadOptions { sample_interval: 5_000, abort_after: None },
+        )?;
+        Ok(BitEngine::new(g)?)
+    };
 
-    let t = Timer::start();
-    for e in &events {
-        bit.apply_event(e)?;
+    // Feed 1: the per-event loop — the semantic oracle.
+    let arbor_loop = build_arbor("arbordb-loop")?;
+    let bit_loop = build_bit()?;
+    let mut loop_eps = Vec::new();
+    for (label, engine) in [
+        ("arbordb (one WAL transaction per event)", &arbor_loop as &dyn MicroblogEngine),
+        ("bitgraph (snapshot republished per event)", &bit_loop),
+    ] {
+        let t = Timer::start();
+        for e in &events {
+            engine.apply_event(e)?;
+        }
+        let ms = t.elapsed_ms();
+        let eps = EVENTS as f64 / ms * 1000.0;
+        println!("{label}: {ms:.0} ms  ({eps:.0} events/s)");
+        loop_eps.push(eps);
     }
-    let bit_ms = t.elapsed_ms();
-    println!(
-        "bitgraph (in-memory structures + extent log): {bit_ms:.0} ms  ({:.0} events/s)\n",
-        EVENTS as f64 / bit_ms * 1000.0
-    );
 
-    // The engines must still agree after the stream.
+    // Feed 2: group commit — whole batches staged in one transaction, the
+    // WAL tape appended under one lock acquisition, one snapshot publish.
+    let arbor_batch = build_arbor("arbordb-batch")?;
+    let bit_batch = build_bit()?;
+    println!();
+    for ((label, engine), base) in [
+        ("arbordb (group commit)", &arbor_batch as &dyn MicroblogEngine),
+        ("bitgraph (batched snapshot publish)", &bit_batch),
+    ]
+    .into_iter()
+    .zip(loop_eps)
+    {
+        let t = Timer::start();
+        for chunk in events.chunks(BATCH) {
+            engine.apply_event_batch(chunk)?;
+        }
+        let ms = t.elapsed_ms();
+        let eps = EVENTS as f64 / ms * 1000.0;
+        println!(
+            "{label}, batch {BATCH}: {ms:.0} ms  ({eps:.0} events/s, {:.1}x over per-event)",
+            eps / base.max(f64::MIN_POSITIVE)
+        );
+    }
+
+    // Batched ≡ looped, and the engines still agree with each other.
     let mut checked = 0;
     for uid in (1..=1_000).step_by(97) {
-        assert_eq!(arbor.followees(uid)?, bit.followees(uid)?);
-        assert_eq!(arbor.co_mentioned_users(uid, 5)?, bit.co_mentioned_users(uid, 5)?);
+        let follow = arbor_loop.followees(uid)?;
+        assert_eq!(follow, arbor_batch.followees(uid)?);
+        assert_eq!(follow, bit_loop.followees(uid)?);
+        assert_eq!(follow, bit_batch.followees(uid)?);
+        let co = arbor_loop.co_mentioned_users(uid, 5)?;
+        assert_eq!(co, arbor_batch.co_mentioned_users(uid, 5)?);
+        assert_eq!(co, bit_batch.co_mentioned_users(uid, 5)?);
         checked += 1;
     }
-    println!("Post-stream equivalence verified on {checked} users.");
+    println!("\nPost-stream equivalence (batched = looped, arbordb = bitgraph) on {checked} users.");
 
     // Reads interleave with writes without contention (single writer).
-    let hot = arbor.recommend_followees(1, 5)?;
+    let hot = arbor_batch.recommend_followees(1, 5)?;
     println!("Q4.1 for user 1 after the stream: {} recommendations", hot.len());
     Ok(())
 }
